@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the simulator's core structures: the frontier heap
+//! (HCT sorter), the dependency-matrix scoreboard, the coalescer and the
+//! L1 — the pieces on the per-cycle critical path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use warpweave_core::{DepMatrix, FrontierHeap, Mask, Transition};
+use warpweave_isa::Pc;
+use warpweave_mem::{coalesce, Cache, CacheConfig};
+
+fn bench_heap(c: &mut Criterion) {
+    c.bench_function("frontier_heap_diverge_merge", |b| {
+        b.iter(|| {
+            let mut h = FrontierHeap::new(Mask::full(64));
+            for i in 0..16u32 {
+                let cur = h.primary().expect("live");
+                let taken = Mask::from_bits(0x5555_5555_5555_5555) & cur.mask;
+                if taken.is_empty() || taken == cur.mask {
+                    break;
+                }
+                let t = Transition::from_branch(cur.mask, taken, Pc(40 + i), Pc(1 + i));
+                h.apply_pair(Some(t), None, true);
+            }
+            black_box(h.live_splits())
+        })
+    });
+}
+
+fn bench_depmatrix(c: &mut Criterion) {
+    c.bench_function("dep_matrix_compose", |b| {
+        let mut m = DepMatrix::identity();
+        m.set(0, 1, true);
+        m.set(1, 2, true);
+        b.iter(|| black_box(m.compose(black_box(m))))
+    });
+}
+
+fn bench_coalesce(c: &mut Criterion) {
+    let scattered: Vec<(usize, u32)> = (0..64).map(|i| (i, (i as u32 * 193) % 8192)).collect();
+    let unit: Vec<(usize, u32)> = (0..64).map(|i| (i, i as u32 * 4)).collect();
+    c.bench_function("coalesce_scattered_64", |b| {
+        b.iter(|| black_box(coalesce(black_box(&scattered))).len())
+    });
+    c.bench_function("coalesce_unit_stride_64", |b| {
+        b.iter(|| black_box(coalesce(black_box(&unit))).len())
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l1_access_stream", |b| {
+        let mut l1 = Cache::new(CacheConfig::paper_l1());
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(128) & 0xf_ffff;
+            black_box(l1.access_load(addr))
+        })
+    });
+}
+
+criterion_group!(benches, bench_heap, bench_depmatrix, bench_coalesce, bench_cache);
+criterion_main!(benches);

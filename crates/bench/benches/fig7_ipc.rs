@@ -1,0 +1,35 @@
+//! Criterion wrapper for figure 7: simulates one representative regular
+//! (MatrixMul) and one irregular (SortingNetworks) workload under every
+//! architecture at test scale. The measured wall time is the simulator's
+//! own speed; the reported IPC shape is what reproduces the figure — run
+//! `fig7_performance` for the full table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use warpweave_core::SmConfig;
+use warpweave_workloads::{by_name, run_prepared, Scale};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for workload in ["MatrixMul", "SortingNetworks"] {
+        for cfg in SmConfig::figure7_set() {
+            let w = by_name(workload).expect("registered workload");
+            group.bench_with_input(
+                BenchmarkId::new(workload, &cfg.name),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let prepared = w.prepare(Scale::Test);
+                        let stats = run_prepared(cfg, prepared, false).expect("run succeeds");
+                        stats.thread_instructions
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

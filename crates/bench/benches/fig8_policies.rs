@@ -1,0 +1,40 @@
+//! Criterion wrapper for figure 8: SBI reconvergence constraints (8a) and
+//! SWI lane-shuffling policies (8b) on one irregular workload each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use warpweave_core::{LaneShuffle, SmConfig};
+use warpweave_workloads::{by_name, run_prepared, Scale};
+
+fn bench_constraints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_constraints");
+    group.sample_size(10);
+    for on in [false, true] {
+        let cfg = SmConfig::sbi().with_constraints(on);
+        let w = by_name("Eigenvalues").expect("registered");
+        group.bench_with_input(
+            BenchmarkId::new("sbi", if on { "on" } else { "off" }),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| run_prepared(cfg, w.prepare(Scale::Test), false).expect("runs").cycles)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lane_shuffle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_lane_shuffle");
+    group.sample_size(10);
+    for shuffle in LaneShuffle::ALL {
+        let cfg = SmConfig::swi().with_lane_shuffle(shuffle);
+        let w = by_name("Needleman-Wunsch").expect("registered");
+        group.bench_with_input(BenchmarkId::new("swi", shuffle.name()), &cfg, |b, cfg| {
+            b.iter(|| run_prepared(cfg, w.prepare(Scale::Test), false).expect("runs").cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constraints, bench_lane_shuffle);
+criterion_main!(benches);

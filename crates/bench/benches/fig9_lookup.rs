@@ -1,0 +1,29 @@
+//! Criterion wrapper for figure 9: the SWI mask-lookup associativity sweep
+//! (fully-associative / 11-way / 3-way / direct-mapped) with the 24-warp
+//! provisioning of table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use warpweave_core::{Associativity, SmConfig};
+use warpweave_workloads::{by_name, run_prepared, Scale};
+
+fn bench_associativity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_associativity");
+    group.sample_size(10);
+    for assoc in [
+        Associativity::Full,
+        Associativity::Ways(11),
+        Associativity::Ways(3),
+        Associativity::Ways(1),
+    ] {
+        let cfg = SmConfig::swi().with_warps(24).with_assoc(assoc);
+        let w = by_name("LUD").expect("registered");
+        group.bench_with_input(BenchmarkId::new("swi", assoc.name()), &cfg, |b, cfg| {
+            b.iter(|| run_prepared(cfg, w.prepare(Scale::Test), false).expect("runs").cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_associativity);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates **figure 7**: IPC of Baseline, SBI, SWI, SBI+SWI and the
+//! thread-frontier Warp64 reference on the regular (7a) and irregular (7b)
+//! application sets.
+//!
+//! Usage: `fig7_performance [--set regular|irregular|all] [--no-verify]`
+//!
+//! As in the paper, TMD1/TMD2 are excluded from the irregular geometric mean
+//! ("as the TMD application reflects properties of thread-frontier based
+//! reconvergence rather than SBI and SWI, we do not take it into account
+//! when computing the performance means", §5.1).
+
+use warpweave_bench::harness::{format_ipc_table, run_matrix};
+use warpweave_core::SmConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let set = args
+        .iter()
+        .position(|a| a == "--set")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let configs = SmConfig::figure7_set();
+
+    if set == "regular" || set == "all" {
+        let workloads = warpweave_workloads::regular();
+        let m = run_matrix(&configs, &workloads, verify);
+        let rows: Vec<usize> = (0..m.workloads.len()).collect();
+        println!("== Figure 7(a): regular applications (IPC) ==");
+        print!("{}", format_ipc_table(&m, &rows, "Gmean"));
+        println!();
+    }
+    if set == "irregular" || set == "all" {
+        let workloads = warpweave_workloads::irregular();
+        let m = run_matrix(&configs, &workloads, verify);
+        let rows: Vec<usize> = (0..m.workloads.len())
+            .filter(|&w| !m.workloads[w].starts_with("TMD"))
+            .collect();
+        println!("== Figure 7(b): irregular applications (IPC) ==");
+        print!("{}", format_ipc_table(&m, &rows, "Gmean (excl. TMD)"));
+        println!();
+        // Headline speedups vs the baseline (paper §5.1 / §7).
+        let g = m.gmean_ipc(&rows);
+        let base = g[0];
+        println!("speedup vs baseline (irregular):");
+        for (c, name) in m.configs.iter().enumerate().skip(1) {
+            println!("  {:<10} {:+.1}%", name, (g[c] / base - 1.0) * 100.0);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates **figure 9**: slowdown of limited-associativity SWI mask
+//! lookup relative to the fully-associative CAM, on the irregular set.
+//!
+//! Uses a 24-warp pool (the table-3 provisioning) so the paper's
+//! {full, 11-way, 3-way, direct-mapped} points partition evenly.
+//!
+//! Usage: `fig9_associativity [--no-verify] [--set regular|irregular]`
+
+use warpweave_bench::harness::{gmean, run_matrix};
+use warpweave_core::{Associativity, SmConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let set = args
+        .iter()
+        .position(|a| a == "--set")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("irregular")
+        .to_string();
+    let points = [
+        Associativity::Full,
+        Associativity::Ways(11),
+        Associativity::Ways(3),
+        Associativity::Ways(1),
+    ];
+    let configs: Vec<SmConfig> = points
+        .iter()
+        .map(|&a| {
+            SmConfig::swi()
+                .with_warps(24)
+                .with_assoc(a)
+                .named(a.name())
+        })
+        .collect();
+    let workloads = if set == "regular" {
+        warpweave_workloads::regular()
+    } else {
+        warpweave_workloads::irregular()
+    };
+    let m = run_matrix(&configs, &workloads, verify);
+    println!("== Figure 9: SWI lookup associativity, slowdown vs fully-associative ({set}) ==");
+    print!("{:<22}", "benchmark");
+    for c in &m.configs {
+        print!("{c:>18}");
+    }
+    println!();
+    for w in 0..m.workloads.len() {
+        print!("{:<22}", m.workloads[w]);
+        for c in 0..m.configs.len() {
+            print!("{:>18.3}", m.ipc(w, c) / m.ipc(w, 0));
+        }
+        println!();
+    }
+    let rows: Vec<usize> = (0..m.workloads.len())
+        .filter(|&w| !m.workloads[w].starts_with("TMD"))
+        .collect();
+    print!("{:<22}", "Gmean (excl. TMD)");
+    for c in 0..m.configs.len() {
+        let g = gmean(rows.iter().map(|&w| m.ipc(w, c) / m.ipc(w, 0)));
+        print!("{g:>18.3}");
+    }
+    println!();
+    println!();
+    println!("paper: even direct-mapped keeps ≥85% of fully-associative performance");
+    println!("(≥96% on regular applications).");
+}

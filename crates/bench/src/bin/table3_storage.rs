@@ -1,0 +1,5 @@
+//! Regenerates **table 3**: the storage inventory of each technique.
+fn main() {
+    let p = warpweave_hwcost::HwParams::default();
+    println!("{}", warpweave_hwcost::format_table3(&p));
+}

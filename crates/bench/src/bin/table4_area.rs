@@ -1,0 +1,7 @@
+//! Regenerates **table 4**: component areas and SM overhead (3.0 % / 2.9 %
+//! / 3.7 % for SBI / SWI / SBI+SWI in the paper).
+fn main() {
+    let p = warpweave_hwcost::HwParams::default();
+    let c = warpweave_hwcost::AreaCoefficients::default();
+    println!("{}", warpweave_hwcost::format_table4(&p, &c));
+}

@@ -1,0 +1,190 @@
+//! Workload × configuration run matrix with simple thread-level parallelism.
+
+use std::sync::Mutex;
+
+use warpweave_core::{SmConfig, Stats};
+use warpweave_workloads::{run_prepared, Scale, Workload};
+
+/// Seed used by every benchmark configuration (determinism across figures).
+pub const BENCH_SEED: u64 = 0xb1e55ed;
+
+/// One (workload, config) measurement.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Workload label.
+    pub workload: String,
+    /// Configuration label.
+    pub config: String,
+    /// Collected statistics.
+    pub stats: Stats,
+}
+
+impl CellResult {
+    /// Thread-instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// All measurements of a matrix run, in `(workload-major, config-minor)`
+/// order.
+#[derive(Debug, Clone)]
+pub struct MatrixResult {
+    /// Configuration labels (column order).
+    pub configs: Vec<String>,
+    /// Workload labels (row order).
+    pub workloads: Vec<String>,
+    /// `cells[w][c]` — the run of workload `w` under config `c`.
+    pub cells: Vec<Vec<CellResult>>,
+}
+
+impl MatrixResult {
+    /// IPC of workload row `w` under config column `c`.
+    pub fn ipc(&self, w: usize, c: usize) -> f64 {
+        self.cells[w][c].ipc()
+    }
+
+    /// Geometric-mean IPC per config over the given workload rows.
+    pub fn gmean_ipc(&self, rows: &[usize]) -> Vec<f64> {
+        (0..self.configs.len())
+            .map(|c| gmean(rows.iter().map(|&w| self.ipc(w, c))))
+            .collect()
+    }
+
+    /// Row index of a workload by name.
+    pub fn row(&self, workload: &str) -> Option<usize> {
+        self.workloads.iter().position(|w| w == workload)
+    }
+}
+
+/// Geometric mean of an iterator of positive values.
+pub fn gmean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Runs one workload under one configuration at benchmark scale.
+///
+/// # Panics
+/// Panics if the simulation fails or (when `verify`) the result is wrong —
+/// benchmark numbers from a broken run would be meaningless.
+pub fn run_one(cfg: &SmConfig, workload: &dyn Workload, verify: bool) -> CellResult {
+    let prepared = workload.prepare(Scale::Bench);
+    let stats = run_prepared(cfg, prepared, verify)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), cfg.name));
+    CellResult {
+        workload: workload.name().to_string(),
+        config: cfg.name.clone(),
+        stats,
+    }
+}
+
+/// Runs the full `workloads × configs` matrix, parallelised across host
+/// threads. Results are deterministic (each simulation is single-threaded
+/// and seeded).
+pub fn run_matrix(
+    configs: &[SmConfig],
+    workloads: &[Box<dyn Workload>],
+    verify: bool,
+) -> MatrixResult {
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; jobs.len()]);
+    let next: Mutex<usize> = Mutex::new(0);
+    let nthreads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 0..nthreads {
+            s.spawn(|| loop {
+                let idx = {
+                    let mut n = next.lock().expect("queue lock");
+                    if *n >= jobs.len() {
+                        return;
+                    }
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                let (w, c) = jobs[idx];
+                let cell = run_one(&configs[c], workloads[w].as_ref(), verify);
+                results.lock().expect("result lock")[idx] = Some(cell);
+            });
+        }
+    });
+    let flat = results.into_inner().expect("results");
+    let mut cells: Vec<Vec<CellResult>> = Vec::with_capacity(workloads.len());
+    let mut it = flat.into_iter();
+    for _ in 0..workloads.len() {
+        let row: Vec<CellResult> = (0..configs.len())
+            .map(|_| it.next().flatten().expect("all jobs completed"))
+            .collect();
+        cells.push(row);
+    }
+    MatrixResult {
+        configs: configs.iter().map(|c| c.name.clone()).collect(),
+        workloads: workloads.iter().map(|w| w.name().to_string()).collect(),
+        cells,
+    }
+}
+
+/// Formats an IPC table: one row per workload, one column per config, plus
+/// a geometric-mean row over `mean_rows`.
+pub fn format_ipc_table(m: &MatrixResult, mean_rows: &[usize], mean_label: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<22}", "benchmark"));
+    for c in &m.configs {
+        out.push_str(&format!("{c:>12}"));
+    }
+    out.push('\n');
+    for (w, name) in m.workloads.iter().enumerate() {
+        out.push_str(&format!("{name:<22}"));
+        for c in 0..m.configs.len() {
+            out.push_str(&format!("{:>12.1}", m.ipc(w, c)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{mean_label:<22}"));
+    for g in m.gmean_ipc(mean_rows) {
+        out.push_str(&format!("{g:>12.1}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean([4.0f64, 16.0].into_iter()) - 8.0).abs() < 1e-9);
+        assert_eq!(gmean(std::iter::empty()), 0.0);
+        let one = gmean([5.0f64].into_iter());
+        assert!((one - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_matrix_runs() {
+        // One cheap workload × two configs, verified.
+        let configs = vec![SmConfig::baseline(), SmConfig::sbi()];
+        let w = warpweave_workloads::by_name("Hotspot").expect("registered");
+        // Use Test scale through run_prepared directly to keep this fast.
+        for cfg in &configs {
+            let prepared = w.prepare(Scale::Test);
+            let stats = run_prepared(cfg, prepared, true).unwrap();
+            assert!(stats.ipc() > 0.0);
+        }
+    }
+}

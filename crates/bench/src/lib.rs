@@ -1,0 +1,11 @@
+//! # warpweave-bench
+//!
+//! The experiment harness regenerating every table and figure of the paper's
+//! evaluation (§5). One binary per figure/table (see `src/bin/`), all built
+//! on the [`harness`] run matrix.
+
+pub mod harness;
+
+pub use harness::{
+    gmean, run_matrix, run_one, CellResult, MatrixResult, BENCH_SEED,
+};

@@ -1,0 +1,424 @@
+//! Simulator configuration and the paper's architecture presets (table 2).
+
+use warpweave_mem::{CacheConfig, DramConfig};
+
+use crate::lane::LaneShuffle;
+
+/// Which issue front-end the SM uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Frontend {
+    /// Fermi-like baseline: two warp pools (even/odd IDs), one oldest-first
+    /// scheduler each, PDOM-stack reconvergence (paper §2, fig. 1).
+    Baseline,
+    /// Reference design from fig. 7: thread-frontier reconvergence with
+    /// 64-wide warps, sequential branch execution, dual pools.
+    Warp64,
+    /// Simultaneous Branch Interweaving: co-issues the primary and secondary
+    /// warp-splits (CPC1/CPC2) of the *same* warp (paper §3).
+    Sbi,
+    /// Simultaneous Warp Interweaving: a cascaded secondary scheduler fills
+    /// the primary instruction's free lanes with another warp (paper §4).
+    Swi,
+    /// Both techniques combined (fig. 2e).
+    SbiSwi,
+}
+
+impl Frontend {
+    /// The label used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Frontend::Baseline => "Baseline",
+            Frontend::Warp64 => "Warp64",
+            Frontend::Sbi => "SBI",
+            Frontend::Swi => "SWI",
+            Frontend::SbiSwi => "SBI+SWI",
+        }
+    }
+
+    /// True if this front-end can co-issue a secondary instruction.
+    pub fn dual_issue_same_row(self) -> bool {
+        matches!(self, Frontend::Sbi | Frontend::Swi | Frontend::SbiSwi)
+    }
+}
+
+/// How intra-warp divergence is tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivergenceModel {
+    /// Per-warp PDOM reconvergence stack (baseline, §2).
+    Stack,
+    /// Thread-frontier sorted heap: HCT + CCT, min-PC scheduling (§3.4).
+    Frontier,
+}
+
+/// How register dependences between in-flight instructions are tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoreboardMode {
+    /// Register-ID match at warp granularity (baseline, conservative).
+    WarpLevel,
+    /// Oracle: register match refined by exact thread-mask intersection.
+    Exact,
+    /// The paper's 3×3 dependency-matrix scheme (§3.4, fig. 6):
+    /// register match refined by the transitive closure of the warp-split
+    /// divergence/convergence graph. Conservative w.r.t. `Exact`.
+    Matrix,
+}
+
+/// Associativity of the SWI mask-inclusion lookup (§4, fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Associativity {
+    /// CAM: every other warp's buffered instruction is a candidate.
+    Full,
+    /// Set-associative: warps are partitioned into `num_warps / (k + 1)`
+    /// sets by low-order warp-ID bits; the lookup searches only the primary
+    /// warp's set, i.e. `k` candidates. `Ways(1)` is the paper's
+    /// direct-mapped point.
+    Ways(usize),
+}
+
+impl Associativity {
+    /// Number of candidate entries searched per lookup given the pool size.
+    pub fn candidates(self, num_warps: usize) -> usize {
+        match self {
+            Associativity::Full => num_warps.saturating_sub(1),
+            Associativity::Ways(k) => k.min(num_warps.saturating_sub(1)),
+        }
+    }
+
+    /// Number of sets the warp pool is partitioned into.
+    pub fn num_sets(self, num_warps: usize) -> usize {
+        match self {
+            Associativity::Full => 1,
+            Associativity::Ways(k) => (num_warps / (k + 1)).max(1),
+        }
+    }
+
+    /// The label used in fig. 9.
+    pub fn name(self) -> String {
+        match self {
+            Associativity::Full => "Fully associative".into(),
+            Associativity::Ways(1) => "Direct mapped".into(),
+            Associativity::Ways(k) => format!("{k}-way"),
+        }
+    }
+}
+
+/// One back-end SIMD group (paper fig. 1/3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupConfig {
+    /// Unit class served by the group.
+    pub class: warpweave_isa::UnitClass,
+    /// Number of lanes.
+    pub width: usize,
+}
+
+/// Full SM configuration. Build one with the presets ([`SmConfig::baseline`]
+/// etc.) and adjust fields as needed.
+#[derive(Debug, Clone)]
+pub struct SmConfig {
+    /// Human-readable label (defaults to the front-end name).
+    pub name: String,
+    /// Warps resident on the SM.
+    pub num_warps: usize,
+    /// Threads per warp (32 baseline, 64 for SBI/SWI — table 2).
+    pub warp_width: usize,
+    /// Issue policy.
+    pub frontend: Frontend,
+    /// Divergence tracking structure.
+    pub divergence: DivergenceModel,
+    /// Apply SBI reconvergence constraints (`SYNC` suspension, §3.3).
+    pub sbi_constraints: bool,
+    /// Thread→lane mapping (SWI conflict decorrelation, table 1).
+    pub lane_shuffle: LaneShuffle,
+    /// SWI mask-lookup associativity (fig. 9).
+    pub swi_assoc: Associativity,
+    /// Dependence-tracking scheme.
+    pub scoreboard_mode: ScoreboardMode,
+    /// In-flight instructions tracked per warp (table 2: 6).
+    pub scoreboard_entries: usize,
+    /// Scheduler latency in cycles (1; 2 for SWI's cascade — table 2).
+    pub sched_latency: u32,
+    /// Instruction delivery latency (0 baseline; 1 for SBI/SWI — table 2).
+    pub delivery_latency: u32,
+    /// Execution latency in cycles (table 2: 8).
+    pub exec_latency: u32,
+    /// Shared-memory access latency in cycles.
+    pub shared_latency: u32,
+    /// Cold Context Table entries per warp (§5.2 assumes 8).
+    pub cct_capacity: usize,
+    /// Model the sideband CCT sorter's walk time (degrades to stack order
+    /// under pressure, §3.4). `false` keeps the CCT ideally sorted.
+    pub model_sideband_sorter: bool,
+    /// Back-end SIMD groups.
+    pub groups: Vec<GroupConfig>,
+    /// L1 data cache geometry/timing.
+    pub l1: CacheConfig,
+    /// Off-chip memory model.
+    pub dram: DramConfig,
+    /// Seed for the secondary scheduler's pseudo-random tie-breaking.
+    pub seed: u64,
+}
+
+impl SmConfig {
+    fn common(frontend: Frontend) -> SmConfig {
+        use warpweave_isa::UnitClass::*;
+        SmConfig {
+            name: frontend.name().to_string(),
+            num_warps: 16,
+            warp_width: 64,
+            frontend,
+            divergence: DivergenceModel::Frontier,
+            sbi_constraints: false,
+            lane_shuffle: LaneShuffle::Identity,
+            swi_assoc: Associativity::Full,
+            scoreboard_mode: ScoreboardMode::WarpLevel,
+            scoreboard_entries: 6,
+            sched_latency: 1,
+            delivery_latency: 1,
+            exec_latency: 8,
+            shared_latency: 10,
+            cct_capacity: 8,
+            model_sideband_sorter: true,
+            groups: vec![
+                GroupConfig { class: Mad, width: 64 },
+                GroupConfig { class: Sfu, width: 8 },
+                GroupConfig { class: Lsu, width: 32 },
+            ],
+            l1: CacheConfig::paper_l1(),
+            dram: DramConfig::paper(),
+            seed: 0xb1e55ed,
+        }
+    }
+
+    /// The baseline Fermi-like SM: 32 warps × 32 threads, two pools,
+    /// PDOM stack (table 2, column 1).
+    pub fn baseline() -> SmConfig {
+        use warpweave_isa::UnitClass::*;
+        SmConfig {
+            num_warps: 32,
+            warp_width: 32,
+            divergence: DivergenceModel::Stack,
+            delivery_latency: 0,
+            groups: vec![
+                GroupConfig { class: Mad, width: 32 },
+                GroupConfig { class: Mad, width: 32 },
+                GroupConfig { class: Sfu, width: 8 },
+                GroupConfig { class: Lsu, width: 32 },
+            ],
+            ..Self::common(Frontend::Baseline)
+        }
+    }
+
+    /// The fig. 7 reference: thread frontiers with 64-wide warps, sequential
+    /// branch execution.
+    pub fn warp64() -> SmConfig {
+        Self::common(Frontend::Warp64)
+    }
+
+    /// Simultaneous Branch Interweaving (table 2, column 2). Reconvergence
+    /// constraints default *on*: without them, greedy scheduling lets the
+    /// secondary warp-split run ahead indefinitely in loop-carried kernels
+    /// (§3.3's desynchronisation), and in this model the redundant fetches
+    /// and memory-resource conflicts it causes are strongly visible
+    /// (fig. 8a measures both settings).
+    pub fn sbi() -> SmConfig {
+        SmConfig {
+            scoreboard_mode: ScoreboardMode::Matrix,
+            sbi_constraints: true,
+            ..Self::common(Frontend::Sbi)
+        }
+    }
+
+    /// Simultaneous Warp Interweaving (table 2, column 3): cascaded
+    /// scheduler (2-cycle latency), fully-associative lookup, XorRev lane
+    /// shuffling (the paper's most consistent policy).
+    pub fn swi() -> SmConfig {
+        SmConfig {
+            sched_latency: 2,
+            lane_shuffle: LaneShuffle::XorRev,
+            ..Self::common(Frontend::Swi)
+        }
+    }
+
+    /// SBI and SWI combined (constraints on, as for [`SmConfig::sbi`]).
+    pub fn sbi_swi() -> SmConfig {
+        SmConfig {
+            scoreboard_mode: ScoreboardMode::Matrix,
+            sbi_constraints: true,
+            sched_latency: 2,
+            lane_shuffle: LaneShuffle::XorRev,
+            ..Self::common(Frontend::SbiSwi)
+        }
+    }
+
+    /// The five configurations of fig. 7, in presentation order.
+    pub fn figure7_set() -> Vec<SmConfig> {
+        vec![
+            Self::baseline(),
+            Self::sbi(),
+            Self::swi(),
+            Self::sbi_swi(),
+            Self::warp64(),
+        ]
+    }
+
+    /// Renames the configuration (builder style).
+    pub fn named(mut self, name: impl Into<String>) -> SmConfig {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the resident warp count (builder style).
+    pub fn with_warps(mut self, n: usize) -> SmConfig {
+        self.num_warps = n;
+        self
+    }
+
+    /// Sets the lane-shuffle policy (builder style).
+    pub fn with_lane_shuffle(mut self, s: LaneShuffle) -> SmConfig {
+        self.lane_shuffle = s;
+        self
+    }
+
+    /// Sets the SWI lookup associativity (builder style).
+    pub fn with_assoc(mut self, a: Associativity) -> SmConfig {
+        self.swi_assoc = a;
+        self
+    }
+
+    /// Enables/disables SBI reconvergence constraints (builder style).
+    pub fn with_constraints(mut self, on: bool) -> SmConfig {
+        self.sbi_constraints = on;
+        self
+    }
+
+    /// Total SM thread capacity.
+    pub fn thread_capacity(&self) -> usize {
+        self.num_warps * self.warp_width
+    }
+
+    /// Total back-end lanes.
+    pub fn total_lanes(&self) -> usize {
+        self.groups.iter().map(|g| g.width).sum()
+    }
+
+    /// Peak thread-instructions per cycle: issue-bound (2 warps/cycle) or
+    /// back-end-bound, whichever is lower. 64 for the baseline, 104 for
+    /// SBI/SWI (§5.1).
+    pub fn peak_ipc(&self) -> usize {
+        (2 * self.warp_width).min(self.total_lanes())
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Describes the first inconsistency found (e.g. SBI over a stack, zero
+    /// warps, non-power-of-two width).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_warps == 0 || self.warp_width == 0 {
+            return Err("warp pool and width must be non-zero".into());
+        }
+        if !self.warp_width.is_power_of_two() || self.warp_width > 64 {
+            return Err(format!(
+                "warp width {} must be a power of two ≤ 64",
+                self.warp_width
+            ));
+        }
+        let needs_frontier = matches!(
+            self.frontend,
+            Frontend::Sbi | Frontend::SbiSwi | Frontend::Warp64 | Frontend::Swi
+        );
+        if needs_frontier && self.divergence != DivergenceModel::Frontier {
+            return Err(format!(
+                "{} requires thread-frontier divergence tracking",
+                self.frontend.name()
+            ));
+        }
+        if matches!(self.frontend, Frontend::Sbi | Frontend::SbiSwi)
+            && self.scoreboard_mode == ScoreboardMode::WarpLevel
+        {
+            return Err("SBI needs mask-aware dependence tracking (Exact or Matrix)".into());
+        }
+        if self.scoreboard_entries == 0 {
+            return Err("scoreboard needs at least one entry".into());
+        }
+        if self.groups.is_empty() {
+            return Err("at least one execution group required".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_baseline() {
+        let c = SmConfig::baseline();
+        assert_eq!((c.num_warps, c.warp_width), (32, 32));
+        assert_eq!(c.sched_latency, 1);
+        assert_eq!(c.delivery_latency, 0);
+        assert_eq!(c.exec_latency, 8);
+        assert_eq!(c.scoreboard_entries, 6);
+        assert_eq!(c.peak_ipc(), 64);
+        assert_eq!(c.thread_capacity(), 1024);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn table2_sbi_swi() {
+        let sbi = SmConfig::sbi();
+        assert_eq!((sbi.num_warps, sbi.warp_width), (16, 64));
+        assert_eq!(sbi.sched_latency, 1);
+        assert_eq!(sbi.delivery_latency, 1);
+        assert_eq!(sbi.peak_ipc(), 104);
+        sbi.validate().unwrap();
+
+        let swi = SmConfig::swi();
+        assert_eq!(swi.sched_latency, 2);
+        assert_eq!(swi.delivery_latency, 1);
+        assert_eq!(swi.peak_ipc(), 104);
+        swi.validate().unwrap();
+
+        let both = SmConfig::sbi_swi();
+        assert_eq!(both.scoreboard_mode, ScoreboardMode::Matrix);
+        assert_eq!(both.sched_latency, 2);
+        both.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_combos() {
+        let mut c = SmConfig::sbi();
+        c.scoreboard_mode = ScoreboardMode::WarpLevel;
+        assert!(c.validate().is_err());
+
+        let mut c = SmConfig::sbi();
+        c.divergence = DivergenceModel::Stack;
+        assert!(c.validate().is_err());
+
+        let mut c = SmConfig::baseline();
+        c.warp_width = 48;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn associativity_partitioning_24_warps() {
+        // The fig. 9 points with a 24-warp pool.
+        assert_eq!(Associativity::Full.candidates(24), 23);
+        assert_eq!(Associativity::Ways(11).num_sets(24), 2);
+        assert_eq!(Associativity::Ways(11).candidates(24), 11);
+        assert_eq!(Associativity::Ways(3).num_sets(24), 6);
+        assert_eq!(Associativity::Ways(1).num_sets(24), 12);
+        assert_eq!(Associativity::Ways(1).candidates(24), 1);
+        assert_eq!(Associativity::Ways(1).name(), "Direct mapped");
+    }
+
+    #[test]
+    fn figure7_set_is_complete() {
+        let set = SmConfig::figure7_set();
+        assert_eq!(set.len(), 5);
+        for c in &set {
+            c.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Thread-frontier divergence tracking: the sorted heap of warp-split
+//! contexts (paper §3.4, fig. 5).
+//!
+//! Contexts live in a two-entry Hot Context Table (HCT) holding the two
+//! minimal-PC warp-splits (`CPC1 < CPC2`) and a per-warp Cold Context Table
+//! (CCT) holding the rest. The HCT sorter sorts/compacts/merges up to three
+//! contexts per cycle (at most one divergence per cycle is allowed); spills
+//! go to the CCT through a *sideband sorter* that performs insertion sort at
+//! one node per cycle — when it cannot keep up, the CCT degrades into a
+//! stack (new entries pushed on top), exactly the fallback the paper
+//! describes.
+
+use std::collections::VecDeque;
+
+use warpweave_isa::Pc;
+
+use crate::divergence::Transition;
+use crate::mask::Mask;
+
+/// One warp-split context: `(CPC, m, v)` in the paper, plus a barrier flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ctx {
+    /// The split's common PC.
+    pub pc: Pc,
+    /// Threads belonging to the split.
+    pub mask: Mask,
+    /// True while the split waits at a block barrier.
+    pub at_barrier: bool,
+}
+
+/// Bookkeeping returned by [`FrontierHeap::apply_pair`] so the pipeline can
+/// model the sideband sorter's occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapUpdate {
+    /// A context was spilled into the CCT.
+    pub spilled: bool,
+    /// Nodes the sideband sorter walked for a sorted insert (0 if degraded
+    /// or no spill).
+    pub cct_walk: usize,
+    /// The spill used the degraded (stack-order) path.
+    pub degraded: bool,
+}
+
+/// Occupancy statistics for hardware provisioning and §5.2 validation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// High-water mark of live warp-splits (HCT + CCT).
+    pub max_live_splits: usize,
+    /// Contexts spilled to the CCT.
+    pub spills: u64,
+    /// Spills that used the degraded stack-order path.
+    pub degraded_inserts: u64,
+    /// Context merges (reconvergence events).
+    pub merges: u64,
+}
+
+/// The per-warp sorted heap (HCT + CCT).
+#[derive(Debug, Clone)]
+pub struct FrontierHeap {
+    hct: [Option<Ctx>; 2],
+    cct: VecDeque<Ctx>,
+    stats: HeapStats,
+}
+
+impl FrontierHeap {
+    /// A fresh heap: all of `mask` at PC 0.
+    pub fn new(mask: Mask) -> Self {
+        FrontierHeap {
+            hct: [
+                Some(Ctx {
+                    pc: Pc(0),
+                    mask,
+                    at_barrier: false,
+                }),
+                None,
+            ],
+            cct: VecDeque::new(),
+            stats: HeapStats {
+                max_live_splits: 1,
+                ..HeapStats::default()
+            },
+        }
+    }
+
+    /// The primary warp-split (CPC1 = min PC), if any.
+    pub fn primary(&self) -> Option<Ctx> {
+        self.hct[0]
+    }
+
+    /// The secondary warp-split (CPC2 = second minimum), if any.
+    pub fn secondary(&self) -> Option<Ctx> {
+        self.hct[1]
+    }
+
+    /// True when every thread has exited.
+    pub fn is_done(&self) -> bool {
+        self.hct.iter().all(Option::is_none) && self.cct.is_empty()
+    }
+
+    /// Number of live warp-splits (HCT + CCT).
+    pub fn live_splits(&self) -> usize {
+        self.hct.iter().flatten().count() + self.cct.len()
+    }
+
+    /// Current CCT occupancy.
+    pub fn cct_len(&self) -> usize {
+        self.cct.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Releases every context from a barrier.
+    pub fn release_barrier(&mut self) {
+        for c in self.hct.iter_mut().flatten() {
+            c.at_barrier = false;
+        }
+        for c in &mut self.cct {
+            c.at_barrier = false;
+        }
+    }
+
+    /// Union of the masks of all live splits (the warp's alive threads).
+    pub fn alive_mask(&self) -> Mask {
+        let mut m = Mask::EMPTY;
+        for c in self.hct.iter().flatten() {
+            m |= c.mask;
+        }
+        for c in &self.cct {
+            m |= c.mask;
+        }
+        m
+    }
+
+    /// Applies the transitions of the primary (`t1`) and/or secondary (`t2`)
+    /// split for this scheduling cycle, then re-sorts the HCT, spilling to /
+    /// refilling from the CCT. `sideband_free` selects between a sorted CCT
+    /// insert and the degraded stack-order insert.
+    ///
+    /// # Panics
+    /// Panics (debug) if a transition is supplied for an empty slot or if
+    /// both transitions diverge (the hardware allows one divergence per
+    /// cycle; the scheduler must enforce it).
+    pub fn apply_pair(
+        &mut self,
+        t1: Option<Transition>,
+        t2: Option<Transition>,
+        sideband_free: bool,
+    ) -> HeapUpdate {
+        debug_assert!(
+            !(matches!(t1, Some(Transition::Split { .. }))
+                && matches!(t2, Some(Transition::Split { .. }))),
+            "at most one divergence per cycle"
+        );
+        let mut candidates: Vec<Ctx> = Vec::with_capacity(3);
+        for (slot, t) in [(0usize, t1), (1usize, t2)] {
+            match t {
+                None => {
+                    if let Some(c) = self.hct[slot] {
+                        candidates.push(c);
+                    }
+                }
+                Some(tr) => {
+                    let c = self.hct[slot].expect("transition for empty HCT slot");
+                    match tr {
+                        Transition::Advance(pc) => candidates.push(Ctx { pc, ..c }),
+                        Transition::Barrier(pc) => candidates.push(Ctx {
+                            pc,
+                            at_barrier: true,
+                            ..c
+                        }),
+                        Transition::Exit => {}
+                        Transition::Split { first, second } => {
+                            candidates.push(Ctx {
+                                pc: first.0,
+                                mask: first.1,
+                                at_barrier: false,
+                            });
+                            candidates.push(Ctx {
+                                pc: second.0,
+                                mask: second.1,
+                                at_barrier: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.hct = [None, None];
+        let update = self.resort(candidates, sideband_free);
+        self.stats.max_live_splits = self.stats.max_live_splits.max(self.live_splits());
+        update
+    }
+
+    /// Sorts/compacts/merges `candidates` together with promotable CCT
+    /// heads, fills the HCT with the two minimal contexts and spills the
+    /// rest.
+    fn resort(&mut self, mut candidates: Vec<Ctx>, sideband_free: bool) -> HeapUpdate {
+        let mut update = HeapUpdate::default();
+        // Promote the CCT head while it would beat the HCT's would-be
+        // second entry (or while the HCT has room). The HCT sorter sees the
+        // head's CPC each cycle, so this costs no extra hardware beyond the
+        // comparators of fig. 5(b).
+        while let Some(&head) = self.cct.front() {
+            candidates.sort_by_key(|c| c.pc);
+            let promote = candidates.len() < 2
+                || head.pc < candidates[1].pc
+                || candidates.iter().any(|c| c.pc == head.pc);
+            if promote {
+                self.cct.pop_front();
+                candidates.push(head);
+            } else {
+                break;
+            }
+        }
+        candidates.sort_by_key(|c| c.pc);
+        // Merge adjacent equal-PC contexts (reconvergence).
+        let mut merged: Vec<Ctx> = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            match merged.last_mut() {
+                Some(last) if last.pc == c.pc && last.at_barrier == c.at_barrier => {
+                    debug_assert!(last.mask.is_disjoint(c.mask), "overlapping splits");
+                    last.mask |= c.mask;
+                    self.stats.merges += 1;
+                }
+                _ => merged.push(c),
+            }
+        }
+        let mut it = merged.into_iter();
+        self.hct[0] = it.next();
+        self.hct[1] = it.next();
+        // Spill the remainder through the sideband sorter.
+        for c in it {
+            update.spilled = true;
+            self.stats.spills += 1;
+            if sideband_free {
+                let pos = self.cct.iter().position(|e| e.pc > c.pc);
+                match pos {
+                    Some(i) => {
+                        update.cct_walk = update.cct_walk.max(i + 1);
+                        self.cct.insert(i, c);
+                    }
+                    None => {
+                        update.cct_walk = update.cct_walk.max(self.cct.len());
+                        self.cct.push_back(c);
+                    }
+                }
+            } else {
+                // Degraded mode: the heap behaves like a stack.
+                update.degraded = true;
+                self.stats.degraded_inserts += 1;
+                self.cct.push_front(c);
+            }
+        }
+        update
+    }
+
+    /// Removes exited threads from every context (used when threads exit
+    /// from a split that is being dismantled externally, e.g. kernel
+    /// teardown in tests). Normal exits flow through
+    /// [`Transition::Exit`].
+    pub fn exit_mask(&mut self, m: Mask) {
+        for c in self.hct.iter_mut().flatten() {
+            c.mask = c.mask - m;
+        }
+        for c in &mut self.cct {
+            c.mask = c.mask - m;
+        }
+        self.cct.retain(|c| !c.mask.is_empty());
+        let live: Vec<Ctx> = self
+            .hct
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|c| !c.mask.is_empty())
+            .collect();
+        self.hct = [None, None];
+        self.resort(live, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full4() -> Mask {
+        Mask::full(4)
+    }
+
+    fn split(mask_first: u64, pc_first: u32, mask_second: u64, pc_second: u32) -> Transition {
+        Transition::Split {
+            first: (Pc(pc_first), Mask::from_bits(mask_first)),
+            second: (Pc(pc_second), Mask::from_bits(mask_second)),
+        }
+    }
+
+    #[test]
+    fn fresh_heap() {
+        let h = FrontierHeap::new(full4());
+        assert_eq!(h.primary().unwrap().pc, Pc(0));
+        assert!(h.secondary().is_none());
+        assert_eq!(h.live_splits(), 1);
+        assert!(!h.is_done());
+    }
+
+    #[test]
+    fn divergence_orders_by_pc() {
+        let mut h = FrontierHeap::new(full4());
+        // Branch at 0: {2,3} fall through to 1, {0,1} jump to 5.
+        h.apply_pair(Some(split(0b1100, 1, 0b0011, 5)), None, true);
+        assert_eq!(h.primary().unwrap().pc, Pc(1));
+        assert_eq!(h.primary().unwrap().mask, Mask::from_bits(0b1100));
+        assert_eq!(h.secondary().unwrap().pc, Pc(5));
+        assert_eq!(h.live_splits(), 2);
+    }
+
+    #[test]
+    fn reconvergence_merges_equal_pcs() {
+        let mut h = FrontierHeap::new(full4());
+        h.apply_pair(Some(split(0b1100, 1, 0b0011, 5)), None, true);
+        // Primary advances 1→5: equal PCs merge.
+        h.apply_pair(Some(Transition::Advance(Pc(5))), None, true);
+        assert_eq!(h.primary().unwrap().pc, Pc(5));
+        assert_eq!(h.primary().unwrap().mask, full4());
+        assert!(h.secondary().is_none());
+        assert_eq!(h.stats().merges, 1);
+    }
+
+    #[test]
+    fn both_slots_advance_simultaneously() {
+        let mut h = FrontierHeap::new(full4());
+        h.apply_pair(Some(split(0b1100, 1, 0b0011, 5)), None, true);
+        // SBI issues both: primary 1→2, secondary 5→6.
+        h.apply_pair(
+            Some(Transition::Advance(Pc(2))),
+            Some(Transition::Advance(Pc(6))),
+            true,
+        );
+        assert_eq!(h.primary().unwrap().pc, Pc(2));
+        assert_eq!(h.secondary().unwrap().pc, Pc(6));
+    }
+
+    #[test]
+    fn third_split_spills_and_returns() {
+        let mut h = FrontierHeap::new(full4());
+        h.apply_pair(Some(split(0b1100, 1, 0b0011, 8)), None, true);
+        // Primary diverges again: three live splits, max PC spills.
+        h.apply_pair(Some(split(0b0100, 2, 0b1000, 9)), None, true);
+        assert_eq!(h.live_splits(), 3);
+        assert_eq!(h.cct_len(), 1);
+        assert_eq!(h.primary().unwrap().pc, Pc(2));
+        assert_eq!(h.secondary().unwrap().pc, Pc(8));
+        assert_eq!(h.stats().spills, 1);
+        // Primary exits → CCT head (9) promotes into the HCT.
+        h.apply_pair(Some(Transition::Exit), None, true);
+        assert_eq!(h.primary().unwrap().pc, Pc(8));
+        assert_eq!(h.secondary().unwrap().pc, Pc(9));
+        assert_eq!(h.cct_len(), 0);
+    }
+
+    #[test]
+    fn cct_head_promotes_when_it_beats_hct() {
+        let mut h = FrontierHeap::new(Mask::full(8));
+        h.apply_pair(Some(split(0b1100, 4, 0b0011, 8)), None, true);
+        h.apply_pair(Some(split(0b0100, 5, 0b1000, 12)), None, true);
+        assert_eq!(h.cct_len(), 1); // ctx @12 spilled
+        // Primary jumps to 20: now 12 < 20 must re-enter the HCT.
+        h.apply_pair(Some(Transition::Advance(Pc(20))), None, true);
+        assert_eq!(h.primary().unwrap().pc, Pc(8));
+        assert_eq!(h.secondary().unwrap().pc, Pc(12));
+        let pcs: Vec<u32> = h.cct.iter().map(|c| c.pc.0).collect();
+        assert_eq!(pcs, vec![20]);
+    }
+
+    #[test]
+    fn degraded_insert_goes_to_front() {
+        let mut h = FrontierHeap::new(Mask::full(8));
+        h.apply_pair(Some(split(0b1100, 4, 0b0011, 8)), None, true);
+        let u = h.apply_pair(Some(split(0b0100, 5, 0b1000, 12)), None, false);
+        assert!(u.spilled && u.degraded);
+        let u = h.apply_pair(Some(split(0b0100, 6, 0b0000_0100_0000, 10)), None, false);
+        assert!(u.degraded);
+        // Stack order: most recent first (10 before 12).
+        let pcs: Vec<u32> = h.cct.iter().map(|c| c.pc.0).collect();
+        assert_eq!(pcs, vec![10, 12]);
+        assert_eq!(h.stats().degraded_inserts, 2);
+    }
+
+    #[test]
+    fn sorted_insert_keeps_cct_ordered() {
+        let mut h = FrontierHeap::new(Mask::full(16));
+        h.apply_pair(Some(split(0xfff0, 1, 0x000f, 30)), None, true);
+        h.apply_pair(Some(split(0xff00, 2, 0x00f0, 20)), None, true);
+        h.apply_pair(Some(split(0xf000, 3, 0x0f00, 25)), None, true);
+        // HCT: 3, 20 — CCT: 25, 30 sorted.
+        let pcs: Vec<u32> = h.cct.iter().map(|c| c.pc.0).collect();
+        assert_eq!(pcs, vec![25, 30]);
+    }
+
+    #[test]
+    fn exit_drains_heap() {
+        let mut h = FrontierHeap::new(full4());
+        h.apply_pair(Some(split(0b1100, 1, 0b0011, 5)), None, true);
+        h.apply_pair(Some(Transition::Exit), None, true);
+        assert_eq!(h.primary().unwrap().pc, Pc(5));
+        assert!(h.secondary().is_none());
+        h.apply_pair(Some(Transition::Exit), None, true);
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn barrier_flags_set_and_release() {
+        let mut h = FrontierHeap::new(full4());
+        h.apply_pair(Some(Transition::Barrier(Pc(3))), None, true);
+        assert!(h.primary().unwrap().at_barrier);
+        h.release_barrier();
+        assert!(!h.primary().unwrap().at_barrier);
+    }
+
+    #[test]
+    fn barrier_and_nonbarrier_do_not_merge() {
+        let mut h = FrontierHeap::new(full4());
+        h.apply_pair(Some(split(0b1100, 3, 0b0011, 4)), None, true);
+        // Primary hits a barrier at 3 → advances to 4 flagged; secondary
+        // sits at 4 unflagged: they must not merge.
+        h.apply_pair(Some(Transition::Barrier(Pc(4))), None, true);
+        assert_eq!(h.live_splits(), 2);
+    }
+
+    #[test]
+    fn alive_mask_partition_invariant() {
+        let mut h = FrontierHeap::new(Mask::full(8));
+        h.apply_pair(Some(split(0b1111_0000, 2, 0b0000_1111, 9)), None, true);
+        h.apply_pair(Some(split(0b1100_0000, 3, 0b0011_0000, 7)), None, true);
+        assert_eq!(h.alive_mask(), Mask::full(8));
+    }
+}

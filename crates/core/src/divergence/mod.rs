@@ -1,0 +1,76 @@
+//! Divergence tracking: the baseline PDOM [`stack`] and the paper's
+//! thread-frontier [`frontier`] heap (HCT + CCT).
+
+pub mod frontier;
+pub mod stack;
+
+use warpweave_isa::Pc;
+
+use crate::mask::Mask;
+
+/// The control-flow outcome of executing one instruction for one warp-split,
+/// fed back into the divergence structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// All threads of the split advance to `pc` (fallthrough or uniform
+    /// branch).
+    Advance(Pc),
+    /// The split diverges: `first` and `second` are disjoint, non-empty and
+    /// together cover the split's mask.
+    Split {
+        /// One side of the divergence (by convention the fallthrough path).
+        first: (Pc, Mask),
+        /// The other side (the taken path).
+        second: (Pc, Mask),
+    },
+    /// The split advances to `pc` and waits at a block barrier.
+    Barrier(Pc),
+    /// All threads of the split terminate.
+    Exit,
+}
+
+impl Transition {
+    /// Builds the right transition from a branch outcome.
+    ///
+    /// `mask` is the executing split's mask, `taken` the sub-mask that takes
+    /// the branch to `target`; the rest falls through to `fallthrough`.
+    pub fn from_branch(mask: Mask, taken: Mask, target: Pc, fallthrough: Pc) -> Transition {
+        debug_assert!(taken.is_subset(mask));
+        if taken == mask {
+            Transition::Advance(target)
+        } else if taken.is_empty() {
+            Transition::Advance(fallthrough)
+        } else {
+            Transition::Split {
+                first: (fallthrough, mask - taken),
+                second: (target, taken),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_classification() {
+        let m = Mask::full(4);
+        assert_eq!(
+            Transition::from_branch(m, m, Pc(9), Pc(1)),
+            Transition::Advance(Pc(9))
+        );
+        assert_eq!(
+            Transition::from_branch(m, Mask::EMPTY, Pc(9), Pc(1)),
+            Transition::Advance(Pc(1))
+        );
+        let t = Transition::from_branch(m, Mask::from_bits(0b0101), Pc(9), Pc(1));
+        assert_eq!(
+            t,
+            Transition::Split {
+                first: (Pc(1), Mask::from_bits(0b1010)),
+                second: (Pc(9), Mask::from_bits(0b0101)),
+            }
+        );
+    }
+}

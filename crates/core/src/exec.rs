@@ -1,0 +1,350 @@
+//! Functional (architectural) execution of single instructions.
+//!
+//! The pipeline executes instructions functionally at issue time and models
+//! timing separately; this module holds the per-thread semantics.
+
+use warpweave_isa::{CmpOp, Instruction, Op, Operand, SpecialReg, NUM_PREDS, NUM_REGS};
+
+/// Architectural state of one thread: general registers and predicates.
+#[derive(Debug, Clone)]
+pub struct ThreadRegs {
+    regs: Vec<u32>,
+    preds: [bool; NUM_PREDS],
+}
+
+impl Default for ThreadRegs {
+    fn default() -> Self {
+        ThreadRegs {
+            regs: vec![0; NUM_REGS],
+            preds: [false; NUM_PREDS],
+        }
+    }
+}
+
+impl ThreadRegs {
+    /// Zero-initialised registers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads register `i`.
+    pub fn reg(&self, i: usize) -> u32 {
+        self.regs[i]
+    }
+
+    /// Writes register `i`.
+    pub fn set_reg(&mut self, i: usize, v: u32) {
+        self.regs[i] = v;
+    }
+
+    /// Reads predicate `i`.
+    pub fn pred(&self, i: usize) -> bool {
+        self.preds[i]
+    }
+
+    /// Writes predicate `i`.
+    pub fn set_pred(&mut self, i: usize, v: bool) {
+        self.preds[i] = v;
+    }
+}
+
+/// A thread's launch coordinates, feeding the special registers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadInfo {
+    /// Thread index within its block.
+    pub tid: u32,
+    /// Block index within the grid.
+    pub ctaid: u32,
+    /// Threads per block.
+    pub ntid: u32,
+    /// Blocks in the grid.
+    pub nctaid: u32,
+    /// Physical lane (after lane shuffling).
+    pub lane: u32,
+    /// Warp identifier.
+    pub warp: u32,
+}
+
+impl ThreadInfo {
+    /// The value of a special register for this thread.
+    pub fn special(&self, s: SpecialReg) -> u32 {
+        match s {
+            SpecialReg::Tid => self.tid,
+            SpecialReg::CtaId => self.ctaid,
+            SpecialReg::NTid => self.ntid,
+            SpecialReg::NCtaId => self.nctaid,
+            SpecialReg::LaneId => self.lane,
+            SpecialReg::WarpId => self.warp,
+        }
+    }
+}
+
+/// Resolves an operand to its 32-bit value.
+pub fn operand_value(op: Operand, regs: &ThreadRegs, info: &ThreadInfo, params: &[u32]) -> u32 {
+    match op {
+        Operand::Reg(r) => regs.reg(r.index()),
+        Operand::Imm(v) => v,
+        Operand::Special(s) => info.special(s),
+        Operand::Param(i) => params.get(i as usize).copied().unwrap_or(0),
+    }
+}
+
+/// The architectural outcome of one thread executing one instruction
+/// (memory operations report their address; the LSU applies the access).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ThreadOutcome {
+    /// Register write to commit.
+    pub reg_write: Option<(usize, u32)>,
+    /// Predicate write to commit.
+    pub pred_write: Option<(usize, bool)>,
+    /// For `Bra`: whether this thread takes the branch.
+    pub branch_taken: bool,
+    /// For memory ops: the effective byte address.
+    pub mem_addr: Option<u32>,
+    /// For stores/atomics: the data value.
+    pub mem_data: Option<u32>,
+}
+
+/// Evaluates whether the guard passes for this thread.
+pub fn guard_passes(instr: &Instruction, regs: &ThreadRegs) -> bool {
+    match instr.guard {
+        None => true,
+        Some(g) => regs.pred(g.pred.index()) == g.sense,
+    }
+}
+
+/// Executes `instr` for one thread, returning the outcome. Does **not**
+/// commit anything: the caller applies register writes (so that all threads
+/// of a warp read pre-instruction state) and routes memory effects through
+/// the LSU.
+///
+/// The guard must already have been checked with [`guard_passes`]; a failed
+/// guard means the instruction has no architectural effect for the thread
+/// (except that an unguarded-path `Bra` thread simply falls through).
+pub fn execute_thread(
+    instr: &Instruction,
+    regs: &ThreadRegs,
+    info: &ThreadInfo,
+    params: &[u32],
+) -> ThreadOutcome {
+    let mut out = ThreadOutcome::default();
+    let v = |i: usize| operand_value(instr.srcs[i].expect("validated operand"), regs, info, params);
+    let f = |i: usize| f32::from_bits(v(i));
+    let dst = instr.dst.map(|r| r.index());
+    let wr = |val: u32| Some((dst.expect("validated dst"), val));
+    let wf = |val: f32| Some((dst.expect("validated dst"), val.to_bits()));
+
+    match instr.op {
+        Op::Mov => out.reg_write = wr(v(0)),
+        Op::IAdd => out.reg_write = wr((v(0) as i32).wrapping_add(v(1) as i32) as u32),
+        Op::ISub => out.reg_write = wr((v(0) as i32).wrapping_sub(v(1) as i32) as u32),
+        Op::IMul => out.reg_write = wr((v(0) as i32).wrapping_mul(v(1) as i32) as u32),
+        Op::IMad => {
+            let r = (v(0) as i32)
+                .wrapping_mul(v(1) as i32)
+                .wrapping_add(v(2) as i32);
+            out.reg_write = wr(r as u32);
+        }
+        Op::IMin => out.reg_write = wr((v(0) as i32).min(v(1) as i32) as u32),
+        Op::IMax => out.reg_write = wr((v(0) as i32).max(v(1) as i32) as u32),
+        Op::And => out.reg_write = wr(v(0) & v(1)),
+        Op::Or => out.reg_write = wr(v(0) | v(1)),
+        Op::Xor => out.reg_write = wr(v(0) ^ v(1)),
+        Op::Not => out.reg_write = wr(!v(0)),
+        Op::Shl => out.reg_write = wr(v(0) << (v(1) & 31)),
+        Op::Shr => out.reg_write = wr(v(0) >> (v(1) & 31)),
+        Op::Sra => out.reg_write = wr(((v(0) as i32) >> (v(1) & 31)) as u32),
+        Op::FAdd => out.reg_write = wf(f(0) + f(1)),
+        Op::FSub => out.reg_write = wf(f(0) - f(1)),
+        Op::FMul => out.reg_write = wf(f(0) * f(1)),
+        Op::FFma => out.reg_write = wf(f(0).mul_add(f(1), f(2))),
+        Op::FMin => out.reg_write = wf(f(0).min(f(1))),
+        Op::FMax => out.reg_write = wf(f(0).max(f(1))),
+        Op::I2F => out.reg_write = wf(v(0) as i32 as f32),
+        Op::F2I => out.reg_write = wr(f(0) as i32 as u32),
+        Op::ISetP => {
+            let c = instr.cmp.expect("validated cmp");
+            out.pred_write = Some((
+                instr.pdst.expect("validated pdst").index(),
+                c.eval_i32(v(0) as i32, v(1) as i32),
+            ));
+        }
+        Op::FSetP => {
+            let c = instr.cmp.expect("validated cmp");
+            out.pred_write = Some((
+                instr.pdst.expect("validated pdst").index(),
+                c.eval_f32(f(0), f(1)),
+            ));
+        }
+        Op::Sel => {
+            let p = instr.sel_pred.expect("validated sel_pred");
+            let val = if regs.pred(p.index()) { v(0) } else { v(1) };
+            out.reg_write = wr(val);
+        }
+        Op::Rcp => out.reg_write = wf(1.0 / f(0)),
+        Op::Sqrt => out.reg_write = wf(f(0).sqrt()),
+        Op::Rsqrt => out.reg_write = wf(1.0 / f(0).sqrt()),
+        Op::Sin => out.reg_write = wf(f(0).sin()),
+        Op::Cos => out.reg_write = wf(f(0).cos()),
+        Op::Ex2 => out.reg_write = wf(f(0).exp2()),
+        Op::Lg2 => out.reg_write = wf(f(0).log2()),
+        Op::Ld => {
+            out.mem_addr = Some(v(0).wrapping_add(instr.offset as u32));
+        }
+        Op::St | Op::AtomAdd => {
+            out.mem_addr = Some(v(0).wrapping_add(instr.offset as u32));
+            out.mem_data = Some(v(1));
+        }
+        Op::Bra => out.branch_taken = true, // caller gates on guard
+        Op::Sync | Op::Bar | Op::Exit | Op::Nop => {}
+    }
+    out
+}
+
+/// Convenience: evaluates a comparison the way `ISetP` would (used by
+/// tests).
+pub fn compare_i32(cmp: CmpOp, a: i32, b: i32) -> bool {
+    cmp.eval_i32(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpweave_isa::{p, r, Guard, KernelBuilder};
+
+    fn setup() -> (ThreadRegs, ThreadInfo) {
+        let mut regs = ThreadRegs::new();
+        regs.set_reg(1, 6);
+        regs.set_reg(2, 7);
+        regs.set_reg(3, (-3i32) as u32);
+        (regs, ThreadInfo::default())
+    }
+
+    fn run_one(build: impl FnOnce(&mut KernelBuilder)) -> ThreadOutcome {
+        let mut k = KernelBuilder::new("t");
+        build(&mut k);
+        k.exit();
+        let prog = k.build().unwrap();
+        let (regs, info) = setup();
+        execute_thread(&prog.instructions()[0], &regs, &info, &[])
+    }
+
+    #[test]
+    fn integer_alu() {
+        assert_eq!(
+            run_one(|k| {
+                k.imad(r(0), r(1), r(2), 1i32);
+            })
+            .reg_write,
+            Some((0, 43))
+        );
+        assert_eq!(
+            run_one(|k| {
+                k.imin(r(0), r(1), r(3));
+            })
+            .reg_write,
+            Some((0, (-3i32) as u32))
+        );
+        assert_eq!(
+            run_one(|k| {
+                k.sra(r(0), r(3), 1i32);
+            })
+            .reg_write,
+            Some((0, (-2i32) as u32))
+        );
+        assert_eq!(
+            run_one(|k| {
+                k.shr(r(0), r(3), 1i32);
+            })
+            .reg_write,
+            Some((0, 0x7fff_fffe))
+        );
+    }
+
+    #[test]
+    fn float_ops_bitcast() {
+        let out = run_one(|k| {
+            k.ffma(r(0), 2.0f32, 3.0f32, 1.0f32);
+        });
+        let (_, bits) = out.reg_write.unwrap();
+        assert_eq!(f32::from_bits(bits), 7.0);
+    }
+
+    #[test]
+    fn sfu_ops() {
+        let out = run_one(|k| {
+            k.rsqrt(r(0), 4.0f32);
+        });
+        assert_eq!(f32::from_bits(out.reg_write.unwrap().1), 0.5);
+        let out = run_one(|k| {
+            k.ex2(r(0), 3.0f32);
+        });
+        assert_eq!(f32::from_bits(out.reg_write.unwrap().1), 8.0);
+    }
+
+    #[test]
+    fn setp_and_sel() {
+        let out = run_one(|k| {
+            k.isetp(p(0), CmpOp::Lt, r(1), r(2));
+        });
+        assert_eq!(out.pred_write, Some((0, true)));
+
+        // Sel reads p0 (false by default) → second source.
+        let out = run_one(|k| {
+            k.sel(r(0), p(0), 11i32, 22i32);
+        });
+        assert_eq!(out.reg_write, Some((0, 22)));
+    }
+
+    #[test]
+    fn memory_addresses() {
+        let out = run_one(|k| {
+            k.ld(r(0), r(1), 8);
+        });
+        assert_eq!(out.mem_addr, Some(14));
+        let out = run_one(|k| {
+            k.st(r(1), -4, r(2));
+        });
+        assert_eq!(out.mem_addr, Some(2));
+        assert_eq!(out.mem_data, Some(7));
+    }
+
+    #[test]
+    fn guard_evaluation() {
+        let mut i = warpweave_isa::Instruction::new(Op::Nop);
+        let (mut regs, _) = setup();
+        assert!(guard_passes(&i, &regs));
+        i.guard = Some(Guard::if_true(p(1)));
+        assert!(!guard_passes(&i, &regs));
+        regs.set_pred(1, true);
+        assert!(guard_passes(&i, &regs));
+        i.guard = Some(Guard::if_false(p(1)));
+        assert!(!guard_passes(&i, &regs));
+    }
+
+    #[test]
+    fn special_registers() {
+        let info = ThreadInfo {
+            tid: 3,
+            ctaid: 5,
+            ntid: 256,
+            nctaid: 12,
+            lane: 9,
+            warp: 2,
+        };
+        assert_eq!(info.special(SpecialReg::Tid), 3);
+        assert_eq!(info.special(SpecialReg::NTid), 256);
+        assert_eq!(info.special(SpecialReg::LaneId), 9);
+    }
+
+    #[test]
+    fn params_resolve() {
+        let regs = ThreadRegs::new();
+        let info = ThreadInfo::default();
+        assert_eq!(
+            operand_value(Operand::Param(1), &regs, &info, &[10, 20]),
+            20
+        );
+        assert_eq!(operand_value(Operand::Param(9), &regs, &info, &[10]), 0);
+    }
+}

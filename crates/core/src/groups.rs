@@ -1,0 +1,146 @@
+//! Back-end SIMD execution groups and their issue-port occupancy.
+
+use warpweave_isa::UnitClass;
+
+use crate::config::GroupConfig;
+
+/// The timing state of one SIMD group.
+#[derive(Debug, Clone)]
+pub struct GroupState {
+    /// Static geometry.
+    pub cfg: GroupConfig,
+    /// First cycle at which the group's issue port is free again.
+    pub port_free_at: u64,
+    /// Total port-busy cycles (utilisation accounting).
+    pub busy_cycles: u64,
+}
+
+/// All back-end groups of the SM.
+#[derive(Debug, Clone)]
+pub struct ExecGroups {
+    groups: Vec<GroupState>,
+}
+
+impl ExecGroups {
+    /// Instantiates groups from the configuration.
+    pub fn new(cfgs: &[GroupConfig]) -> Self {
+        ExecGroups {
+            groups: cfgs
+                .iter()
+                .map(|&cfg| GroupState {
+                    cfg,
+                    port_free_at: 0,
+                    busy_cycles: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Finds a group of `class` whose port is free at `now`.
+    pub fn find_free(&self, class: UnitClass, now: u64) -> Option<usize> {
+        self.groups
+            .iter()
+            .position(|g| g.cfg.class == class && g.port_free_at <= now)
+    }
+
+    /// True if `idx` serves `class` and is free at `now`.
+    pub fn is_free(&self, idx: usize, now: u64) -> bool {
+        self.groups[idx].port_free_at <= now
+    }
+
+    /// The unit class of group `idx`.
+    pub fn class(&self, idx: usize) -> UnitClass {
+        self.groups[idx].cfg.class
+    }
+
+    /// Issue waves needed to push a `warp_width`-wide instruction through
+    /// group `idx`.
+    pub fn waves(&self, idx: usize, warp_width: usize) -> u64 {
+        warp_width.div_ceil(self.groups[idx].cfg.width) as u64
+    }
+
+    /// Occupies group `idx` for `cycles` starting at `now`; returns the
+    /// cycle of the last wave.
+    pub fn occupy(&mut self, idx: usize, now: u64, cycles: u64) -> u64 {
+        debug_assert!(self.groups[idx].port_free_at <= now, "group already busy");
+        self.groups[idx].port_free_at = now + cycles;
+        self.groups[idx].busy_cycles += cycles;
+        now + cycles - 1
+    }
+
+    /// Per-group utilisation over `total_cycles`.
+    pub fn utilisation(&self, total_cycles: u64) -> Vec<(UnitClass, f64)> {
+        self.groups
+            .iter()
+            .map(|g| {
+                (
+                    g.cfg.class,
+                    if total_cycles == 0 {
+                        0.0
+                    } else {
+                        g.busy_cycles as f64 / total_cycles as f64
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpweave_isa::UnitClass::*;
+
+    fn groups() -> ExecGroups {
+        ExecGroups::new(&[
+            GroupConfig { class: Mad, width: 32 },
+            GroupConfig { class: Mad, width: 32 },
+            GroupConfig { class: Sfu, width: 8 },
+            GroupConfig { class: Lsu, width: 32 },
+        ])
+    }
+
+    #[test]
+    fn find_and_occupy() {
+        let mut g = groups();
+        let a = g.find_free(Mad, 0).unwrap();
+        assert_eq!(g.occupy(a, 0, 1), 0);
+        // Second MAD group still free.
+        let b = g.find_free(Mad, 0).unwrap();
+        assert_ne!(a, b);
+        g.occupy(b, 0, 1);
+        assert!(g.find_free(Mad, 0).is_none());
+        assert!(g.find_free(Mad, 1).is_some());
+    }
+
+    #[test]
+    fn wave_counts() {
+        let g = groups();
+        let sfu = g.find_free(Sfu, 0).unwrap();
+        assert_eq!(g.waves(sfu, 32), 4);
+        assert_eq!(g.waves(sfu, 64), 8);
+        let mad = g.find_free(Mad, 0).unwrap();
+        assert_eq!(g.waves(mad, 32), 1);
+        assert_eq!(g.waves(mad, 64), 2);
+    }
+
+    #[test]
+    fn multi_wave_occupancy() {
+        let mut g = groups();
+        let sfu = g.find_free(Sfu, 5).unwrap();
+        let last = g.occupy(sfu, 5, 4);
+        assert_eq!(last, 8);
+        assert!(!g.is_free(sfu, 8));
+        assert!(g.is_free(sfu, 9));
+    }
+
+    #[test]
+    fn utilisation_accounting() {
+        let mut g = groups();
+        let m = g.find_free(Mad, 0).unwrap();
+        g.occupy(m, 0, 10);
+        let u = g.utilisation(20);
+        assert_eq!(u[0], (Mad, 0.5));
+        assert_eq!(u[2], (Sfu, 0.0));
+    }
+}

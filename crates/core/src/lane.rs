@@ -1,0 +1,171 @@
+//! Static lane-shuffling policies (paper §4, table 1).
+//!
+//! Many kernels exhibit *correlated* imbalance: thread 0 of every warp gets
+//! the most work, so the free-lane gaps of different warps line up and SWI
+//! finds no non-overlapping partner. Lane shuffling permutes the
+//! thread→lane mapping per warp — "it requires no additional hardware nor
+//! data migration" — so gaps of different warps fall on different lanes.
+//! Memory coalescing is unaffected: addresses depend on thread IDs, not
+//! lanes.
+
+use crate::mask::Mask;
+
+/// The five static thread→lane mappings of table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaneShuffle {
+    /// `lane = tid` (the paper's "Linear" reference).
+    #[default]
+    Identity,
+    /// `lane = n - tid` for odd warps, `tid` otherwise (n = width-1).
+    MirrorOdd,
+    /// `lane = n - tid` for warps in the upper half of the pool.
+    MirrorHalf,
+    /// `lane = tid ⊕ wid` (warp id folded into the lane-index bits).
+    Xor,
+    /// `lane = tid ⊕ bitrev(wid)` — bit-reversed warp id; the paper's most
+    /// consistent policy.
+    XorRev,
+}
+
+impl LaneShuffle {
+    /// All policies, in table 1 order.
+    pub const ALL: [LaneShuffle; 5] = [
+        LaneShuffle::Identity,
+        LaneShuffle::MirrorOdd,
+        LaneShuffle::MirrorHalf,
+        LaneShuffle::Xor,
+        LaneShuffle::XorRev,
+    ];
+
+    /// The paper's label for this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneShuffle::Identity => "Identity",
+            LaneShuffle::MirrorOdd => "MirrorOdd",
+            LaneShuffle::MirrorHalf => "MirrorHalf",
+            LaneShuffle::Xor => "Xor",
+            LaneShuffle::XorRev => "XorRev",
+        }
+    }
+
+    /// Maps thread-in-warp `tid` of warp `wid` to a physical lane.
+    ///
+    /// `width` must be a power of two; `num_warps` is the pool size `m` used
+    /// by `MirrorHalf`. The mapping is a bijection on `0..width` for every
+    /// `wid`.
+    pub fn lane(self, tid: usize, wid: usize, width: usize, num_warps: usize) -> usize {
+        debug_assert!(width.is_power_of_two());
+        debug_assert!(tid < width);
+        let n = width - 1;
+        match self {
+            LaneShuffle::Identity => tid,
+            LaneShuffle::MirrorOdd => {
+                if wid % 2 == 1 {
+                    n - tid
+                } else {
+                    tid
+                }
+            }
+            LaneShuffle::MirrorHalf => {
+                if wid > num_warps / 2 {
+                    n - tid
+                } else {
+                    tid
+                }
+            }
+            LaneShuffle::Xor => tid ^ (wid & n),
+            LaneShuffle::XorRev => tid ^ (bitrev(wid, width.trailing_zeros()) & n),
+        }
+    }
+
+    /// Translates a thread-space mask into lane space for warp `wid`.
+    pub fn mask_to_lanes(self, mask: Mask, wid: usize, width: usize, num_warps: usize) -> Mask {
+        if self == LaneShuffle::Identity {
+            return mask; // hot path
+        }
+        mask.iter()
+            .map(|tid| self.lane(tid, wid, width, num_warps))
+            .collect()
+    }
+}
+
+/// Reverses the low `bits` bits of `v` (higher bits are discarded).
+pub fn bitrev(v: usize, bits: u32) -> usize {
+    let mut out = 0usize;
+    for i in 0..bits {
+        if (v >> i) & 1 == 1 {
+            out |= 1 << (bits - 1 - i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitrev_examples() {
+        assert_eq!(bitrev(0b001, 3), 0b100);
+        assert_eq!(bitrev(0b110, 3), 0b011);
+        assert_eq!(bitrev(0b1, 1), 0b1);
+        assert_eq!(bitrev(0b1011, 4), 0b1101);
+    }
+
+    #[test]
+    fn all_policies_are_bijections() {
+        for policy in LaneShuffle::ALL {
+            for width in [4usize, 32, 64] {
+                for wid in 0..16 {
+                    let mut seen = vec![false; width];
+                    for tid in 0..width {
+                        let l = policy.lane(tid, wid, width, 16);
+                        assert!(l < width, "{policy:?} out of range");
+                        assert!(!seen[l], "{policy:?} not injective (w={wid})");
+                        seen[l] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let m = Mask::from_bits(0b1011);
+        assert_eq!(LaneShuffle::Identity.mask_to_lanes(m, 7, 32, 16), m);
+    }
+
+    #[test]
+    fn mirror_odd_flips_odd_warps_only() {
+        let p = LaneShuffle::MirrorOdd;
+        assert_eq!(p.lane(0, 0, 4, 16), 0);
+        assert_eq!(p.lane(0, 1, 4, 16), 3);
+        assert_eq!(p.lane(3, 1, 4, 16), 0);
+    }
+
+    #[test]
+    fn xor_decorrelates_leader_lane() {
+        // Thread 0 of each warp lands on lane wid under Xor — distinct lanes
+        // for warps 0..width, which is exactly the decorrelation SWI needs.
+        let p = LaneShuffle::Xor;
+        let lanes: Vec<usize> = (0..4).map(|w| p.lane(0, w, 4, 16)).collect();
+        assert_eq!(lanes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn xorrev_differs_from_xor_for_wide_pools() {
+        let a = LaneShuffle::Xor.lane(0, 1, 32, 16);
+        let b = LaneShuffle::XorRev.lane(0, 1, 32, 16);
+        assert_eq!(a, 1);
+        assert_eq!(b, 16); // bitrev(1) over 5 bits = 0b10000
+    }
+
+    #[test]
+    fn mask_translation_preserves_population() {
+        for policy in LaneShuffle::ALL {
+            let m = Mask::from_bits(0xdead_beef);
+            let t = policy.mask_to_lanes(m, 5, 32, 16);
+            assert_eq!(m.count(), t.count());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Kernel launch descriptors.
+
+use warpweave_isa::Program;
+
+/// A kernel launch: the program, grid geometry and parameters.
+///
+/// # Examples
+/// ```
+/// use warpweave_core::Launch;
+/// use warpweave_isa::KernelBuilder;
+///
+/// # fn main() -> Result<(), String> {
+/// let mut k = KernelBuilder::new("noop");
+/// k.exit();
+/// let launch = Launch::new(k.build()?, 4, 256).with_params(vec![0x1000]);
+/// assert_eq!(launch.total_threads(), 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Launch {
+    /// The kernel to run.
+    pub program: Program,
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u32,
+    /// Threads per block.
+    pub block_threads: u32,
+    /// 32-bit launch parameters (pointers are byte addresses into global
+    /// memory).
+    pub params: Vec<u32>,
+}
+
+impl Launch {
+    /// Creates a launch of `grid_blocks × block_threads` threads.
+    ///
+    /// # Panics
+    /// Panics if the grid is empty.
+    pub fn new(program: Program, grid_blocks: u32, block_threads: u32) -> Self {
+        assert!(grid_blocks > 0 && block_threads > 0, "empty launch grid");
+        Launch {
+            program,
+            grid_blocks,
+            block_threads,
+            params: Vec::new(),
+        }
+    }
+
+    /// Attaches launch parameters (builder style).
+    pub fn with_params(mut self, params: Vec<u32>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Total threads across the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks as u64 * self.block_threads as u64
+    }
+}

@@ -1,0 +1,69 @@
+//! # warpweave-core
+//!
+//! A cycle-level simulator of a GPU streaming multiprocessor (SM)
+//! reproducing *"Simultaneous Branch and Warp Interweaving for Sustained GPU
+//! Performance"* (Brunie, Collange, Diamos — ISCA 2012).
+//!
+//! The crate models the paper's baseline Fermi-like SM and its two proposed
+//! front-ends:
+//!
+//! * **SBI** (§3) — co-issues the two minimal-PC divergent paths of one warp
+//!   using thread-frontier reconvergence ([`divergence::frontier`]), the
+//!   HCT/CCT sorted heap, optional reconvergence constraints, and the
+//!   dependency-matrix [`scoreboard`].
+//! * **SWI** (§4) — a cascaded secondary scheduler that fills the primary
+//!   instruction's idle lanes with a non-overlapping instruction from
+//!   another warp, using [`lane`] shuffling and a set-associative mask
+//!   lookup.
+//!
+//! # Examples
+//! ```
+//! use warpweave_core::{Launch, Sm, SmConfig};
+//! use warpweave_isa::{KernelBuilder, CmpOp, SpecialReg, r, p};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A divergent toy kernel: odd threads do extra work.
+//! let mut k = KernelBuilder::new("demo");
+//! k.mov(r(0), SpecialReg::Tid);
+//! k.and_(r(1), r(0), 1i32);
+//! k.isetp(p(0), CmpOp::Eq, r(1), 0i32);
+//! k.bra_if(p(0), "even");
+//! k.imul(r(2), r(0), 3i32);
+//! k.label("even");
+//! k.exit();
+//!
+//! let launch = Launch::new(k.build()?, 8, 256);
+//! let mut sm = Sm::new(SmConfig::sbi(), launch)?;
+//! let stats = sm.run(1_000_000)?;
+//! assert!(stats.ipc() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod divergence;
+pub mod exec;
+pub mod groups;
+pub mod lane;
+pub mod launch;
+pub mod lsu;
+pub mod mask;
+pub mod pipeline;
+pub mod scoreboard;
+pub mod stats;
+pub mod trace;
+
+pub use config::{
+    Associativity, DivergenceModel, Frontend, GroupConfig, ScoreboardMode, SmConfig,
+};
+pub use divergence::frontier::{FrontierHeap, HeapStats};
+pub use divergence::stack::PdomStack;
+pub use divergence::Transition;
+pub use exec::{ThreadInfo, ThreadRegs};
+pub use lane::LaneShuffle;
+pub use launch::Launch;
+pub use mask::Mask;
+pub use pipeline::{SimError, Sm};
+pub use scoreboard::{DepMatrix, Scoreboard};
+pub use stats::Stats;
+pub use trace::{render_timeline, IssueSlot, TraceEvent};

@@ -1,0 +1,167 @@
+//! Load-store unit timing: coalesced global access through L1/DRAM and
+//! shared-memory bank-conflict modelling.
+
+use warpweave_mem::{AccessKind, Cache, Dram, Transaction};
+
+/// Timing of one memory instruction through the LSU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsuTiming {
+    /// Cycles the LSU's single 128-byte port is occupied (replay count).
+    pub port_cycles: u64,
+    /// Cycle at which load data is available for writeback.
+    pub data_ready: u64,
+}
+
+/// Times a list of global-memory transactions starting at `start`: one
+/// transaction per cycle through the L1 port; hits return after the L1
+/// latency, misses after the DRAM round trip. Stores are write-through
+/// (traffic accounted, completion immediate for the pipeline).
+pub fn time_global(
+    l1: &mut Cache,
+    dram: &mut Dram,
+    start: u64,
+    txs: &[Transaction],
+    is_store: bool,
+) -> LsuTiming {
+    let mut ready = start;
+    for (i, tx) in txs.iter().enumerate() {
+        let t_issue = start + i as u64;
+        let done = if is_store {
+            l1.access_store(tx.block_addr);
+            dram.write(t_issue);
+            t_issue // write-through: pipeline does not wait
+        } else {
+            match l1.access_load(tx.block_addr) {
+                AccessKind::Hit => t_issue + l1.config().hit_latency as u64,
+                AccessKind::Miss => dram.read(t_issue),
+            }
+        };
+        ready = ready.max(done);
+    }
+    LsuTiming {
+        port_cycles: txs.len().max(1) as u64,
+        data_ready: ready,
+    }
+}
+
+/// Shared-memory access cost in passes: per 32-lane wave, lanes hitting
+/// distinct banks proceed together; lanes hitting different words in the
+/// same bank serialise (Fermi-style 32-bank scratchpad; broadcast of the
+/// same word is free).
+pub fn shared_passes(accesses: &[(usize, u32)]) -> u64 {
+    if accesses.is_empty() {
+        return 1;
+    }
+    let mut total = 0u64;
+    // Process in 32-lane waves.
+    let max_lane = accesses.iter().map(|&(l, _)| l).max().unwrap_or(0);
+    for wave in 0..=(max_lane / 32) {
+        let wave_accesses: Vec<u32> = accesses
+            .iter()
+            .filter(|&&(l, _)| l / 32 == wave)
+            .map(|&(_, a)| a)
+            .collect();
+        if wave_accesses.is_empty() {
+            continue;
+        }
+        let mut worst = 1u64;
+        for bank in 0..32u32 {
+            let mut words: Vec<u32> = wave_accesses
+                .iter()
+                .copied()
+                .filter(|a| (a / 4) % 32 == bank)
+                .collect();
+            words.sort_unstable();
+            words.dedup();
+            worst = worst.max(words.len() as u64);
+        }
+        total += worst;
+    }
+    total.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpweave_mem::{CacheConfig, DramConfig};
+
+    fn setup() -> (Cache, Dram) {
+        (
+            Cache::new(CacheConfig::paper_l1()),
+            Dram::new(DramConfig::paper()),
+        )
+    }
+
+    fn tx(block: u32) -> Transaction {
+        Transaction {
+            block_addr: block,
+            lanes: vec![0],
+        }
+    }
+
+    #[test]
+    fn single_hit_latency() {
+        let (mut l1, mut dram) = setup();
+        l1.access_load(0); // warm
+        let t = time_global(&mut l1, &mut dram, 100, &[tx(0)], false);
+        assert_eq!(t.port_cycles, 1);
+        assert_eq!(t.data_ready, 103);
+    }
+
+    #[test]
+    fn miss_goes_to_dram() {
+        let (mut l1, mut dram) = setup();
+        let t = time_global(&mut l1, &mut dram, 0, &[tx(0)], false);
+        assert_eq!(t.data_ready, 330);
+        assert_eq!(dram.stats().read_transfers, 1);
+    }
+
+    #[test]
+    fn replays_occupy_port_serially() {
+        let (mut l1, mut dram) = setup();
+        for b in 0..4 {
+            l1.access_load(b * 128);
+        }
+        let txs: Vec<Transaction> = (0..4).map(|b| tx(b * 128)).collect();
+        let t = time_global(&mut l1, &mut dram, 10, &txs, false);
+        assert_eq!(t.port_cycles, 4);
+        // Last hit issues at 13, ready at 16.
+        assert_eq!(t.data_ready, 16);
+    }
+
+    #[test]
+    fn store_does_not_block() {
+        let (mut l1, mut dram) = setup();
+        let t = time_global(&mut l1, &mut dram, 5, &[tx(0)], true);
+        assert_eq!(t.data_ready, 5);
+        assert_eq!(dram.stats().write_transfers, 1);
+    }
+
+    #[test]
+    fn shared_conflict_free() {
+        // 32 lanes, consecutive words: one pass.
+        let acc: Vec<(usize, u32)> = (0..32).map(|l| (l, l as u32 * 4)).collect();
+        assert_eq!(shared_passes(&acc), 1);
+    }
+
+    #[test]
+    fn shared_two_way_conflict() {
+        // Stride 2 words: lanes pair up on 16 banks, 2 distinct words each.
+        let acc: Vec<(usize, u32)> = (0..32).map(|l| (l, l as u32 * 8)).collect();
+        assert_eq!(shared_passes(&acc), 2);
+    }
+
+    #[test]
+    fn shared_broadcast_is_free() {
+        // Everyone reads word 0: same word, one pass.
+        let acc: Vec<(usize, u32)> = (0..32).map(|l| (l, 0)).collect();
+        assert_eq!(shared_passes(&acc), 1);
+    }
+
+    #[test]
+    fn shared_two_waves() {
+        // 64 lanes conflict-free = 2 waves.
+        let acc: Vec<(usize, u32)> = (0..64).map(|l| (l, l as u32 * 4)).collect();
+        assert_eq!(shared_passes(&acc), 2);
+    }
+}

@@ -1,0 +1,1407 @@
+//! The cycle-level SM pipeline.
+//!
+//! One [`Sm`] simulates a single streaming multiprocessor running one kernel
+//! launch, following the paper's methodology (§5.1): functional execution at
+//! issue, back-end timing via group occupancy, an L1 + throughput-limited
+//! memory, and one of five issue front-ends:
+//!
+//! * [`Frontend::Baseline`] — two warp pools, oldest-first, PDOM stack.
+//! * [`Frontend::Warp64`] — thread frontiers, 64-wide warps, sequential
+//!   branches (the fig. 7 reference).
+//! * [`Frontend::Sbi`] — co-issues CPC1/CPC2 warp-splits of one warp (§3).
+//! * [`Frontend::Swi`] — cascaded scheduler fills the primary's free lanes
+//!   with another warp's instruction (§4).
+//! * [`Frontend::SbiSwi`] — both.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use warpweave_isa::{Instruction, Op, Pc, Program, UnitClass};
+use warpweave_mem::{atomic_transactions, coalesce, Cache, Dram, Memory};
+
+use crate::config::{Frontend, ScoreboardMode, SmConfig};
+use crate::divergence::frontier::FrontierHeap;
+use crate::divergence::stack::PdomStack;
+use crate::divergence::Transition;
+use crate::exec::{execute_thread, guard_passes, ThreadInfo, ThreadRegs};
+use crate::groups::ExecGroups;
+use crate::launch::Launch;
+use crate::lsu::{shared_passes, time_global};
+use crate::mask::Mask;
+use crate::scoreboard::{SbToken, Scoreboard};
+use crate::stats::Stats;
+use crate::trace::{IssueSlot, TraceEvent};
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No forward progress for a long time — a deadlock in the simulated
+    /// machine (or a kernel bug).
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Diagnostic detail.
+        detail: String,
+    },
+    /// `run` hit its cycle budget before the kernel finished.
+    CyclesExhausted {
+        /// The exhausted budget.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "deadlock at cycle {cycle}: {detail}")
+            }
+            SimError::CyclesExhausted { budget } => {
+                write!(f, "cycle budget {budget} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-warp divergence tracking (selected by the configuration).
+#[derive(Debug, Clone)]
+enum Divergence {
+    Stack(PdomStack),
+    Frontier(FrontierHeap),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IbufEntry {
+    pc: Pc,
+    fetched_at: u64,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Warp {
+    alive: bool,
+    block_slot: usize,
+    regs: Vec<ThreadRegs>,
+    infos: Vec<ThreadInfo>,
+    div: Divergence,
+    scoreboard: Scoreboard,
+    ibuf: [Option<IbufEntry>; 2],
+    exited: Mask,
+    /// Thread-space mask of threads that exist in this warp (partial last
+    /// warp of a block).
+    populated: Mask,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BlockSlot {
+    active: bool,
+    block_id: u32,
+    first_warp: usize,
+    num_warps: usize,
+    alive_threads: u32,
+    barrier_arrived: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WbEvent {
+    time: u64,
+    warp: usize,
+    token: SbToken,
+}
+
+/// A scheduling candidate: a ready, decoded instruction in some warp's
+/// instruction buffer.
+#[derive(Debug, Clone, Copy)]
+struct Ready {
+    warp: usize,
+    slot: usize,
+    pc: Pc,
+    mask: Mask,
+    unit: UnitClass,
+    seq: u64,
+}
+
+/// How a pick maps onto the back-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dispatch {
+    /// Occupies group `idx` normally.
+    Group(usize),
+    /// Rides the same pass as the primary through group `idx` (disjoint
+    /// lanes, no extra occupancy).
+    Ride(usize),
+    /// Control instruction: no back-end group.
+    None,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pick {
+    ready: Ready,
+    dispatch: Dispatch,
+    secondary: bool,
+}
+
+/// The pending primary pick of the SWI cascade (selected one cycle before
+/// issue — table 2's 2-cycle scheduler latency).
+#[derive(Debug, Clone, Copy)]
+struct PendingPrimary {
+    warp: usize,
+    slot: usize,
+    pc: Pc,
+}
+
+/// A single simulated streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    cfg: SmConfig,
+    program: Program,
+    params: Vec<u32>,
+    mem: Memory,
+    shared: Vec<Memory>,
+    l1: Cache,
+    dram: Dram,
+    cycle: u64,
+    warps: Vec<Warp>,
+    blocks: Vec<BlockSlot>,
+    next_block: u32,
+    grid_blocks: u32,
+    block_threads: u32,
+    groups: ExecGroups,
+    sideband_busy_until: u64,
+    pending_wb: Vec<WbEvent>,
+    pending_primary: Option<PendingPrimary>,
+    rng: SmallRng,
+    stats: Stats,
+    trace: Option<Vec<TraceEvent>>,
+    fetch_rr: [usize; 2],
+    next_seq: u64,
+    last_progress: u64,
+}
+
+/// Cycles without any issue or writeback before the deadlock watchdog fires.
+const WATCHDOG_CYCLES: u64 = 100_000;
+
+impl Sm {
+    /// Builds an SM for `launch` under `cfg`.
+    ///
+    /// # Errors
+    /// Configuration validation failures and empty programs.
+    pub fn new(cfg: SmConfig, launch: Launch) -> Result<Sm, String> {
+        cfg.validate()?;
+        if launch.program.is_empty() {
+            return Err("empty program".into());
+        }
+        let warps_per_block = (launch.block_threads as usize).div_ceil(cfg.warp_width);
+        if warps_per_block > cfg.num_warps {
+            return Err(format!(
+                "block of {} threads needs {warps_per_block} warps; SM has {}",
+                launch.block_threads, cfg.num_warps
+            ));
+        }
+        let num_slots = cfg.num_warps / warps_per_block;
+        let blocks = (0..num_slots)
+            .map(|i| BlockSlot {
+                active: false,
+                block_id: 0,
+                first_warp: i * warps_per_block,
+                num_warps: warps_per_block,
+                alive_threads: 0,
+                barrier_arrived: 0,
+            })
+            .collect();
+        let warps = (0..cfg.num_warps)
+            .map(|_| Warp {
+                alive: false,
+                block_slot: 0,
+                regs: Vec::new(),
+                infos: Vec::new(),
+                div: Divergence::Stack(PdomStack::new(Mask::EMPTY)),
+                scoreboard: Scoreboard::new(cfg.scoreboard_mode, cfg.scoreboard_entries),
+                ibuf: [None, None],
+                exited: Mask::EMPTY,
+                populated: Mask::EMPTY,
+            })
+            .collect();
+        let l1 = Cache::new(cfg.l1);
+        let dram = Dram::new(cfg.dram);
+        let seed = cfg.seed;
+        let mut sm = Sm {
+            program: launch.program,
+            params: launch.params,
+            mem: Memory::new(),
+            shared: vec![Memory::new(); num_slots],
+            l1,
+            dram,
+            cycle: 0,
+            warps,
+            blocks,
+            next_block: 0,
+            grid_blocks: launch.grid_blocks,
+            block_threads: launch.block_threads,
+            groups: ExecGroups::new(&cfg.groups),
+            sideband_busy_until: 0,
+            pending_wb: Vec::new(),
+            pending_primary: None,
+            rng: SmallRng::seed_from_u64(seed),
+            stats: Stats::default(),
+            trace: None,
+            fetch_rr: [0, 0],
+            next_seq: 0,
+            last_progress: 0,
+            cfg,
+        };
+        sm.refill_blocks();
+        Ok(sm)
+    }
+
+    /// Enables issue-event tracing (see [`crate::trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace (empty unless [`Sm::enable_trace`] was called).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Global memory (for writing inputs before `run` and reading results
+    /// after).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Global memory, read-only.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Consumes the SM and hands back its global memory (to seed the next
+    /// launch of a multi-kernel workload).
+    pub fn into_memory(self) -> Memory {
+        self.mem
+    }
+
+    /// Replaces global memory wholesale (multi-launch workloads carry state
+    /// between kernels this way).
+    pub fn set_memory(&mut self, mem: Memory) {
+        self.mem = mem;
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SmConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// True when every block of the grid has completed.
+    pub fn is_done(&self) -> bool {
+        self.next_block >= self.grid_blocks && self.blocks.iter().all(|b| !b.active)
+    }
+
+    /// Runs until the kernel finishes or `max_cycles` elapse; returns the
+    /// final statistics on success.
+    ///
+    /// # Errors
+    /// [`SimError::Deadlock`] if the watchdog detects no forward progress;
+    /// [`SimError::CyclesExhausted`] if the budget runs out.
+    pub fn run(&mut self, max_cycles: u64) -> Result<&Stats, SimError> {
+        while !self.is_done() {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CyclesExhausted { budget: max_cycles });
+            }
+            self.step()?;
+        }
+        self.finalize_stats();
+        Ok(&self.stats)
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.l1 = self.l1.stats();
+        self.stats.dram = self.dram.stats();
+        for w in &self.warps {
+            match &w.div {
+                Divergence::Stack(s) => {
+                    self.stats.max_stack_depth = self.stats.max_stack_depth.max(s.max_depth());
+                }
+                Divergence::Frontier(h) => {
+                    let hs = h.stats();
+                    self.stats.heap.max_live_splits =
+                        self.stats.heap.max_live_splits.max(hs.max_live_splits);
+                    self.stats.heap.merges += hs.merges;
+                    self.stats.heap.spills += hs.spills;
+                    self.stats.heap.degraded_inserts += hs.degraded_inserts;
+                }
+            }
+        }
+    }
+
+    /// Advances one cycle.
+    ///
+    /// # Errors
+    /// [`SimError::Deadlock`] from the watchdog.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.cycle += 1;
+        self.process_writebacks();
+        self.validate_ibufs();
+        let issued = match self.cfg.frontend {
+            Frontend::Baseline | Frontend::Warp64 => self.issue_dual_pool(),
+            Frontend::Sbi => self.issue_sbi(),
+            Frontend::Swi | Frontend::SbiSwi => self.issue_swi(),
+        };
+        if issued == 0 {
+            self.stats.idle_cycles += 1;
+        } else {
+            self.last_progress = self.cycle;
+        }
+        self.release_barriers();
+        self.refill_blocks();
+        self.fetch();
+        if self.cycle - self.last_progress > WATCHDOG_CYCLES {
+            return Err(SimError::Deadlock {
+                cycle: self.cycle,
+                detail: self.deadlock_detail(),
+            });
+        }
+        Ok(())
+    }
+
+    fn deadlock_detail(&self) -> String {
+        let mut s = String::new();
+        for (i, w) in self.warps.iter().enumerate() {
+            if !w.alive {
+                continue;
+            }
+            match &w.div {
+                Divergence::Stack(st) => {
+                    s.push_str(&format!(
+                        "w{i}: stack depth {} cur {:?} barrier {}\n",
+                        st.depth(),
+                        st.current(),
+                        st.at_barrier()
+                    ));
+                }
+                Divergence::Frontier(h) => {
+                    s.push_str(&format!(
+                        "w{i}: splits {} cpc1 {:?} cpc2 {:?}\n",
+                        h.live_splits(),
+                        h.primary().map(|c| (c.pc, c.at_barrier)),
+                        h.secondary().map(|c| (c.pc, c.at_barrier)),
+                    ));
+                }
+            }
+        }
+        s
+    }
+
+    // --- divergence-state accessors -------------------------------------------
+
+    /// `(pc, mask, at_barrier)` of the context feeding ibuf `slot` of `w`.
+    fn ctx(&self, w: usize, slot: usize) -> Option<(Pc, Mask, bool)> {
+        let warp = &self.warps[w];
+        if !warp.alive {
+            return None;
+        }
+        match &warp.div {
+            Divergence::Stack(s) => {
+                if slot == 0 {
+                    s.current().map(|(pc, m)| (pc, m, s.at_barrier()))
+                } else {
+                    None
+                }
+            }
+            Divergence::Frontier(h) => {
+                let c = if slot == 0 { h.primary() } else { h.secondary() };
+                c.map(|c| (c.pc, c.mask, c.at_barrier))
+            }
+        }
+    }
+
+    fn slot_masks(&self, w: usize) -> [Mask; 3] {
+        match &self.warps[w].div {
+            Divergence::Stack(_) => [Mask::EMPTY; 3],
+            Divergence::Frontier(h) => {
+                let m0 = h.primary().map_or(Mask::EMPTY, |c| c.mask);
+                let m1 = h.secondary().map_or(Mask::EMPTY, |c| c.mask);
+                [m0, m1, h.alive_mask() - m0 - m1]
+            }
+        }
+    }
+
+    /// How many ibuf slots this front-end fetches per warp.
+    fn slots_per_warp(&self) -> usize {
+        match self.cfg.frontend {
+            Frontend::Sbi | Frontend::SbiSwi => 2,
+            _ => 1,
+        }
+    }
+
+    // --- pipeline stages -------------------------------------------------------
+
+    fn process_writebacks(&mut self) {
+        let now = self.cycle;
+        let mut progressed = false;
+        let mut i = 0;
+        while i < self.pending_wb.len() {
+            if self.pending_wb[i].time <= now {
+                let ev = self.pending_wb.swap_remove(i);
+                self.warps[ev.warp].scoreboard.retire(ev.token);
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if progressed {
+            self.last_progress = now;
+        }
+    }
+
+    /// Re-associates instruction-buffer entries with the warp-splits they
+    /// were fetched for (entries are tagged by PC, so when the HCT sorter
+    /// swaps the hot contexts the buffered instructions follow), and
+    /// squashes entries whose split moved under them (the redundant-fetch
+    /// cost of desynchronisation).
+    fn validate_ibufs(&mut self) {
+        for w in 0..self.warps.len() {
+            if self.warps[w].ibuf.iter().all(Option::is_none) {
+                continue;
+            }
+            // The reserved pending-primary entry is validated at issue.
+            let reserved = self
+                .pending_primary
+                .filter(|pp| pp.warp == w)
+                .map(|pp| pp.slot);
+            let mut pool: Vec<IbufEntry> = Vec::with_capacity(2);
+            for slot in 0..2 {
+                if reserved == Some(slot) {
+                    continue;
+                }
+                if let Some(e) = self.warps[w].ibuf[slot].take() {
+                    pool.push(e);
+                }
+            }
+            for slot in 0..2 {
+                if reserved == Some(slot) {
+                    continue;
+                }
+                if let Some((pc, _, _)) = self.ctx(w, slot) {
+                    if let Some(i) = pool.iter().position(|e| e.pc == pc) {
+                        self.warps[w].ibuf[slot] = Some(pool.swap_remove(i));
+                    }
+                }
+            }
+            self.stats.fetch_squashes += pool.len() as u64;
+        }
+    }
+
+    /// Checks whether `(w, slot)` holds a ready instruction whose execution
+    /// group has a free issue port (schedulers pick the oldest *eligible*
+    /// instruction — a busy unit does not stall the whole slot). Pure — no
+    /// statistics are updated here.
+    fn ready_check(&self, w: usize, slot: usize) -> Option<Ready> {
+        let r = self.ready_check_nogroup(w, slot)?;
+        if r.unit != UnitClass::Control && self.groups.find_free(r.unit, self.cycle).is_none() {
+            return None;
+        }
+        Some(r)
+    }
+
+    /// [`Sm::ready_check`] without the free-group requirement (used by the
+    /// SWI cascade to *hold* a pending primary while its port drains).
+    fn ready_check_nogroup(&self, w: usize, slot: usize) -> Option<Ready> {
+        let warp = &self.warps[w];
+        let (pc, mask, at_barrier) = self.ctx(w, slot)?;
+        if at_barrier {
+            return None;
+        }
+        let entry = warp.ibuf[slot]?;
+        if entry.pc != pc || entry.fetched_at >= self.cycle {
+            return None;
+        }
+        let instr = &self.program[pc];
+        // SBI reconvergence constraints (§3.3, conservative form): the
+        // secondary split never executes past a SYNC marker — it parks
+        // there until the primary catches up and the HCT sorter merges
+        // them. (The paper's (PCdiv, PCrec) window with PCdiv = the
+        // immediate dominator's last instruction degenerates for loop-exit
+        // joins, whose immediate dominator is the loop-back block itself,
+        // so loop-carried run-ahead would never suspend.)
+        if slot == 1 && self.cfg.sbi_constraints && instr.op == Op::Sync {
+            if let Some((cpc1, _, _)) = self.ctx(w, 0) {
+                if cpc1 < pc {
+                    return None;
+                }
+            }
+        }
+        if warp.scoreboard.depends(instr, mask, slot) {
+            return None;
+        }
+        if (instr.dst.is_some() || instr.pdst.is_some()) && !warp.scoreboard.has_free() {
+            return None;
+        }
+        Some(Ready {
+            warp: w,
+            slot,
+            pc,
+            mask,
+            unit: instr.op.unit(),
+            seq: entry.seq,
+        })
+    }
+
+    /// Counts a constraint suspension if that is the (only) reason the slot
+    /// is not ready (statistics for §5.1's constraints discussion).
+    fn note_constraint_suspension(&mut self, w: usize) {
+        if !self.cfg.sbi_constraints {
+            return;
+        }
+        if let Some((pc, _, at_barrier)) = self.ctx(w, 1) {
+            if at_barrier {
+                return;
+            }
+            let instr = &self.program[pc];
+            if instr.op == Op::Sync {
+                if let Some((cpc1, _, _)) = self.ctx(w, 0) {
+                    if cpc1 < pc {
+                        self.stats.constraint_suspensions += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- front-ends -----------------------------------------------------------
+
+    /// Baseline / Warp64: two pools by warp-ID parity, one oldest-first
+    /// issue each per cycle.
+    fn issue_dual_pool(&mut self) -> usize {
+        let mut issued = 0;
+        let first = (self.cycle % 2) as usize;
+        for pool in [first, 1 - first] {
+            let mut best: Option<Ready> = None;
+            for w in (0..self.warps.len()).filter(|w| w % 2 == pool) {
+                if let Some(r) = self.ready_check(w, 0) {
+                    if best.is_none_or(|b| r.seq < b.seq) {
+                        best = Some(r);
+                    }
+                }
+            }
+            if let Some(r) = best {
+                if let Some(dispatch) = self.plan_dispatch(r.unit) {
+                    self.commit_warp_issue(
+                        r.warp,
+                        vec![Pick {
+                            ready: r,
+                            dispatch,
+                            secondary: false,
+                        }],
+                    );
+                    issued += 1;
+                }
+            }
+        }
+        issued
+    }
+
+    /// SBI: the (single) scheduler picks the warp with the oldest ready
+    /// *primary* (CPC1) instruction — the second front-end co-issues the
+    /// same warp's CPC2 where resources allow (fig. 3: `wid` feeds both
+    /// fetch paths). Scheduling is primary-led: the leading split never
+    /// advances while the laggard stalls, so desynchronised splits can
+    /// catch up and re-merge. When the picked warp offers no co-issuable
+    /// secondary, the second front-end falls back to the oldest ready
+    /// instruction of another warp for a *different* free SIMD group
+    /// (conventional multiple-issue — full masks cannot share lanes).
+    fn issue_sbi(&mut self) -> usize {
+        let mut best: Option<Ready> = None;
+        for w in 0..self.warps.len() {
+            if let Some(r) = self.ready_check(w, 0) {
+                if best.is_none_or(|b| r.seq < b.seq) {
+                    best = Some(r);
+                }
+            }
+            if self.ready_check(w, 1).is_none() {
+                self.note_constraint_suspension(w);
+            }
+        }
+        let Some(r1) = best else { return 0 };
+        let w = r1.warp;
+        let Some(d1) = self.plan_dispatch(r1.unit) else {
+            return 0;
+        };
+        let mut picks: Vec<Pick> = vec![Pick {
+            ready: r1,
+            dispatch: d1,
+            secondary: false,
+        }];
+        if let Some(r2) = self.ready_check(w, 1) {
+            if let Some(d2) = self.plan_coissue(&r1, d1, &r2) {
+                picks.push(Pick {
+                    ready: r2,
+                    dispatch: d2,
+                    secondary: true,
+                });
+            }
+        }
+        let mut issued = picks.len();
+        if picks.len() == 1 {
+            // Other-warp fallback for the idle front-end.
+            let p1 = picks[0];
+            let mut alt: Option<(Ready, Dispatch)> = None;
+            for ow in (0..self.warps.len()).filter(|&ow| ow != w) {
+                let Some(r) = self.ready_check(ow, 0) else {
+                    continue;
+                };
+                if alt.as_ref().is_some_and(|(b, _)| b.seq <= r.seq) {
+                    continue;
+                }
+                if r.unit == UnitClass::Control {
+                    alt = Some((r, Dispatch::None));
+                } else if r.unit != p1.ready.unit || matches!(p1.dispatch, Dispatch::None) {
+                    if let Some(g) = self.groups.find_free(r.unit, self.cycle) {
+                        alt = Some((r, Dispatch::Group(g)));
+                    }
+                }
+            }
+            if let Some((r, d)) = alt {
+                let i1 = &self.program[p1.ready.pc];
+                let i2 = &self.program[r.pc];
+                let lsu_clash = p1.ready.unit == UnitClass::Lsu && r.unit == UnitClass::Lsu;
+                if !(lsu_clash || (i1.op.is_branch() && i2.op.is_branch())) {
+                    issued += 1;
+                    self.commit_warp_issue(
+                        r.warp,
+                        vec![Pick {
+                            ready: r,
+                            dispatch: d,
+                            secondary: true,
+                        }],
+                    );
+                }
+            }
+        }
+        self.commit_warp_issue(w, picks);
+        issued
+    }
+
+    /// Dispatch plan for a lone instruction.
+    fn plan_dispatch(&self, unit: UnitClass) -> Option<Dispatch> {
+        if unit == UnitClass::Control {
+            return Some(Dispatch::None);
+        }
+        self.groups.find_free(unit, self.cycle).map(Dispatch::Group)
+    }
+
+    /// Dispatch plan for a secondary co-issued with `r1` (same warp, SBI):
+    /// ride the same group pass for MAD/SFU, otherwise another free group.
+    /// Enforces the one-divergence-per-cycle and single-LSU-port rules.
+    fn plan_coissue(&self, r1: &Ready, d1: Dispatch, r2: &Ready) -> Option<Dispatch> {
+        let i1 = &self.program[r1.pc];
+        let i2 = &self.program[r2.pc];
+        // "At most one divergence (branch or memory) can happen each cycle."
+        if i1.op.is_branch() && i2.op.is_branch() {
+            return None;
+        }
+        if r1.unit == UnitClass::Lsu && r2.unit == UnitClass::Lsu {
+            return None; // single 128-byte L1 port
+        }
+        if r2.unit == UnitClass::Control {
+            return Some(Dispatch::None);
+        }
+        if r2.unit == r1.unit && matches!(r1.unit, UnitClass::Mad | UnitClass::Sfu) {
+            if let Dispatch::Group(g) = d1 {
+                return Some(Dispatch::Ride(g));
+            }
+        }
+        // Different class (or primary was control): needs its own free group.
+        self.groups.find_free(r2.unit, self.cycle).map(Dispatch::Group)
+    }
+
+    /// SWI / SBI+SWI: cascaded two-phase scheduling (2-cycle scheduler
+    /// latency). This cycle issues the primary picked *last* cycle plus a
+    /// secondary found now; in parallel the next primary is picked, with
+    /// a-posteriori conflict squashing (§4).
+    fn issue_swi(&mut self) -> usize {
+        // Phase n+1 primary pick (in parallel with this cycle's secondary).
+        let mut np: Option<Ready> = None;
+        for w in 0..self.warps.len() {
+            // Exclude the entry reserved by the pending primary.
+            if let Some(pp) = self.pending_primary {
+                if pp.warp == w {
+                    continue;
+                }
+            }
+            if let Some(r) = self.ready_check(w, 0) {
+                if np.is_none_or(|b| r.seq < b.seq) {
+                    np = Some(r);
+                }
+            }
+        }
+
+        let mut issued = 0;
+        let pending = self.pending_primary.take();
+        let mut secondary_issued: Option<(usize, usize)> = None; // (warp, slot)
+        match pending {
+            Some(pp) => {
+                // Revalidate: the split may have moved, a dependency may
+                // have appeared, or the entry may have been squashed.
+                // (No free-group requirement: a busy port holds the pick.)
+                let still = self
+                    .ready_check_nogroup(pp.warp, pp.slot)
+                    .filter(|r| r.pc == pp.pc);
+                if let Some(r1) = still {
+                    if let Some(d1) = self.plan_dispatch(r1.unit) {
+                        let sec = self.find_swi_secondary(&r1, d1);
+                        let mut picks_by_warp: Vec<(usize, Vec<Pick>)> = vec![(
+                            r1.warp,
+                            vec![Pick {
+                                ready: r1,
+                                dispatch: d1,
+                                secondary: false,
+                            }],
+                        )];
+                        if let Some((r2, d2)) = sec {
+                            secondary_issued = Some((r2.warp, r2.slot));
+                            let pick2 = Pick {
+                                ready: r2,
+                                dispatch: d2,
+                                secondary: true,
+                            };
+                            if r2.warp == r1.warp {
+                                picks_by_warp[0].1.push(pick2);
+                            } else {
+                                picks_by_warp.push((r2.warp, vec![pick2]));
+                            }
+                        }
+                        for (w, picks) in picks_by_warp {
+                            issued += picks.len();
+                            self.commit_warp_issue(w, picks);
+                        }
+                    } else {
+                        // Port busy: hold the pick, stall the cascade.
+                        self.pending_primary = Some(pp);
+                        return 0;
+                    }
+                }
+                // else: pick evaporated — bubble.
+            }
+            None => {
+                // No pending primary (start-up or after a conflict): the
+                // secondary scheduler "substitutes itself", picking by its
+                // own best-fit policy.
+                if let Some(r) = self.swi_solo_pick() {
+                    if let Some(d) = self.plan_dispatch(r.unit) {
+                        secondary_issued = Some((r.warp, r.slot));
+                        self.commit_warp_issue(
+                            r.warp,
+                            vec![Pick {
+                                ready: r,
+                                dispatch: d,
+                                secondary: true,
+                            }],
+                        );
+                        issued += 1;
+                    }
+                }
+            }
+        }
+
+        // Conflict: the secondary issued the very instruction the next
+        // primary picked — squash the primary copy.
+        if let (Some(np_r), Some(sec)) = (np, secondary_issued) {
+            if (np_r.warp, np_r.slot) == sec {
+                self.stats.scheduler_conflicts += 1;
+                np = None;
+            }
+        }
+        self.pending_primary = np.map(|r| PendingPrimary {
+            warp: r.warp,
+            slot: r.slot,
+            pc: r.pc,
+        });
+        issued
+    }
+
+    /// The SWI secondary lookup: search the primary's associativity set for
+    /// a ready instruction whose lanes fit in the primary's free lanes
+    /// (same-group ride), or any instruction for another free group.
+    /// Best-fit (max occupancy) with pseudo-random tie-breaking.
+    fn find_swi_secondary(&mut self, r1: &Ready, d1: Dispatch) -> Option<(Ready, Dispatch)> {
+        let width = self.cfg.warp_width;
+        let nw = self.cfg.num_warps;
+        let shuffle = self.cfg.lane_shuffle;
+        let free = Mask::full(width) - shuffle.mask_to_lanes(r1.mask, r1.warp, width, nw);
+        let sets = self.cfg.swi_assoc.num_sets(nw);
+        let my_set = r1.warp % sets;
+
+        let mut rides: Vec<(Ready, usize, u32)> = Vec::new(); // (ready, group, fit)
+        let mut others: Vec<(Ready, Dispatch)> = Vec::new();
+
+        // Same-warp CPC2 (SBI-style) — always reachable, no lookup needed.
+        let slots = self.slots_per_warp();
+        if slots > 1 {
+            if let Some(r2) = self.ready_check(r1.warp, 1) {
+                if let Some(d2) = self.plan_coissue(r1, d1, &r2) {
+                    match d2 {
+                        Dispatch::Ride(g) => rides.push((r2, g, r2.mask.count())),
+                        d => others.push((r2, d)),
+                    }
+                }
+            }
+        }
+
+        for w in (0..nw).filter(|w| w % sets == my_set && *w != r1.warp) {
+            for slot in 0..slots {
+                let Some(r2) = self.ready_check(w, slot) else {
+                    continue;
+                };
+                self.stats.lookup_probes += 1;
+                let i2 = &self.program[r2.pc];
+                if r2.unit == UnitClass::Lsu && r1.unit == UnitClass::Lsu {
+                    continue;
+                }
+                if i2.op.is_branch() && self.program[r1.pc].op.is_branch() {
+                    // Cross-warp branches are fine (separate HCT sorters),
+                    // so no restriction here.
+                }
+                let lanes = shuffle.mask_to_lanes(r2.mask, w, width, nw);
+                if r2.unit == r1.unit
+                    && matches!(r1.unit, UnitClass::Mad | UnitClass::Sfu)
+                    && lanes.is_subset(free)
+                {
+                    if let Dispatch::Group(g) = d1 {
+                        rides.push((r2, g, lanes.count()));
+                        continue;
+                    }
+                }
+                if r2.unit == UnitClass::Control {
+                    others.push((r2, Dispatch::None));
+                } else if r2.unit != r1.unit {
+                    if let Some(g) = self.groups.find_free(r2.unit, self.cycle) {
+                        others.push((r2, Dispatch::Group(g)));
+                    }
+                }
+            }
+        }
+
+        // Best fit: maximise occupancy; pseudo-random tie-breaking.
+        if !rides.is_empty() {
+            let best_fit = rides.iter().map(|&(_, _, c)| c).max().expect("non-empty");
+            let tied: Vec<&(Ready, usize, u32)> =
+                rides.iter().filter(|&&(_, _, c)| c == best_fit).collect();
+            let pick = tied[self.rng.gen_range(0..tied.len())];
+            self.stats.lookup_hits += 1;
+            return Some((pick.0, Dispatch::Ride(pick.1)));
+        }
+        if !others.is_empty() {
+            let oldest = others
+                .into_iter()
+                .min_by_key(|(r, _)| r.seq)
+                .expect("non-empty");
+            self.stats.lookup_hits += 1;
+            return Some(oldest);
+        }
+        None
+    }
+
+    /// The secondary scheduler's solo pick (after a conflict bubble):
+    /// best-fit over all ready instructions.
+    fn swi_solo_pick(&mut self) -> Option<Ready> {
+        let slots = self.slots_per_warp();
+        let mut best: Vec<Ready> = Vec::new();
+        let mut best_fit = 0;
+        for w in 0..self.warps.len() {
+            for slot in 0..slots {
+                if let Some(r) = self.ready_check(w, slot) {
+                    let c = r.mask.count();
+                    if c > best_fit {
+                        best_fit = c;
+                        best.clear();
+                    }
+                    if c == best_fit {
+                        best.push(r);
+                    }
+                }
+            }
+        }
+        if best.is_empty() {
+            None
+        } else {
+            Some(best[self.rng.gen_range(0..best.len())])
+        }
+    }
+
+    // --- issue commit ----------------------------------------------------------
+
+    /// Issues `picks` (1 or 2 instructions) for warp `w`: functional
+    /// execution, back-end timing, divergence update, scoreboard event.
+    fn commit_warp_issue(&mut self, w: usize, picks: Vec<Pick>) {
+        debug_assert!(!picks.is_empty() && picks.len() <= 2);
+        let before = self.slot_masks(w);
+        let mut transitions: [Option<Transition>; 2] = [None, None];
+        let mut sb_alloc: Vec<(usize, Instruction, Mask)> = Vec::new();
+        let mut wb_times: Vec<(usize, u64)> = Vec::new(); // parallel to sb_alloc? index by pick order
+
+        for pick in &picks {
+            let r = pick.ready;
+            let instr = self.program[r.pc].clone();
+            let (taken, accesses) = self.execute_functional(w, &instr, r.mask);
+            let transition = self.transition_for(&instr, r.pc, r.mask, taken);
+            transitions[r.slot] = Some(transition);
+
+            // Back-end timing.
+            let wb_time = self.time_pick(w, &instr, r.mask, &accesses, pick.dispatch);
+
+            // Statistics & trace.
+            self.stats.warp_instructions += 1;
+            self.stats.thread_instructions += r.mask.count() as u64;
+            if pick.secondary {
+                self.stats.secondary_issues += 1;
+                match pick.dispatch {
+                    Dispatch::Ride(_) => self.stats.same_group_coissues += 1,
+                    _ => self.stats.other_group_coissues += 1,
+                }
+            } else {
+                self.stats.primary_issues += 1;
+            }
+            if let Some(trace) = &mut self.trace {
+                let lanes = self.cfg.lane_shuffle.mask_to_lanes(
+                    r.mask,
+                    w,
+                    self.cfg.warp_width,
+                    self.cfg.num_warps,
+                );
+                trace.push(TraceEvent {
+                    cycle: self.cycle,
+                    warp: w,
+                    slot: if pick.secondary {
+                        IssueSlot::Secondary
+                    } else {
+                        IssueSlot::Primary
+                    },
+                    pc: r.pc,
+                    mask: r.mask,
+                    lanes,
+                    unit: r.unit,
+                });
+            }
+
+            if instr.dst.is_some() || instr.pdst.is_some() {
+                sb_alloc.push((r.slot, instr, r.mask));
+                wb_times.push((r.slot, wb_time));
+            }
+
+            // Consume the instruction-buffer entry.
+            self.warps[w].ibuf[r.slot] = None;
+
+            // Handle exits & barriers at block level.
+            match transition {
+                Transition::Exit => self.thread_exit(w, r.mask),
+                Transition::Barrier(_) => {
+                    let slot = self.warps[w].block_slot;
+                    self.blocks[slot].barrier_arrived += r.mask.count();
+                }
+                _ => {}
+            }
+        }
+
+        // Divergence update (one event covering both co-issued instructions,
+        // like the HCT sorter receiving CPC1/CPC2/CPC3 at once).
+        let branch_reconv = picks
+            .iter()
+            .find(|p| {
+                matches!(
+                    transitions[p.ready.slot],
+                    Some(Transition::Split { .. })
+                )
+            })
+            .map(|p| self.program[p.ready.pc].reconv)
+            .unwrap_or(None);
+        let sideband_free = self.sideband_busy_until <= self.cycle;
+        match &mut self.warps[w].div {
+            Divergence::Stack(s) => {
+                let t = transitions[0].expect("stack issues from slot 0");
+                s.apply(t, branch_reconv);
+            }
+            Divergence::Frontier(h) => {
+                let update = h.apply_pair(transitions[0], transitions[1], sideband_free);
+                if update.spilled && !update.degraded && self.cfg.model_sideband_sorter {
+                    self.sideband_busy_until = self.cycle + update.cct_walk as u64;
+                }
+            }
+        }
+
+        // Scoreboard: allocate the entry for this event, then fold the slot
+        // transition into every in-flight matrix.
+        let after = self.slot_masks(w);
+        let mut new_entry = None;
+        if !sb_alloc.is_empty() {
+            let warp = &mut self.warps[w];
+            let (first, rest) = sb_alloc.split_first().expect("non-empty");
+            let i2 = rest.first().map(|(_, i, m)| (i, *m));
+            let tokens = warp
+                .scoreboard
+                .allocate((&first.1, first.2), i2)
+                .expect("ready_check guaranteed a free entry");
+            new_entry = Some(tokens.0);
+            self.pending_wb.push(WbEvent {
+                time: wb_times[0].1,
+                warp: w,
+                token: tokens.0,
+            });
+            if let (Some(t2), Some(&(_, wb2))) = (tokens.1, wb_times.get(1)) {
+                self.pending_wb.push(WbEvent {
+                    time: wb2,
+                    warp: w,
+                    token: t2,
+                });
+            }
+        }
+        if self.cfg.scoreboard_mode == ScoreboardMode::Matrix {
+            self.warps[w]
+                .scoreboard
+                .on_event(&before, &after, new_entry);
+        }
+    }
+
+    /// Functional execution of `instr` for the threads in `mask`: applies
+    /// register writes, performs memory reads/writes, returns the taken
+    /// mask (branches) and the access list `(thread, addr, data)`.
+    fn execute_functional(
+        &mut self,
+        w: usize,
+        instr: &Instruction,
+        mask: Mask,
+    ) -> (Mask, Vec<(usize, u32, u32)>) {
+        let mut taken = Mask::EMPTY;
+        let mut accesses: Vec<(usize, u32, u32)> = Vec::new();
+        let block_slot = self.warps[w].block_slot;
+        for t in mask.iter() {
+            let warp = &self.warps[w];
+            if !warp.populated.get(t) {
+                continue;
+            }
+            let regs = &warp.regs[t];
+            let info = &warp.infos[t];
+            if !guard_passes(instr, regs) {
+                continue;
+            }
+            let out = execute_thread(instr, regs, info, &self.params);
+            if out.branch_taken {
+                taken = taken.with(t);
+            }
+            if let Some(addr) = out.mem_addr {
+                accesses.push((t, addr, out.mem_data.unwrap_or(0)));
+            }
+            let warp = &mut self.warps[w];
+            if let Some((r, v)) = out.reg_write {
+                warp.regs[t].set_reg(r, v);
+            }
+            if let Some((p, v)) = out.pred_write {
+                warp.regs[t].set_pred(p, v);
+            }
+        }
+        // Memory side effects (loads read, stores/atomics write).
+        match instr.op {
+            Op::Ld => {
+                for &(t, addr, _) in &accesses {
+                    let v = match instr.space {
+                        warpweave_isa::MemSpace::Global => self.mem.read_u32(addr & !3),
+                        warpweave_isa::MemSpace::Shared => {
+                            self.shared[block_slot].read_u32(addr & !3)
+                        }
+                    };
+                    let d = instr.dst.expect("load has dst").index();
+                    self.warps[w].regs[t].set_reg(d, v);
+                }
+            }
+            Op::St => {
+                for &(t, addr, data) in &accesses {
+                    let _ = t;
+                    match instr.space {
+                        warpweave_isa::MemSpace::Global => self.mem.write_u32(addr & !3, data),
+                        warpweave_isa::MemSpace::Shared => {
+                            self.shared[block_slot].write_u32(addr & !3, data)
+                        }
+                    }
+                }
+            }
+            Op::AtomAdd => {
+                for &(_, addr, data) in &accesses {
+                    match instr.space {
+                        warpweave_isa::MemSpace::Global => {
+                            let old = self.mem.read_u32(addr & !3);
+                            self.mem.write_u32(addr & !3, old.wrapping_add(data));
+                        }
+                        warpweave_isa::MemSpace::Shared => {
+                            let old = self.shared[block_slot].read_u32(addr & !3);
+                            self.shared[block_slot].write_u32(addr & !3, old.wrapping_add(data));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        (taken, accesses)
+    }
+
+    /// Builds the control-flow transition for an executed instruction.
+    fn transition_for(&self, instr: &Instruction, pc: Pc, mask: Mask, taken: Mask) -> Transition {
+        match instr.op {
+            Op::Bra => Transition::from_branch(
+                mask,
+                taken,
+                instr.target.expect("validated branch"),
+                pc.next(),
+            ),
+            Op::Exit => Transition::Exit,
+            Op::Bar => Transition::Barrier(pc.next()),
+            _ => Transition::Advance(pc.next()),
+        }
+    }
+
+    /// Back-end timing for one pick; returns the writeback cycle.
+    fn time_pick(
+        &mut self,
+        w: usize,
+        instr: &Instruction,
+        _mask: Mask,
+        accesses: &[(usize, u32, u32)],
+        dispatch: Dispatch,
+    ) -> u64 {
+        let now = self.cycle;
+        let width = self.cfg.warp_width;
+        let lat = self.cfg.exec_latency as u64 + self.cfg.delivery_latency as u64;
+        match dispatch {
+            Dispatch::None => now + 1,
+            Dispatch::Ride(g) => {
+                // Shares the primary's waves: same completion profile, no
+                // extra port occupancy.
+                let waves = self.groups.waves(g, width);
+                now + waves - 1 + lat
+            }
+            Dispatch::Group(g) => {
+                match instr.op.unit() {
+                    UnitClass::Mad | UnitClass::Sfu => {
+                        let waves = self.groups.waves(g, width);
+                        let last = self.groups.occupy(g, now, waves);
+                        last + lat
+                    }
+                    UnitClass::Lsu => {
+                        let addr_list: Vec<(usize, u32)> =
+                            accesses.iter().map(|&(t, a, _)| (t, a & !3)).collect();
+                        let waves = self.groups.waves(g, width);
+                        let (port, ready) = match (instr.space, instr.op) {
+                            (warpweave_isa::MemSpace::Global, Op::AtomAdd) => {
+                                let txs = atomic_transactions(&addr_list);
+                                self.stats.lsu_transactions += txs.len() as u64;
+                                if txs.len() > 1 {
+                                    self.stats.lsu_replays += 1;
+                                }
+                                let t = time_global(&mut self.l1, &mut self.dram, now, &txs, true);
+                                (t.port_cycles, now + 1)
+                            }
+                            (warpweave_isa::MemSpace::Global, op) => {
+                                let txs = coalesce(&addr_list);
+                                self.stats.lsu_transactions += txs.len() as u64;
+                                if txs.len() > 1 {
+                                    self.stats.lsu_replays += 1;
+                                }
+                                let t = time_global(
+                                    &mut self.l1,
+                                    &mut self.dram,
+                                    now,
+                                    &txs,
+                                    op == Op::St,
+                                );
+                                (t.port_cycles, t.data_ready)
+                            }
+                            (warpweave_isa::MemSpace::Shared, Op::AtomAdd) => {
+                                let txs = atomic_transactions(&addr_list);
+                                self.stats.lsu_transactions += txs.len() as u64;
+                                (
+                                    txs.len().max(1) as u64,
+                                    now + self.cfg.shared_latency as u64,
+                                )
+                            }
+                            (warpweave_isa::MemSpace::Shared, _) => {
+                                let passes = shared_passes(&addr_list);
+                                self.stats.lsu_transactions += passes;
+                                if passes > 1 {
+                                    self.stats.lsu_replays += 1;
+                                }
+                                (passes, now + passes - 1 + self.cfg.shared_latency as u64)
+                            }
+                        };
+                        self.groups.occupy(g, now, port.max(waves));
+                        let _ = w;
+                        ready + self.cfg.delivery_latency as u64
+                    }
+                    UnitClass::Control => now + 1,
+                }
+            }
+        }
+    }
+
+    fn thread_exit(&mut self, w: usize, mask: Mask) {
+        let warp = &mut self.warps[w];
+        let newly = mask - warp.exited;
+        warp.exited |= mask;
+        let slot = warp.block_slot;
+        self.blocks[slot].alive_threads -= newly.count();
+        if warp.exited == warp.populated {
+            // Transition::Exit removal happens in the divergence structure;
+            // keep `alive` true until the scoreboard drains (refill handles
+            // it).
+        }
+    }
+
+    fn release_barriers(&mut self) {
+        for b in 0..self.blocks.len() {
+            let blk = self.blocks[b];
+            if !blk.active || blk.barrier_arrived == 0 {
+                continue;
+            }
+            if blk.barrier_arrived >= blk.alive_threads {
+                for w in blk.first_warp..blk.first_warp + blk.num_warps {
+                    match &mut self.warps[w].div {
+                        Divergence::Stack(s) => s.release_barrier(),
+                        Divergence::Frontier(h) => h.release_barrier(),
+                    }
+                }
+                self.blocks[b].barrier_arrived = 0;
+                self.stats.barrier_releases += 1;
+                self.last_progress = self.cycle;
+            }
+        }
+    }
+
+    /// Retires finished blocks and assigns fresh blocks to free slots.
+    fn refill_blocks(&mut self) {
+        for b in 0..self.blocks.len() {
+            let blk = self.blocks[b];
+            if blk.active && blk.alive_threads == 0 {
+                // Wait for the warps' scoreboards to drain before recycling.
+                let drained = (blk.first_warp..blk.first_warp + blk.num_warps)
+                    .all(|w| self.warps[w].scoreboard.in_flight() == 0);
+                if drained {
+                    self.blocks[b].active = false;
+                    for w in blk.first_warp..blk.first_warp + blk.num_warps {
+                        self.warps[w].alive = false;
+                        self.warps[w].ibuf = [None, None];
+                    }
+                    self.stats.blocks_completed += 1;
+                    self.last_progress = self.cycle;
+                }
+            }
+            if !self.blocks[b].active && self.next_block < self.grid_blocks {
+                let block_id = self.next_block;
+                self.next_block += 1;
+                self.assign_block(b, block_id);
+                self.last_progress = self.cycle;
+            }
+        }
+    }
+
+    fn assign_block(&mut self, slot: usize, block_id: u32) {
+        let blk = &mut self.blocks[slot];
+        blk.active = true;
+        blk.block_id = block_id;
+        blk.alive_threads = self.block_threads;
+        blk.barrier_arrived = 0;
+        let first = blk.first_warp;
+        let nwarps = blk.num_warps;
+        self.shared[slot] = Memory::new();
+        let width = self.cfg.warp_width;
+        for wi in 0..nwarps {
+            let w = first + wi;
+            let base_tid = (wi * width) as u32;
+            let populated: Mask = (0..width)
+                .filter(|&t| base_tid + (t as u32) < self.block_threads)
+                .collect();
+            let warp = &mut self.warps[w];
+            warp.alive = true;
+            warp.block_slot = slot;
+            warp.exited = Mask::EMPTY;
+            warp.populated = populated;
+            warp.regs = (0..width).map(|_| ThreadRegs::new()).collect();
+            warp.infos = (0..width)
+                .map(|t| ThreadInfo {
+                    tid: base_tid + t as u32,
+                    ctaid: block_id,
+                    ntid: self.block_threads,
+                    nctaid: self.grid_blocks,
+                    lane: self.cfg.lane_shuffle.lane(t, w, width, self.cfg.num_warps) as u32,
+                    warp: w as u32,
+                })
+                .collect();
+            warp.scoreboard =
+                Scoreboard::new(self.cfg.scoreboard_mode, self.cfg.scoreboard_entries);
+            warp.ibuf = [None, None];
+            warp.div = match self.cfg.divergence {
+                crate::config::DivergenceModel::Stack => {
+                    Divergence::Stack(PdomStack::new(populated))
+                }
+                crate::config::DivergenceModel::Frontier => {
+                    Divergence::Frontier(FrontierHeap::new(populated))
+                }
+            };
+        }
+    }
+
+    /// Two fetch/decode channels refill instruction-buffer entries
+    /// round-robin (1 instruction per channel per cycle — paper §2).
+    /// In SBI modes the second channel follows the CPC2 stream but falls
+    /// back to the CPC1 stream when no warp has a secondary split to fetch
+    /// for (otherwise the channel would idle on convergent code).
+    fn fetch(&mut self) {
+        let nw = self.cfg.num_warps;
+        // Channel domains: ordered preferences of (parity filter, slot).
+        let channels: [&[(Option<usize>, usize)]; 2] = match self.cfg.frontend {
+            Frontend::Baseline | Frontend::Warp64 => [&[(Some(0), 0)], &[(Some(1), 0)]],
+            Frontend::Sbi | Frontend::SbiSwi => [&[(None, 0)], &[(None, 1), (None, 0)]],
+            Frontend::Swi => [&[(None, 0)], &[(None, 0)]],
+        };
+        for (ch, prefs) in channels.into_iter().enumerate() {
+            let mut advanced = false;
+            'pref: for &(parity, slot) in prefs {
+                for k in 0..nw {
+                    let w = (self.fetch_rr[ch] + k) % nw;
+                    if let Some(p) = parity {
+                        if w % 2 != p {
+                            continue;
+                        }
+                    }
+                    if !self.warps[w].alive || self.warps[w].ibuf[slot].is_some() {
+                        continue;
+                    }
+                    let Some((pc, _, _)) = self.ctx(w, slot) else {
+                        continue;
+                    };
+                    self.warps[w].ibuf[slot] = Some(IbufEntry {
+                        pc,
+                        fetched_at: self.cycle,
+                        seq: self.next_seq,
+                    });
+                    self.next_seq += 1;
+                    self.fetch_rr[ch] = (w + 1) % nw;
+                    advanced = true;
+                    break 'pref;
+                }
+            }
+            if !advanced {
+                self.fetch_rr[ch] = (self.fetch_rr[ch] + 1) % nw;
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Simulation statistics.
+
+use warpweave_mem::{CacheStats, DramStats};
+
+use crate::divergence::frontier::HeapStats;
+
+/// Counters collected over one kernel execution on one SM.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Thread-instructions committed (Σ active-mask population per issued
+    /// instruction) — the numerator of the paper's IPC metric.
+    pub thread_instructions: u64,
+    /// Warp-level instructions issued.
+    pub warp_instructions: u64,
+    /// Primary-slot issues.
+    pub primary_issues: u64,
+    /// Secondary-slot issues (SBI/SWI co-issues).
+    pub secondary_issues: u64,
+    /// Secondary issues that shared the primary's SIMD group (disjoint
+    /// lanes, single pass).
+    pub same_group_coissues: u64,
+    /// Secondary issues dispatched to a different free SIMD group.
+    pub other_group_coissues: u64,
+    /// Instruction-buffer entries squashed because the warp-split state
+    /// changed under them (redundant fetch cost of desynchronisation).
+    pub fetch_squashes: u64,
+    /// Primary picks squashed because the cascaded secondary scheduler had
+    /// already issued the same instruction (paper §4, conflict avoidance).
+    pub scheduler_conflicts: u64,
+    /// Cycles a secondary warp-split spent suspended by a reconvergence
+    /// constraint (§3.3).
+    pub constraint_suspensions: u64,
+    /// SWI mask-lookup probes performed.
+    pub lookup_probes: u64,
+    /// SWI lookups that found a co-issuable instruction.
+    pub lookup_hits: u64,
+    /// Memory transactions issued by the LSU (after coalescing).
+    pub lsu_transactions: u64,
+    /// Memory instructions that needed replay (more than one transaction).
+    pub lsu_replays: u64,
+    /// Cycles with zero instructions issued.
+    pub idle_cycles: u64,
+    /// Block barrier releases.
+    pub barrier_releases: u64,
+    /// Thread blocks completed.
+    pub blocks_completed: u64,
+    /// High-water PDOM stack depth across warps (baseline).
+    pub max_stack_depth: usize,
+    /// Aggregated frontier-heap statistics across warps.
+    pub heap: HeapStats,
+    /// L1 statistics (copied at teardown).
+    pub l1: CacheStats,
+    /// DRAM statistics (copied at teardown).
+    pub dram: DramStats,
+}
+
+impl Stats {
+    /// Thread-instructions per cycle — the metric of fig. 7.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.thread_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average active threads per issued warp instruction (SIMD efficiency).
+    pub fn simd_efficiency(&self, warp_width: usize) -> f64 {
+        if self.warp_instructions == 0 {
+            0.0
+        } else {
+            self.thread_instructions as f64 / (self.warp_instructions as f64 * warp_width as f64)
+        }
+    }
+
+    /// Fraction of issue events that co-issued a secondary instruction.
+    pub fn coissue_rate(&self) -> f64 {
+        if self.primary_issues == 0 {
+            0.0
+        } else {
+            self.secondary_issues as f64 / self.primary_issues as f64
+        }
+    }
+
+    /// Folds the statistics of a subsequent launch into this one (summing
+    /// counters, taking the maximum of high-water marks) — used by
+    /// multi-launch workloads such as BFS.
+    pub fn accumulate(&mut self, other: &Stats) {
+        self.cycles += other.cycles;
+        self.thread_instructions += other.thread_instructions;
+        self.warp_instructions += other.warp_instructions;
+        self.primary_issues += other.primary_issues;
+        self.secondary_issues += other.secondary_issues;
+        self.same_group_coissues += other.same_group_coissues;
+        self.other_group_coissues += other.other_group_coissues;
+        self.fetch_squashes += other.fetch_squashes;
+        self.scheduler_conflicts += other.scheduler_conflicts;
+        self.constraint_suspensions += other.constraint_suspensions;
+        self.lookup_probes += other.lookup_probes;
+        self.lookup_hits += other.lookup_hits;
+        self.lsu_transactions += other.lsu_transactions;
+        self.lsu_replays += other.lsu_replays;
+        self.idle_cycles += other.idle_cycles;
+        self.barrier_releases += other.barrier_releases;
+        self.blocks_completed += other.blocks_completed;
+        self.max_stack_depth = self.max_stack_depth.max(other.max_stack_depth);
+        self.heap.max_live_splits = self.heap.max_live_splits.max(other.heap.max_live_splits);
+        self.heap.spills += other.heap.spills;
+        self.heap.degraded_inserts += other.heap.degraded_inserts;
+        self.heap.merges += other.heap.merges;
+        self.l1.load_hits += other.l1.load_hits;
+        self.l1.load_misses += other.l1.load_misses;
+        self.l1.stores += other.l1.stores;
+        self.dram.read_transfers += other.dram.read_transfers;
+        self.dram.write_transfers += other.dram.write_transfers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_efficiency() {
+        let s = Stats {
+            cycles: 100,
+            thread_instructions: 3200,
+            warp_instructions: 200,
+            ..Stats::default()
+        };
+        assert_eq!(s.ipc(), 32.0);
+        assert_eq!(s.simd_efficiency(32), 0.5);
+    }
+
+    #[test]
+    fn zero_cycle_safety() {
+        let s = Stats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.simd_efficiency(32), 0.0);
+        assert_eq!(s.coissue_rate(), 0.0);
+    }
+}

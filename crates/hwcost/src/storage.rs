@@ -1,0 +1,282 @@
+//! Storage inventory per architecture — reproduces **table 3** ("Summary of
+//! the hardware requirements for each proposed technique").
+//!
+//! The paper provisions structures for Fermi's full 48-warp capacity: two
+//! schedulers × 24 warps of 32 threads for the baseline, or 24 warps of 64
+//! threads for SBI/SWI. Every geometry below is derived from first
+//! principles (PC width, mask width, entry counts) and checked against the
+//! paper's figures in the unit tests.
+
+use std::fmt;
+
+/// The four evaluated architectures, in table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Fermi-like baseline.
+    Baseline,
+    /// Simultaneous Branch Interweaving.
+    Sbi,
+    /// Simultaneous Warp Interweaving.
+    Swi,
+    /// Both combined.
+    SbiSwi,
+}
+
+impl Arch {
+    /// All architectures in table order.
+    pub const ALL: [Arch; 4] = [Arch::Baseline, Arch::Sbi, Arch::Swi, Arch::SbiSwi];
+
+    /// Table column label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::Baseline => "Baseline",
+            Arch::Sbi => "SBI",
+            Arch::Swi => "SWI",
+            Arch::SbiSwi => "SBI+SWI",
+        }
+    }
+}
+
+/// Structure sizing parameters (Fermi capacity, as assumed in §5.2).
+#[derive(Debug, Clone, Copy)]
+pub struct HwParams {
+    /// Warps managed per scheduler (Fermi: 48 warps of 32 = 24 per pool; the
+    /// 64-wide designs hold 24 warps total).
+    pub warps: u32,
+    /// Program-counter width in bits.
+    pub pc_bits: u32,
+    /// Scoreboard entries per warp (table 2: 6).
+    pub scoreboard_entries: u32,
+    /// Bits per baseline scoreboard entry (destination register ID + flags).
+    pub scoreboard_entry_bits: u32,
+    /// Reconvergence-stack blocks per warp × entries per block (baseline:
+    /// 3 × 4 of 64 bits).
+    pub stack_blocks_per_warp: u32,
+    /// Entries per stack block.
+    pub stack_entries_per_block: u32,
+    /// CCT entries shared per scheduler pool (§5.2: 8 per warp ⇒ the paper
+    /// sizes a 128-entry table).
+    pub cct_entries: u32,
+}
+
+impl Default for HwParams {
+    fn default() -> Self {
+        HwParams {
+            warps: 24,
+            pc_bits: 32,
+            scoreboard_entries: 6,
+            scoreboard_entry_bits: 8,
+            stack_blocks_per_warp: 3,
+            stack_entries_per_block: 4,
+            cct_entries: 128,
+        }
+    }
+}
+
+/// One row of the storage inventory.
+#[derive(Debug, Clone)]
+pub struct StorageRow {
+    /// Component name (table 3's row label).
+    pub component: &'static str,
+    /// Geometry description, e.g. `2× 24× 48-bit`.
+    pub geometry: String,
+    /// Total bits.
+    pub bits: u64,
+    /// Qualitative note (ports, organisation).
+    pub note: &'static str,
+}
+
+impl fmt::Display for StorageRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} {:>20} {:>9} bits  {}",
+            self.component, self.geometry, self.bits, self.note
+        )
+    }
+}
+
+/// Computes the storage inventory of one architecture (table 3's column).
+pub fn storage_inventory(arch: Arch, p: &HwParams) -> Vec<StorageRow> {
+    let w = p.warps as u64;
+    let pc = p.pc_bits as u64;
+    let mut rows = Vec::new();
+
+    // Scoreboard.
+    let sb_base = p.scoreboard_entries as u64 * p.scoreboard_entry_bits as u64; // 48 bits
+    let dep_matrix_bits = 9; // 3×3 boolean dependency matrix (fig. 6)
+    let sb_sbi = p.scoreboard_entries as u64
+        * (2 * (p.scoreboard_entry_bits as u64 - 1) + dep_matrix_bits + 1); // 2 dests + D + valid = 24
+    match arch {
+        Arch::Baseline => rows.push(StorageRow {
+            component: "Scoreboard",
+            geometry: format!("2x {w}x {sb_base}-bit"),
+            bits: 2 * w * sb_base,
+            note: "per-warp destination registers",
+        }),
+        Arch::Sbi => rows.push(StorageRow {
+            component: "Scoreboard",
+            geometry: format!("{w}x {}-bit", sb_sbi),
+            bits: w * sb_sbi,
+            note: "dual destinations + 3x3 dependency matrices",
+        }),
+        Arch::Swi => rows.push(StorageRow {
+            component: "Scoreboard",
+            geometry: format!("2x {w}x {sb_base}-bit"),
+            bits: 2 * w * sb_base,
+            note: "baseline scheme, banked per set",
+        }),
+        Arch::SbiSwi => rows.push(StorageRow {
+            component: "Scoreboard",
+            geometry: format!("{w}x {}-bit", 2 * sb_sbi),
+            bits: w * 2 * sb_sbi,
+            note: "SBI scheme, two issue slots",
+        }),
+    }
+
+    // Warp pool / Hot Context Table.
+    // Baseline context: PC + 32-thread mask = 64 bits. SBI hot context:
+    // 2 × (PC + 64-bit mask + valid) + CCT head pointer = 201 bits.
+    let ctx64 = pc + 64 + 1; // 97
+    let cct_ptr = 7;
+    match arch {
+        Arch::Baseline => rows.push(StorageRow {
+            component: "Warp pool/HCT",
+            geometry: format!("2x {w}x {}-bit", pc + 32),
+            bits: 2 * w * (pc + 32),
+            note: "top-of-stack context per warp",
+        }),
+        Arch::Sbi => rows.push(StorageRow {
+            component: "Warp pool/HCT",
+            geometry: format!("{w}x {}-bit", 2 * ctx64 + cct_ptr),
+            bits: w * (2 * ctx64 + cct_ptr),
+            note: "two hot contexts + CCT pointer",
+        }),
+        Arch::Swi => rows.push(StorageRow {
+            component: "Warp pool/HCT",
+            geometry: format!("{w}x {}-bit", ctx64 + cct_ptr),
+            bits: w * (ctx64 + cct_ptr),
+            note: "one hot context + CCT pointer",
+        }),
+        Arch::SbiSwi => rows.push(StorageRow {
+            component: "Warp pool/HCT",
+            geometry: format!("{w}x {}-bit, banked", 2 * ctx64 + cct_ptr),
+            bits: w * (2 * ctx64 + cct_ptr),
+            note: "as SBI, banked for set-associative lookup",
+        }),
+    }
+
+    // Divergence stack (baseline) / Cold Context Table (others).
+    let stack_blocks = 2 * w * p.stack_blocks_per_warp as u64; // 48 warps x 3
+    let block_bits = p.stack_entries_per_block as u64 * 64;
+    let cct_entry = pc + 64 + 1 + cct_ptr; // CPC + mask + valid + next = 104
+    match arch {
+        Arch::Baseline => rows.push(StorageRow {
+            component: "Stack/CCT",
+            geometry: format!("{stack_blocks}x {block_bits}-bit"),
+            bits: stack_blocks * block_bits,
+            note: "3 blocks of 4 64-bit entries per warp",
+        }),
+        _ => rows.push(StorageRow {
+            component: "Stack/CCT",
+            geometry: format!("{}x {cct_entry}-bit", p.cct_entries),
+            bits: p.cct_entries as u64 * cct_entry,
+            note: "linked-list cold contexts, sideband-sorted",
+        }),
+    }
+
+    // Instruction buffer: one 64-bit decoded entry per schedulable stream.
+    let (ib_entries, ib_note) = match arch {
+        Arch::Baseline => (2 * w, "one entry per 32-wide warp"),
+        Arch::Sbi => (2 * w, "two entries per 64-wide warp"),
+        Arch::Swi => (w, "one entry per warp, dual-ported"),
+        Arch::SbiSwi => (2 * w, "two entries per warp, dual-ported"),
+    };
+    rows.push(StorageRow {
+        component: "Insn. buffer",
+        geometry: format!("{ib_entries}x 64-bit"),
+        bits: ib_entries * 64,
+        note: ib_note,
+    });
+
+    rows
+}
+
+/// Total storage bits for one architecture.
+pub fn total_bits(arch: Arch, p: &HwParams) -> u64 {
+    storage_inventory(arch, p).iter().map(|r| r.bits).sum()
+}
+
+/// Renders the full table 3.
+pub fn format_table3(p: &HwParams) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3 — hardware requirements per technique\n");
+    for arch in Arch::ALL {
+        out.push_str(&format!("\n[{}]\n", arch.name()));
+        for row in storage_inventory(arch, p) {
+            out.push_str(&format!("  {row}\n"));
+        }
+        out.push_str(&format!(
+            "  {:<14} {:>30} bits\n",
+            "Total",
+            total_bits(arch, p)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry(arch: Arch, component: &str) -> String {
+        storage_inventory(arch, &HwParams::default())
+            .into_iter()
+            .find(|r| r.component == component)
+            .expect("component present")
+            .geometry
+    }
+
+    /// Every geometry string of table 3, verbatim.
+    #[test]
+    fn matches_paper_table3() {
+        assert_eq!(geometry(Arch::Baseline, "Scoreboard"), "2x 24x 48-bit");
+        assert_eq!(geometry(Arch::Sbi, "Scoreboard"), "24x 144-bit");
+        assert_eq!(geometry(Arch::Swi, "Scoreboard"), "2x 24x 48-bit");
+        assert_eq!(geometry(Arch::SbiSwi, "Scoreboard"), "24x 288-bit");
+        assert_eq!(geometry(Arch::Baseline, "Warp pool/HCT"), "2x 24x 64-bit");
+        assert_eq!(geometry(Arch::Sbi, "Warp pool/HCT"), "24x 201-bit");
+        assert_eq!(geometry(Arch::Swi, "Warp pool/HCT"), "24x 104-bit");
+        assert_eq!(
+            geometry(Arch::SbiSwi, "Warp pool/HCT"),
+            "24x 201-bit, banked"
+        );
+        assert_eq!(geometry(Arch::Baseline, "Stack/CCT"), "144x 256-bit");
+        assert_eq!(geometry(Arch::Sbi, "Stack/CCT"), "128x 104-bit");
+        assert_eq!(geometry(Arch::Baseline, "Insn. buffer"), "48x 64-bit");
+        assert_eq!(geometry(Arch::Swi, "Insn. buffer"), "24x 64-bit");
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let p = HwParams::default();
+        // SBI trades the big baseline stack for a leaner CCT.
+        assert!(total_bits(Arch::Sbi, &p) < total_bits(Arch::Baseline, &p));
+        // SBI+SWI needs the most scoreboard state.
+        let sb = |a: Arch| {
+            storage_inventory(a, &p)
+                .into_iter()
+                .find(|r| r.component == "Scoreboard")
+                .expect("row")
+                .bits
+        };
+        assert!(sb(Arch::SbiSwi) == 2 * sb(Arch::Sbi));
+    }
+
+    #[test]
+    fn table_renders() {
+        let s = format_table3(&HwParams::default());
+        assert!(s.contains("SBI+SWI"));
+        assert!(s.contains("24x 144-bit"));
+    }
+}

@@ -1,0 +1,594 @@
+//! A fluent assembler for warpweave kernels.
+//!
+//! [`KernelBuilder`] emits instructions with symbolic labels, then `build()`
+//! resolves labels, runs the CFG pass ([`crate::cfg`]) to annotate
+//! reconvergence points and insert `SYNC` markers, and returns a validated
+//! [`Program`].
+//!
+//! # Examples
+//! ```
+//! use warpweave_isa::{KernelBuilder, CmpOp, r, p};
+//!
+//! # fn main() -> Result<(), String> {
+//! let mut k = KernelBuilder::new("count_down");
+//! k.mov(r(0), 10i32);
+//! k.label("loop");
+//! k.iadd(r(0), r(0), -1i32);
+//! k.isetp(p(0), CmpOp::Gt, r(0), 0i32);
+//! k.bra_if(p(0), "loop");
+//! k.exit();
+//! let program = k.build()?;
+//! assert!(program.is_frontier_ordered());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::cfg::{analyze_and_finalize, LayoutReport};
+use crate::instr::{Guard, Instruction, Operand};
+use crate::op::{CmpOp, MemSpace, Op};
+use crate::program::{Pc, Program};
+use crate::reg::{Pred, Reg};
+
+/// Incrementally builds a kernel; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instruction>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+    pending_guard: Option<Guard>,
+    insert_syncs: bool,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            pending_guard: None,
+            insert_syncs: true,
+        }
+    }
+
+    /// Disables automatic `SYNC` insertion at reconvergence points.
+    /// (Programs still run on every architecture; SBI reconvergence
+    /// constraints simply find no synchronisation markers.)
+    pub fn without_syncs(&mut self) -> &mut Self {
+        self.insert_syncs = false;
+        self
+    }
+
+    /// Defines `name` at the current position (the next emitted instruction).
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        assert!(
+            self.labels.insert(name.clone(), self.instrs.len()).is_none(),
+            "label `{name}` defined twice"
+        );
+        self
+    }
+
+    /// Applies an `@p` guard to the next emitted instruction.
+    pub fn guard_t(&mut self, pred: Pred) -> &mut Self {
+        self.pending_guard = Some(Guard::if_true(pred));
+        self
+    }
+
+    /// Applies an `@!p` guard to the next emitted instruction.
+    pub fn guard_f(&mut self, pred: Pred) -> &mut Self {
+        self.pending_guard = Some(Guard::if_false(pred));
+        self
+    }
+
+    fn emit(&mut self, mut i: Instruction) -> &mut Self {
+        if let Some(g) = self.pending_guard.take() {
+            i.guard = Some(g);
+        }
+        self.instrs.push(i);
+        self
+    }
+
+    fn emit3(
+        &mut self,
+        op: Op,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> &mut Self {
+        let mut i = Instruction::new(op);
+        i.dst = Some(dst);
+        i.srcs = [Some(a.into()), Some(b.into()), Some(c.into())];
+        self.emit(i)
+    }
+
+    fn emit2(
+        &mut self,
+        op: Op,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        let mut i = Instruction::new(op);
+        i.dst = Some(dst);
+        i.srcs = [Some(a.into()), Some(b.into()), None];
+        self.emit(i)
+    }
+
+    fn emit1(&mut self, op: Op, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        let mut i = Instruction::new(op);
+        i.dst = Some(dst);
+        i.srcs = [Some(a.into()), None, None];
+        self.emit(i)
+    }
+
+    // --- moves & integer ALU -------------------------------------------------
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::Mov, dst, src)
+    }
+
+    /// `dst = a + b` (i32).
+    pub fn iadd(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::IAdd, dst, a, b)
+    }
+
+    /// `dst = a - b` (i32).
+    pub fn isub(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::ISub, dst, a, b)
+    }
+
+    /// `dst = a * b` (i32, low word).
+    pub fn imul(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::IMul, dst, a, b)
+    }
+
+    /// `dst = a * b + c` (i32).
+    pub fn imad(
+        &mut self,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> &mut Self {
+        self.emit3(Op::IMad, dst, a, b, c)
+    }
+
+    /// `dst = min(a, b)` signed.
+    pub fn imin(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::IMin, dst, a, b)
+    }
+
+    /// `dst = max(a, b)` signed.
+    pub fn imax(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::IMax, dst, a, b)
+    }
+
+    /// `dst = a & b`.
+    pub fn and_(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::And, dst, a, b)
+    }
+
+    /// `dst = a | b`.
+    pub fn or_(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::Or, dst, a, b)
+    }
+
+    /// `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::Xor, dst, a, b)
+    }
+
+    /// `dst = !a`.
+    pub fn not(&mut self, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::Not, dst, a)
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::Shl, dst, a, b)
+    }
+
+    /// `dst = a >> b` (logical).
+    pub fn shr(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::Shr, dst, a, b)
+    }
+
+    /// `dst = a >> b` (arithmetic).
+    pub fn sra(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::Sra, dst, a, b)
+    }
+
+    // --- floating point ------------------------------------------------------
+
+    /// `dst = a + b` (f32).
+    pub fn fadd(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::FAdd, dst, a, b)
+    }
+
+    /// `dst = a - b` (f32).
+    pub fn fsub(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::FSub, dst, a, b)
+    }
+
+    /// `dst = a * b` (f32).
+    pub fn fmul(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::FMul, dst, a, b)
+    }
+
+    /// `dst = a * b + c` (f32 fused).
+    pub fn ffma(
+        &mut self,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> &mut Self {
+        self.emit3(Op::FFma, dst, a, b, c)
+    }
+
+    /// `dst = min(a, b)` (f32).
+    pub fn fmin(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::FMin, dst, a, b)
+    }
+
+    /// `dst = max(a, b)` (f32).
+    pub fn fmax(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.emit2(Op::FMax, dst, a, b)
+    }
+
+    /// `dst = (f32) a`.
+    pub fn i2f(&mut self, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::I2F, dst, a)
+    }
+
+    /// `dst = (i32) a` (truncating).
+    pub fn f2i(&mut self, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::F2I, dst, a)
+    }
+
+    // --- predicates & select ---------------------------------------------------
+
+    /// `pdst = a <cmp> b` on i32.
+    pub fn isetp(
+        &mut self,
+        pdst: Pred,
+        cmp: CmpOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        let mut i = Instruction::new(Op::ISetP);
+        i.pdst = Some(pdst);
+        i.cmp = Some(cmp);
+        i.srcs = [Some(a.into()), Some(b.into()), None];
+        self.emit(i)
+    }
+
+    /// `pdst = a <cmp> b` on f32.
+    pub fn fsetp(
+        &mut self,
+        pdst: Pred,
+        cmp: CmpOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        let mut i = Instruction::new(Op::FSetP);
+        i.pdst = Some(pdst);
+        i.cmp = Some(cmp);
+        i.srcs = [Some(a.into()), Some(b.into()), None];
+        self.emit(i)
+    }
+
+    /// `dst = p ? a : b`.
+    pub fn sel(
+        &mut self,
+        dst: Reg,
+        pred: Pred,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        let mut i = Instruction::new(Op::Sel);
+        i.dst = Some(dst);
+        i.sel_pred = Some(pred);
+        i.srcs = [Some(a.into()), Some(b.into()), None];
+        self.emit(i)
+    }
+
+    // --- SFU -------------------------------------------------------------------
+
+    /// `dst = 1 / a` (f32, SFU).
+    pub fn rcp(&mut self, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::Rcp, dst, a)
+    }
+
+    /// `dst = sqrt(a)` (f32, SFU).
+    pub fn sqrt(&mut self, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::Sqrt, dst, a)
+    }
+
+    /// `dst = 1/sqrt(a)` (f32, SFU).
+    pub fn rsqrt(&mut self, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::Rsqrt, dst, a)
+    }
+
+    /// `dst = sin(a)` (f32, SFU).
+    pub fn sin(&mut self, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::Sin, dst, a)
+    }
+
+    /// `dst = cos(a)` (f32, SFU).
+    pub fn cos(&mut self, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::Cos, dst, a)
+    }
+
+    /// `dst = 2^a` (f32, SFU).
+    pub fn ex2(&mut self, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::Ex2, dst, a)
+    }
+
+    /// `dst = log2(a)` (f32, SFU).
+    pub fn lg2(&mut self, dst: Reg, a: impl Into<Operand>) -> &mut Self {
+        self.emit1(Op::Lg2, dst, a)
+    }
+
+    // --- memory ------------------------------------------------------------------
+
+    fn emit_mem(
+        &mut self,
+        op: Op,
+        space: MemSpace,
+        dst: Option<Reg>,
+        addr: Reg,
+        offset: i32,
+        data: Option<Operand>,
+    ) -> &mut Self {
+        let mut i = Instruction::new(op);
+        i.space = space;
+        i.dst = dst;
+        i.offset = offset;
+        i.srcs = [Some(addr.into()), data, None];
+        self.emit(i)
+    }
+
+    /// `dst = global[addr + offset]`.
+    pub fn ld(&mut self, dst: Reg, addr: Reg, offset: i32) -> &mut Self {
+        self.emit_mem(Op::Ld, MemSpace::Global, Some(dst), addr, offset, None)
+    }
+
+    /// `global[addr + offset] = val`.
+    pub fn st(&mut self, addr: Reg, offset: i32, val: impl Into<Operand>) -> &mut Self {
+        self.emit_mem(Op::St, MemSpace::Global, None, addr, offset, Some(val.into()))
+    }
+
+    /// `dst = shared[addr + offset]`.
+    pub fn ld_shared(&mut self, dst: Reg, addr: Reg, offset: i32) -> &mut Self {
+        self.emit_mem(Op::Ld, MemSpace::Shared, Some(dst), addr, offset, None)
+    }
+
+    /// `shared[addr + offset] = val`.
+    pub fn st_shared(&mut self, addr: Reg, offset: i32, val: impl Into<Operand>) -> &mut Self {
+        self.emit_mem(Op::St, MemSpace::Shared, None, addr, offset, Some(val.into()))
+    }
+
+    /// `global[addr + offset] += val` atomically.
+    pub fn atom_add(&mut self, addr: Reg, offset: i32, val: impl Into<Operand>) -> &mut Self {
+        self.emit_mem(
+            Op::AtomAdd,
+            MemSpace::Global,
+            None,
+            addr,
+            offset,
+            Some(val.into()),
+        )
+    }
+
+    /// `shared[addr + offset] += val` atomically.
+    pub fn atom_add_shared(&mut self, addr: Reg, offset: i32, val: impl Into<Operand>) -> &mut Self {
+        self.emit_mem(
+            Op::AtomAdd,
+            MemSpace::Shared,
+            None,
+            addr,
+            offset,
+            Some(val.into()),
+        )
+    }
+
+    // --- control ------------------------------------------------------------------
+
+    fn emit_bra(&mut self, label: impl Into<String>, guard: Option<Guard>) -> &mut Self {
+        let mut i = Instruction::new(Op::Bra);
+        i.guard = guard;
+        i.target = Some(Pc(0)); // fixed up at build
+        self.fixups.push((self.instrs.len(), label.into()));
+        self.instrs.push(i);
+        self.pending_guard = None;
+        self
+    }
+
+    /// Unconditional (uniform) branch to `label`.
+    pub fn bra(&mut self, label: impl Into<String>) -> &mut Self {
+        let g = self.pending_guard.take();
+        self.emit_bra(label, g)
+    }
+
+    /// Divergent branch: threads with `pred` true jump to `label`.
+    pub fn bra_if(&mut self, pred: Pred, label: impl Into<String>) -> &mut Self {
+        self.emit_bra(label, Some(Guard::if_true(pred)))
+    }
+
+    /// Divergent branch: threads with `pred` false jump to `label`.
+    pub fn bra_ifn(&mut self, pred: Pred, label: impl Into<String>) -> &mut Self {
+        self.emit_bra(label, Some(Guard::if_false(pred)))
+    }
+
+    /// Block-wide barrier.
+    pub fn bar(&mut self) -> &mut Self {
+        self.emit(Instruction::new(Op::Bar))
+    }
+
+    /// Thread exit.
+    pub fn exit(&mut self) -> &mut Self {
+        self.emit(Instruction::new(Op::Exit))
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instruction::new(Op::Nop))
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Resolves labels, runs CFG analysis and returns the program plus its
+    /// [`LayoutReport`].
+    ///
+    /// # Errors
+    /// Reports undefined labels, labels past the last instruction, and any
+    /// instruction-validation failure.
+    pub fn build_with_report(mut self) -> Result<(Program, LayoutReport), String> {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let &target = self
+                .labels
+                .get(&label)
+                .ok_or_else(|| format!("undefined label `{label}`"))?;
+            if target >= self.instrs.len() {
+                return Err(format!("label `{label}` points past the last instruction"));
+            }
+            self.instrs[idx].target = Some(Pc(target as u32));
+        }
+        let (instrs, report) = analyze_and_finalize(self.instrs, self.insert_syncs)?;
+        let program = Program::from_instructions(self.name, instrs, report.frontier_ordered)?;
+        Ok((program, report))
+    }
+
+    /// Resolves labels, runs CFG analysis and returns the program.
+    ///
+    /// # Errors
+    /// See [`KernelBuilder::build_with_report`].
+    pub fn build(self) -> Result<Program, String> {
+        self.build_with_report().map(|(p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{p, r};
+    use crate::SpecialReg;
+
+    #[test]
+    fn if_else_gets_sync() {
+        let mut k = KernelBuilder::new("ite");
+        k.mov(r(0), SpecialReg::Tid);
+        k.isetp(p(0), CmpOp::Lt, r(0), 16i32);
+        k.bra_ifn(p(0), "else");
+        k.iadd(r(1), r(0), 1i32);
+        k.bra("join");
+        k.label("else");
+        k.iadd(r(1), r(0), 2i32);
+        k.label("join");
+        k.mov(r(2), r(1));
+        k.exit();
+        let (prog, rep) = k.build_with_report().unwrap();
+        assert!(rep.frontier_ordered);
+        assert_eq!(
+            prog.instructions()
+                .iter()
+                .filter(|i| i.op == Op::Sync)
+                .count(),
+            1
+        );
+        // Branch targets are consistent after sync insertion.
+        for i in prog.instructions() {
+            if let Some(t) = i.target {
+                assert!(t.index() < prog.len());
+            }
+        }
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut k = KernelBuilder::new("bad");
+        k.bra("nowhere");
+        assert!(k.build().is_err());
+    }
+
+    #[test]
+    fn duplicate_label_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut k = KernelBuilder::new("dup");
+            k.label("a");
+            k.nop();
+            k.label("a");
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn trailing_label_errors() {
+        let mut k = KernelBuilder::new("trail");
+        k.nop();
+        k.bra("end");
+        k.label("end");
+        assert!(k.build().is_err());
+    }
+
+    #[test]
+    fn guard_applies_to_next_instruction_only() {
+        let mut k = KernelBuilder::new("g");
+        k.guard_t(p(1)).iadd(r(0), r(0), 1i32);
+        k.iadd(r(0), r(0), 1i32);
+        k.exit();
+        let prog = k.build().unwrap();
+        assert!(prog.instructions()[0].guard.is_some());
+        assert!(prog.instructions()[1].guard.is_none());
+    }
+
+    #[test]
+    fn loop_program_builds() {
+        let mut k = KernelBuilder::new("loop");
+        k.mov(r(0), 8i32);
+        k.label("head");
+        k.iadd(r(0), r(0), -1i32);
+        k.isetp(p(0), CmpOp::Gt, r(0), 0i32);
+        k.bra_if(p(0), "head");
+        k.exit();
+        let prog = k.build().unwrap();
+        assert!(prog.is_frontier_ordered());
+        // Back edge still targets the loop head.
+        let bra = prog
+            .instructions()
+            .iter()
+            .find(|i| i.op == Op::Bra)
+            .unwrap();
+        assert_eq!(prog[bra.target.unwrap()].op, Op::IAdd);
+    }
+
+    #[test]
+    fn without_syncs_omits_markers() {
+        let mut k = KernelBuilder::new("nos");
+        k.without_syncs();
+        k.isetp(p(0), CmpOp::Lt, SpecialReg::Tid, 4i32);
+        k.bra_if(p(0), "skip");
+        k.nop();
+        k.label("skip");
+        k.nop();
+        k.exit();
+        let prog = k.build().unwrap();
+        assert!(prog.instructions().iter().all(|i| i.op != Op::Sync));
+    }
+}

@@ -1,0 +1,387 @@
+//! Instruction encoding: operands, guards and the [`Instruction`] record.
+
+use std::fmt;
+
+use crate::op::{CmpOp, MemSpace, Op};
+use crate::program::Pc;
+use crate::reg::{Pred, Reg, SpecialReg};
+
+/// An instruction source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// A 32-bit immediate (integers directly; floats bit-cast).
+    Imm(u32),
+    /// A read-only special register.
+    Special(SpecialReg),
+    /// The `idx`-th 32-bit kernel launch parameter.
+    Param(u8),
+}
+
+impl Operand {
+    /// Immediate operand from an `i32`.
+    pub fn imm_i32(v: i32) -> Self {
+        Operand::Imm(v as u32)
+    }
+
+    /// Immediate operand from an `f32` (bit-cast).
+    pub fn imm_f32(v: f32) -> Self {
+        Operand::Imm(v.to_bits())
+    }
+
+    /// The register read by this operand, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::imm_i32(v)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<f32> for Operand {
+    fn from(v: f32) -> Self {
+        Operand::imm_f32(v)
+    }
+}
+
+impl From<SpecialReg> for Operand {
+    fn from(s: SpecialReg) -> Self {
+        Operand::Special(s)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "0x{v:x}"),
+            Operand::Special(s) => write!(f, "{s}"),
+            Operand::Param(i) => write!(f, "param[{i}]"),
+        }
+    }
+}
+
+/// A predicate guard: `@p` (execute if true) or `@!p` (execute if false).
+///
+/// Guards predicate *writes*; guarded-off threads still occupy their lane.
+/// A guarded `Bra` is the divergent conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// The predicate register tested.
+    pub pred: Pred,
+    /// The sense: `true` for `@p`, `false` for `@!p`.
+    pub sense: bool,
+}
+
+impl Guard {
+    /// `@p` guard.
+    pub fn if_true(pred: Pred) -> Self {
+        Guard { pred, sense: true }
+    }
+
+    /// `@!p` guard.
+    pub fn if_false(pred: Pred) -> Self {
+        Guard { pred, sense: false }
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sense {
+            write!(f, "@{}", self.pred)
+        } else {
+            write!(f, "@!{}", self.pred)
+        }
+    }
+}
+
+/// A fully-decoded instruction.
+///
+/// This is a "wide" decoded form: a single record covers every opcode. The
+/// assembler (see [`crate::asm::KernelBuilder`]) guarantees the operand
+/// combination is valid for the opcode, and [`Instruction::validate`]
+/// re-checks the invariants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// Opcode.
+    pub op: Op,
+    /// Optional predicate guard.
+    pub guard: Option<Guard>,
+    /// Destination register (ALU/SFU results, load data, atomic old value).
+    pub dst: Option<Reg>,
+    /// Destination predicate (`ISetP` / `FSetP`).
+    pub pdst: Option<Pred>,
+    /// Source operands (up to 3; unused slots are `None`).
+    pub srcs: [Option<Operand>; 3],
+    /// Comparison operator for `ISetP`/`FSetP`.
+    pub cmp: Option<CmpOp>,
+    /// Select predicate for `Sel`.
+    pub sel_pred: Option<Pred>,
+    /// Branch target PC (`Bra`).
+    pub target: Option<Pc>,
+    /// Reconvergence PC for potentially-divergent branches; computed by CFG
+    /// analysis as the immediate post-dominator. Used by the baseline
+    /// PDOM-stack architecture.
+    pub reconv: Option<Pc>,
+    /// `Sync` payload: `PCdiv`, the last instruction of the immediate
+    /// dominator of this reconvergence point (paper §3.3).
+    pub sync_pcdiv: Option<Pc>,
+    /// Address space for memory operations.
+    pub space: MemSpace,
+    /// Byte offset added to the address register for memory operations.
+    pub offset: i32,
+}
+
+impl Instruction {
+    /// A new instruction of the given opcode with all fields empty.
+    pub fn new(op: Op) -> Self {
+        Instruction {
+            op,
+            guard: None,
+            dst: None,
+            pdst: None,
+            srcs: [None; 3],
+            cmp: None,
+            sel_pred: None,
+            target: None,
+            reconv: None,
+            sync_pcdiv: None,
+            space: MemSpace::Global,
+            offset: 0,
+        }
+    }
+
+    /// Iterator over the present source operands.
+    pub fn sources(&self) -> impl Iterator<Item = Operand> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Registers read by this instruction (sources only).
+    pub fn src_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.sources().filter_map(Operand::reg)
+    }
+
+    /// Predicates read by this instruction (guard + select predicate).
+    pub fn src_preds(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.guard
+            .map(|g| g.pred)
+            .into_iter()
+            .chain(self.sel_pred)
+    }
+
+    /// True if the instruction may cause intra-warp control-flow divergence:
+    /// a guarded branch.
+    pub fn is_divergent_branch(&self) -> bool {
+        self.op == Op::Bra && self.guard.is_some()
+    }
+
+    /// Checks structural invariants (operand counts per opcode).
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        use Op::*;
+        let nsrc = self.sources().count();
+        let need = |n: usize| -> Result<(), String> {
+            if nsrc == n {
+                Ok(())
+            } else {
+                Err(format!("{} expects {n} sources, has {nsrc}", self.op))
+            }
+        };
+        let need_dst = || -> Result<(), String> {
+            if self.dst.is_some() {
+                Ok(())
+            } else {
+                Err(format!("{} requires a destination register", self.op))
+            }
+        };
+        match self.op {
+            Mov | Not | I2F | F2I | Rcp | Sqrt | Rsqrt | Sin | Cos | Ex2 | Lg2 => {
+                need(1)?;
+                need_dst()?;
+            }
+            IAdd | ISub | IMul | IMin | IMax | And | Or | Xor | Shl | Shr | Sra | FAdd | FSub
+            | FMul | FMin | FMax => {
+                need(2)?;
+                need_dst()?;
+            }
+            IMad | FFma => {
+                need(3)?;
+                need_dst()?;
+            }
+            ISetP | FSetP => {
+                need(2)?;
+                if self.pdst.is_none() {
+                    return Err("setp requires a destination predicate".into());
+                }
+                if self.cmp.is_none() {
+                    return Err("setp requires a comparison operator".into());
+                }
+            }
+            Sel => {
+                need(2)?;
+                need_dst()?;
+                if self.sel_pred.is_none() {
+                    return Err("sel requires a select predicate".into());
+                }
+            }
+            Ld => {
+                need(1)?;
+                need_dst()?;
+            }
+            St => {
+                need(2)?;
+            }
+            AtomAdd => {
+                need(2)?;
+            }
+            Bra => {
+                if self.target.is_none() {
+                    return Err("bra requires a target".into());
+                }
+            }
+            Sync => {
+                if self.sync_pcdiv.is_none() {
+                    return Err("sync requires a PCdiv payload".into());
+                }
+            }
+            Bar | Exit | Nop => {
+                need(0)?;
+            }
+        }
+        // Exit, Bar and Sync operate on the whole warp-split: a guard would
+        // require partial-mask semantics the divergence structures do not
+        // model (use a branch around them instead).
+        if matches!(self.op, Exit | Bar | Sync) && self.guard.is_some() {
+            return Err(format!("{} must not be guarded", self.op));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "{g} ")?;
+        }
+        write!(f, "{}", self.op)?;
+        if let Some(c) = self.cmp {
+            write!(f, ".{c}")?;
+        }
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        if let Some(d) = self.dst {
+            sep(f)?;
+            write!(f, "{d}")?;
+        }
+        if let Some(pd) = self.pdst {
+            sep(f)?;
+            write!(f, "{pd}")?;
+        }
+        if let Some(sp) = self.sel_pred {
+            sep(f)?;
+            write!(f, "{sp}")?;
+        }
+        for s in self.sources() {
+            sep(f)?;
+            match self.op {
+                Op::Ld | Op::St | Op::AtomAdd if Some(s) == self.srcs[0] => {
+                    write!(f, "[{s}{:+}]", self.offset)?
+                }
+                _ => write!(f, "{s}")?,
+            }
+        }
+        if let Some(t) = self.target {
+            sep(f)?;
+            write!(f, "{t}")?;
+        }
+        if let Some(d) = self.sync_pcdiv {
+            sep(f)?;
+            write!(f, "(pcdiv={d})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{p, r};
+
+    #[test]
+    fn validate_catches_missing_operands() {
+        let mut i = Instruction::new(Op::IAdd);
+        assert!(i.validate().is_err());
+        i.dst = Some(r(0));
+        i.srcs = [Some(r(1).into()), Some(r(2).into()), None];
+        assert!(i.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_setp() {
+        let mut i = Instruction::new(Op::ISetP);
+        i.srcs = [Some(r(1).into()), Some(Operand::imm_i32(3)), None];
+        assert!(i.validate().is_err());
+        i.pdst = Some(p(0));
+        i.cmp = Some(CmpOp::Lt);
+        assert!(i.validate().is_ok());
+    }
+
+    #[test]
+    fn divergent_branch_detection() {
+        let mut b = Instruction::new(Op::Bra);
+        b.target = Some(Pc(7));
+        assert!(!b.is_divergent_branch());
+        b.guard = Some(Guard::if_true(p(0)));
+        assert!(b.is_divergent_branch());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_readable() {
+        let mut i = Instruction::new(Op::IMad);
+        i.dst = Some(r(3));
+        i.srcs = [
+            Some(r(1).into()),
+            Some(r(2).into()),
+            Some(Operand::imm_i32(4)),
+        ];
+        let s = i.to_string();
+        assert!(s.contains("imad"));
+        assert!(s.contains("r3"));
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(1.0f32), Operand::Imm(0x3f80_0000));
+        assert_eq!(Operand::from(-1i32), Operand::Imm(u32::MAX));
+        assert_eq!(Operand::from(r(2)).reg(), Some(r(2)));
+        assert_eq!(Operand::Imm(3).reg(), None);
+    }
+}

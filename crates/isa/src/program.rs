@@ -1,0 +1,172 @@
+//! Programs: instruction sequences addressed by [`Pc`].
+//!
+//! PC order doubles as the thread-frontier priority order (paper §3.1,
+//! footnote 1: "thread-frontier priorities are implicitly encoded in the
+//! program order").
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::instr::Instruction;
+
+/// A program counter: an index into the program's instruction vector.
+///
+/// One instruction occupies one address unit, so PC ordering is exactly
+/// instruction ordering — the property thread-frontier reconvergence relies
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(pub u32);
+
+impl Pc {
+    /// The next sequential PC.
+    pub fn next(self) -> Pc {
+        Pc(self.0 + 1)
+    }
+
+    /// The PC as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A validated program: the kernel name, its instructions and launch
+/// metadata produced by the assembler.
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Instruction>,
+    /// Whether the code layout follows thread-frontier (program) order; see
+    /// [`crate::cfg::LayoutReport`]. TMD1 deliberately violates this.
+    frontier_ordered: bool,
+}
+
+impl Program {
+    /// Builds a program from parts. Prefer [`crate::asm::KernelBuilder`];
+    /// this constructor validates each instruction but performs no CFG
+    /// analysis.
+    ///
+    /// # Errors
+    /// Returns the first instruction-level validation error, or an error for
+    /// out-of-range branch targets.
+    pub fn from_instructions(
+        name: impl Into<String>,
+        instrs: Vec<Instruction>,
+        frontier_ordered: bool,
+    ) -> Result<Self, String> {
+        let len = instrs.len() as u32;
+        for (pc, i) in instrs.iter().enumerate() {
+            i.validate().map_err(|e| format!("@{pc}: {e}"))?;
+            if let Some(t) = i.target {
+                if t.0 >= len {
+                    return Err(format!("@{pc}: branch target {t} out of range"));
+                }
+            }
+        }
+        Ok(Program {
+            name: name.into(),
+            instrs,
+            frontier_ordered,
+        })
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn get(&self, pc: Pc) -> Option<&Instruction> {
+        self.instrs.get(pc.index())
+    }
+
+    /// All instructions in PC order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Whether the code layout follows thread-frontier order.
+    pub fn is_frontier_ordered(&self) -> bool {
+        self.frontier_ordered
+    }
+
+    /// A human-readable disassembly listing.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("// kernel {}\n", self.name));
+        for (pc, i) in self.instrs.iter().enumerate() {
+            out.push_str(&format!("{pc:4}: {i}\n"));
+        }
+        out
+    }
+}
+
+impl Index<Pc> for Program {
+    type Output = Instruction;
+
+    fn index(&self, pc: Pc) -> &Instruction {
+        &self.instrs[pc.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::reg::r;
+
+    fn mov(d: u8, v: i32) -> Instruction {
+        let mut i = Instruction::new(Op::Mov);
+        i.dst = Some(r(d));
+        i.srcs[0] = Some(crate::instr::Operand::imm_i32(v));
+        i
+    }
+
+    #[test]
+    fn pc_ordering_and_next() {
+        assert!(Pc(1) < Pc(2));
+        assert_eq!(Pc(1).next(), Pc(2));
+    }
+
+    #[test]
+    fn build_and_index() {
+        let p = Program::from_instructions(
+            "t",
+            vec![mov(0, 1), mov(1, 2), Instruction::new(Op::Exit)],
+            true,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[Pc(2)].op, Op::Exit);
+        assert!(p.get(Pc(3)).is_none());
+        assert!(p.disassemble().contains("exit"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let mut b = Instruction::new(Op::Bra);
+        b.target = Some(Pc(9));
+        assert!(Program::from_instructions("t", vec![b], true).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_instruction() {
+        let i = Instruction::new(Op::IAdd); // missing operands
+        assert!(Program::from_instructions("t", vec![i], true).is_err());
+    }
+}

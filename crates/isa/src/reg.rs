@@ -1,0 +1,161 @@
+//! Register, predicate and special-register identifiers.
+//!
+//! The warpweave ISA is a load/store register ISA with 32-bit architectural
+//! registers (`r0..r63`), single-bit predicate registers (`p0..p7`) and a
+//! small set of read-only special registers exposing the thread's position in
+//! the launch grid, mirroring the registers a CUDA kernel reads through
+//! `%tid`, `%ctaid`, etc.
+
+use std::fmt;
+
+/// Maximum number of general-purpose registers per thread.
+pub const NUM_REGS: usize = 64;
+/// Maximum number of predicate registers per thread.
+pub const NUM_PREDS: usize = 8;
+
+/// A general-purpose 32-bit register identifier (`r0` .. `r63`).
+///
+/// # Examples
+/// ```
+/// use warpweave_isa::Reg;
+/// let r = Reg::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    /// Panics if `index >= NUM_REGS`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range (max {NUM_REGS})"
+        );
+        Reg(index)
+    }
+
+    /// Returns the register's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A single-bit predicate register identifier (`p0` .. `p7`).
+///
+/// # Examples
+/// ```
+/// use warpweave_isa::Pred;
+/// assert_eq!(Pred::new(1).to_string(), "p1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pred(u8);
+
+impl Pred {
+    /// Creates a predicate register identifier.
+    ///
+    /// # Panics
+    /// Panics if `index >= NUM_PREDS`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_PREDS,
+            "predicate index {index} out of range (max {NUM_PREDS})"
+        );
+        Pred(index)
+    }
+
+    /// Returns the predicate register's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Read-only special registers describing a thread's launch coordinates.
+///
+/// These mirror the CUDA built-ins used by the benchmarked kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// Thread index within its block (`threadIdx.x`).
+    Tid,
+    /// Block index within the grid (`blockIdx.x`).
+    CtaId,
+    /// Threads per block (`blockDim.x`).
+    NTid,
+    /// Blocks in the grid (`gridDim.x`).
+    NCtaId,
+    /// Lane index within the warp (position after thread grouping).
+    LaneId,
+    /// Warp identifier within the SM.
+    WarpId,
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::Tid => "%tid",
+            SpecialReg::CtaId => "%ctaid",
+            SpecialReg::NTid => "%ntid",
+            SpecialReg::NCtaId => "%nctaid",
+            SpecialReg::LaneId => "%laneid",
+            SpecialReg::WarpId => "%warpid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shorthand constructor for general registers: `r(5)` == `Reg::new(5)`.
+pub fn r(index: u8) -> Reg {
+    Reg::new(index)
+}
+
+/// Shorthand constructor for predicate registers: `p(0)` == `Pred::new(0)`.
+pub fn p(index: u8) -> Pred {
+    Pred::new(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for i in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn reg_out_of_range_panics() {
+        Reg::new(NUM_REGS as u8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pred_out_of_range_panics() {
+        Pred::new(NUM_PREDS as u8);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(r(0).to_string(), "r0");
+        assert_eq!(p(7).to_string(), "p7");
+        assert_eq!(SpecialReg::Tid.to_string(), "%tid");
+        assert_eq!(SpecialReg::WarpId.to_string(), "%warpid");
+    }
+}

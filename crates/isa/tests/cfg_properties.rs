@@ -1,0 +1,163 @@
+//! Property-based verification of the CFG analyses: the iterative
+//! immediate-dominator algorithm is checked against a brute-force dataflow
+//! solution on randomly generated structured programs, and SYNC insertion
+//! invariants are validated.
+
+use proptest::prelude::*;
+
+use warpweave_isa::{
+    build_cfg, dominators, p, postdominators, r, CmpOp, KernelBuilder, Op, Program,
+};
+
+/// Generates a random structured program from a recipe of nested
+/// constructs. `recipe` digits: 0-3 = ALU, 4-6 = if/else, 7-9 = loop.
+fn program_from_recipe(recipe: &[u8]) -> Program {
+    let mut k = KernelBuilder::new("prop");
+    let mut label = 0usize;
+    fn emit(k: &mut KernelBuilder, recipe: &[u8], pos: &mut usize, label: &mut usize, depth: u32) {
+        let mut budget = 3;
+        while *pos < recipe.len() && budget > 0 {
+            let d = recipe[*pos];
+            *pos += 1;
+            budget -= 1;
+            match d {
+                0..=3 => {
+                    k.iadd(r(8 + (d % 4)), r(8), 1i32);
+                }
+                4..=6 if depth < 3 => {
+                    let id = *label;
+                    *label += 1;
+                    k.isetp(p(0), CmpOp::Gt, r(8), d as i32);
+                    k.bra_if(p(0), format!("else{id}"));
+                    emit(k, recipe, pos, label, depth + 1);
+                    k.bra(format!("join{id}"));
+                    k.label(format!("else{id}"));
+                    emit(k, recipe, pos, label, depth + 1);
+                    k.label(format!("join{id}"));
+                    k.nop();
+                }
+                7..=9 if depth < 3 => {
+                    let id = *label;
+                    *label += 1;
+                    k.mov(r(12), (d as i32) - 5);
+                    k.label(format!("loop{id}"));
+                    emit(k, recipe, pos, label, depth + 1);
+                    k.iadd(r(12), r(12), -1i32);
+                    k.isetp(p(1), CmpOp::Gt, r(12), 0i32);
+                    k.bra_if(p(1), format!("loop{id}"));
+                }
+                _ => {
+                    k.nop();
+                }
+            }
+        }
+    }
+    let mut pos = 0;
+    emit(&mut k, recipe, &mut pos, &mut label, 0);
+    k.exit();
+    k.build().expect("random structured program assembles")
+}
+
+/// Brute-force dominator sets by iterative dataflow:
+/// `Dom(v) = {v} ∪ ⋂_{p ∈ preds(v)} Dom(p)`.
+fn brute_force_dom_sets(nblocks: usize, preds: &[Vec<usize>]) -> Vec<Vec<bool>> {
+    let mut dom = vec![vec![true; nblocks]; nblocks];
+    dom[0] = vec![false; nblocks];
+    dom[0][0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 1..nblocks {
+            let mut new: Vec<bool> = if preds[v].is_empty() {
+                let mut only_self = vec![false; nblocks];
+                only_self[v] = true;
+                only_self
+            } else {
+                let mut acc = vec![true; nblocks];
+                for &pr in &preds[v] {
+                    for (a, b) in acc.iter_mut().zip(&dom[pr]) {
+                        *a = *a && *b;
+                    }
+                }
+                acc
+            };
+            new[v] = true;
+            if new != dom[v] {
+                dom[v] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The iterative idom must equal the unique closest strict dominator
+    /// from the brute-force dominator sets.
+    #[test]
+    fn idoms_match_brute_force(recipe in proptest::collection::vec(0u8..10, 1..24)) {
+        let prog = program_from_recipe(&recipe);
+        let cfg = build_cfg(prog.instructions());
+        let idom = dominators(&cfg);
+        let n = cfg.blocks.len();
+        let preds: Vec<Vec<usize>> = (0..n).map(|b| cfg.blocks[b].preds.clone()).collect();
+        let dom = brute_force_dom_sets(n, &preds);
+        for v in 1..n {
+            // Strict dominators of v.
+            let strict: Vec<usize> =
+                (0..n).filter(|&u| u != v && dom[v][u]).collect();
+            // The idom is the strict dominator dominated by all others.
+            let expect = strict
+                .iter()
+                .copied()
+                .find(|&c| strict.iter().all(|&u| dom[c][u]));
+            prop_assert_eq!(idom[v], expect, "block {} of {} blocks", v, n);
+        }
+    }
+
+    /// Structured generation always yields frontier-ordered layouts, every
+    /// divergent branch gets a reconvergence annotation pointing at a SYNC,
+    /// and every SYNC carries a PCdiv payload at a lower address.
+    #[test]
+    fn sync_insertion_invariants(recipe in proptest::collection::vec(0u8..10, 1..24)) {
+        let prog = program_from_recipe(&recipe);
+        prop_assert!(prog.is_frontier_ordered());
+        for (pc, ins) in prog.instructions().iter().enumerate() {
+            if ins.is_divergent_branch() {
+                if let Some(rc) = ins.reconv {
+                    prop_assert_eq!(prog[rc].op, Op::Sync,
+                        "branch @{} reconverges at a SYNC", pc);
+                    prop_assert!(rc.index() > pc, "reconvergence after divergence");
+                }
+            }
+            if ins.op == Op::Sync {
+                let pcdiv = ins.sync_pcdiv.expect("sync has payload");
+                prop_assert!(pcdiv.index() < pc, "PCdiv below PCrec");
+            }
+        }
+    }
+
+    /// Post-dominators on structured programs: every reachable block is
+    /// post-dominated by the virtual exit path (its ipdom chain terminates).
+    #[test]
+    fn ipdom_chains_terminate(recipe in proptest::collection::vec(0u8..10, 1..24)) {
+        let prog = program_from_recipe(&recipe);
+        let cfg = build_cfg(prog.instructions());
+        let ipdom = postdominators(&cfg);
+        let exit = cfg.exit_node();
+        for b in 0..cfg.blocks.len() {
+            let mut cur = b;
+            let mut steps = 0;
+            while cur != exit {
+                match ipdom[cur] {
+                    Some(nxt) => cur = nxt,
+                    None => break, // unreachable block
+                }
+                steps += 1;
+                prop_assert!(steps <= cfg.blocks.len() + 1, "ipdom cycle at {}", b);
+            }
+        }
+    }
+}

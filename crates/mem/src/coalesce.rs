@@ -1,0 +1,136 @@
+//! Memory-access coalescing into 128-byte blocks.
+//!
+//! The LSU "can coalesce together multiple parallel accesses that fall within
+//! the same 128-byte cache block. Memory instructions that encounter
+//! conflicts are replayed with an updated activity mask reflecting the
+//! transactions that remain to be issued" (paper §2). [`coalesce`] computes
+//! that transaction list.
+
+/// Size of a coalescing window / cache block in bytes.
+pub const BLOCK_BYTES: u32 = 128;
+
+/// One memory transaction: a 128-byte-aligned block plus the set of lanes it
+/// serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Block-aligned base address.
+    pub block_addr: u32,
+    /// Indices (into the request slice) of the accesses this block serves.
+    pub lanes: Vec<usize>,
+}
+
+/// Groups per-lane word accesses into 128-byte block transactions, in order
+/// of first appearance (the replay order the hardware would follow).
+///
+/// Each input entry is `(lane, byte address)`; inactive lanes are simply not
+/// passed in.
+///
+/// # Examples
+/// ```
+/// use warpweave_mem::coalesce;
+/// // Four lanes touching two blocks -> two transactions.
+/// let txs = coalesce(&[(0, 0), (1, 4), (2, 128), (3, 132)]);
+/// assert_eq!(txs.len(), 2);
+/// assert_eq!(txs[0].block_addr, 0);
+/// assert_eq!(txs[1].block_addr, 128);
+/// ```
+pub fn coalesce(accesses: &[(usize, u32)]) -> Vec<Transaction> {
+    let mut txs: Vec<Transaction> = Vec::new();
+    for &(lane, addr) in accesses {
+        let block = addr & !(BLOCK_BYTES - 1);
+        match txs.iter_mut().find(|t| t.block_addr == block) {
+            Some(t) => t.lanes.push(lane),
+            None => txs.push(Transaction {
+                block_addr: block,
+                lanes: vec![lane],
+            }),
+        }
+    }
+    txs
+}
+
+/// Schedules atomic accesses into replay rounds: within one round each
+/// distinct word is served at most once (conflicting lanes are deferred to
+/// later rounds, as hardware replays them), and each round's survivors are
+/// block-coalesced like ordinary accesses.
+///
+/// Returns the flattened transaction list across all rounds; its length is
+/// the LSU occupancy in cycles.
+pub fn atomic_transactions(accesses: &[(usize, u32)]) -> Vec<Transaction> {
+    let mut remaining: Vec<(usize, u32)> = accesses.to_vec();
+    let mut out = Vec::new();
+    while !remaining.is_empty() {
+        let mut this_round: Vec<(usize, u32)> = Vec::new();
+        let mut deferred: Vec<(usize, u32)> = Vec::new();
+        let mut served: Vec<u32> = Vec::new();
+        for &(lane, addr) in &remaining {
+            if served.contains(&addr) {
+                deferred.push((lane, addr));
+            } else {
+                served.push(addr);
+                this_round.push((lane, addr));
+            }
+        }
+        out.extend(coalesce(&this_round));
+        remaining = deferred;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_single_block() {
+        let acc: Vec<(usize, u32)> = (0..32).map(|i| (i, i as u32 * 4)).collect();
+        let txs = coalesce(&acc);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].lanes.len(), 32);
+    }
+
+    #[test]
+    fn fully_divergent_strided() {
+        // Stride of 128: every lane its own block.
+        let acc: Vec<(usize, u32)> = (0..32).map(|i| (i, i as u32 * 128)).collect();
+        let txs = coalesce(&acc);
+        assert_eq!(txs.len(), 32);
+    }
+
+    #[test]
+    fn replay_order_is_first_appearance() {
+        let txs = coalesce(&[(0, 256), (1, 0), (2, 300)]);
+        assert_eq!(txs[0].block_addr, 256);
+        assert_eq!(txs[1].block_addr, 0);
+        assert_eq!(txs[0].lanes, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_request() {
+        assert!(coalesce(&[]).is_empty());
+        assert!(atomic_transactions(&[]).is_empty());
+    }
+
+    #[test]
+    fn atomic_conflict_free_matches_coalesce() {
+        let acc: Vec<(usize, u32)> = (0..8).map(|i| (i, i as u32 * 4)).collect();
+        assert_eq!(atomic_transactions(&acc).len(), coalesce(&acc).len());
+    }
+
+    #[test]
+    fn atomic_full_conflict_serialises() {
+        // 8 lanes hammering one counter: 8 rounds of 1 transaction.
+        let acc: Vec<(usize, u32)> = (0..8).map(|i| (i, 64)).collect();
+        assert_eq!(atomic_transactions(&acc).len(), 8);
+    }
+
+    #[test]
+    fn atomic_mixed_conflicts() {
+        // Two addresses × two lanes each, same block: 2 rounds × 1 tx.
+        let txs = atomic_transactions(&[(0, 8), (1, 8), (2, 12), (3, 12)]);
+        assert_eq!(txs.len(), 2);
+        // Two addresses in different blocks, 2 lanes each: 2 rounds × 2 tx.
+        let txs = atomic_transactions(&[(0, 0), (1, 0), (2, 256), (3, 256)]);
+        assert_eq!(txs.len(), 4);
+    }
+}

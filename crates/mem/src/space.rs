@@ -1,0 +1,155 @@
+//! Flat, sparse, word-granular backing store for global and shared memory.
+
+use std::collections::HashMap;
+
+const PAGE_WORDS: usize = 1024; // 4 KiB pages
+const PAGE_SHIFT: u32 = 12;
+
+/// A sparse 32-bit byte-addressed memory storing aligned 32-bit words.
+///
+/// Unwritten locations read as zero. Addresses must be 4-byte aligned —
+/// the warpweave LSU only issues word accesses, like the 32-bit loads the
+/// benchmarked kernels use.
+///
+/// # Examples
+/// ```
+/// use warpweave_mem::Memory;
+/// let mut m = Memory::new();
+/// m.write_u32(0x100, 42);
+/// assert_eq!(m.read_u32(0x100), 42);
+/// assert_eq!(m.read_u32(0x104), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u32; PAGE_WORDS]>>,
+}
+
+impl Memory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    fn split(addr: u32) -> (u32, usize) {
+        assert!(addr.is_multiple_of(4), "unaligned access at 0x{addr:x}");
+        (addr >> PAGE_SHIFT, ((addr & 0xfff) >> 2) as usize)
+    }
+
+    /// Reads the aligned 32-bit word at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let (page, word) = Self::split(addr);
+        self.pages.get(&page).map_or(0, |p| p[word])
+    }
+
+    /// Writes the aligned 32-bit word at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let (page, word) = Self::split(addr);
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[word] = value;
+    }
+
+    /// Reads an `f32` (bit-cast) at `addr`.
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32` (bit-cast) at `addr`.
+    pub fn write_f32(&mut self, addr: u32, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Reads an `i32` at `addr`.
+    pub fn read_i32(&self, addr: u32) -> i32 {
+        self.read_u32(addr) as i32
+    }
+
+    /// Writes an `i32` at `addr`.
+    pub fn write_i32(&mut self, addr: u32, value: i32) {
+        self.write_u32(addr, value as u32);
+    }
+
+    /// Bulk-writes consecutive words starting at `addr`.
+    pub fn write_words(&mut self, addr: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u32, w);
+        }
+    }
+
+    /// Bulk-writes consecutive `f32` values starting at `addr`.
+    pub fn write_f32s(&mut self, addr: u32, values: &[f32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u32, v);
+        }
+    }
+
+    /// Bulk-reads `n` consecutive words starting at `addr`.
+    pub fn read_words(&self, addr: u32, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(addr + 4 * i as u32)).collect()
+    }
+
+    /// Bulk-reads `n` consecutive `f32` values starting at `addr`.
+    pub fn read_f32s(&self, addr: u32, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(addr + 4 * i as u32)).collect()
+    }
+
+    /// Number of resident 4 KiB pages (for capacity diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let m = Memory::new();
+        assert_eq!(m.read_u32(0), 0);
+        assert_eq!(m.read_u32(0xffff_fffc), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_pages() {
+        let mut m = Memory::new();
+        for i in 0..2048u32 {
+            m.write_u32(i * 4, i ^ 0xdead);
+        }
+        for i in 0..2048u32 {
+            assert_eq!(m.read_u32(i * 4), i ^ 0xdead);
+        }
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f32_bitcast_roundtrip() {
+        let mut m = Memory::new();
+        m.write_f32(8, -1.5);
+        assert_eq!(m.read_f32(8), -1.5);
+        m.write_f32(12, f32::INFINITY);
+        assert!(m.read_f32(12).is_infinite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_read_panics() {
+        Memory::new().read_u32(2);
+    }
+
+    #[test]
+    fn bulk_helpers() {
+        let mut m = Memory::new();
+        m.write_words(100, &[1, 2, 3]);
+        assert_eq!(m.read_words(100, 3), vec![1, 2, 3]);
+        m.write_f32s(200, &[1.0, 2.0]);
+        assert_eq!(m.read_f32s(200, 2), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Backprop (Rodinia): neural-network layer forward pass over a batch of
+//! input vectors — per-neuron dot products with weight reuse across the
+//! batch, plus an SFU sigmoid; regular, uniform trip counts, coalesced
+//! weight accesses.
+
+use warpweave_core::Launch;
+use warpweave_isa::{p, r, CmpOp, KernelBuilder, Operand, Program};
+
+use crate::runner::{Prepared, Scale};
+use crate::util::{emit_gtid, region, Lcg};
+use crate::{Category, Workload};
+
+/// See the [module docs](self).
+pub struct Backprop;
+
+/// Input vectors processed per kernel (each weight is loaded once and used
+/// `BATCH` times — the arithmetic intensity of a real batched layer).
+const BATCH: usize = 8;
+const P_IN: u8 = 0;
+const P_W: u8 = 1;
+const P_OUT: u8 = 2;
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+
+/// `out[b][j] = sigmoid(Σᵢ in[b][i] · w[i·n_out + j])` — weights stored
+/// input-major so consecutive threads read consecutive words.
+fn program(n_in: u32, n_out: u32) -> Program {
+    let mut k = KernelBuilder::new("backprop");
+    emit_gtid(&mut k, r(0)); // j
+    for b in 0..BATCH {
+        k.mov(r(10 + b as u8), 0.0f32); // acc[b]
+    }
+    k.mov(r(2), Operand::Param(P_IN)); // &in[0][0]
+    k.shl(r(3), r(0), 2i32);
+    k.iadd(r(3), Operand::Param(P_W), r(3)); // &w[0][j]
+    k.mov(r(4), n_in as i32);
+    k.label("dot");
+    k.ld(r(5), r(3), 0); // w[i][j]
+    for b in 0..BATCH {
+        k.ld(r(6), r(2), (b as u32 * n_in * 4) as i32); // in[b][i] (broadcast)
+        k.ffma(r(10 + b as u8), r(6), r(5), r(10 + b as u8));
+    }
+    k.iadd(r(2), r(2), 4i32);
+    k.iadd(r(3), r(3), (n_out * 4) as i32);
+    k.iadd(r(4), r(4), -1i32);
+    k.isetp(p(0), CmpOp::Gt, r(4), 0i32);
+    k.bra_if(p(0), "dot");
+    // sigmoid(acc) = 1 / (1 + 2^(−acc·log2 e)) ; out[b][j]
+    k.shl(r(8), r(0), 2i32);
+    k.iadd(r(8), Operand::Param(P_OUT), r(8));
+    for b in 0..BATCH {
+        k.fmul(r(7), r(10 + b as u8), -LOG2E);
+        k.ex2(r(7), r(7));
+        k.fadd(r(7), r(7), 1.0f32);
+        k.rcp(r(7), r(7));
+        k.st(r(8), (b as u32 * n_out * 4) as i32, r(7));
+    }
+    k.exit();
+    k.build().expect("backprop assembles")
+}
+
+fn host_forward(input: &[f32], w: &[f32], n_in: usize, n_out: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; BATCH * n_out];
+    for b in 0..BATCH {
+        for j in 0..n_out {
+            let mut acc = 0.0f32;
+            for i in 0..n_in {
+                acc = input[b * n_in + i].mul_add(w[i * n_out + j], acc);
+            }
+            out[b * n_out + j] = 1.0 / ((-acc * LOG2E).exp2() + 1.0);
+        }
+    }
+    out
+}
+
+impl Workload for Backprop {
+    fn name(&self) -> &'static str {
+        "Backprop"
+    }
+
+    fn category(&self) -> Category {
+        Category::Regular
+    }
+
+    fn prepare(&self, scale: Scale) -> Prepared {
+        let (n_in, n_out): (u32, u32) = match scale {
+            Scale::Test => (32, 1024),
+            Scale::Bench => (96, 4096),
+        };
+        let mut rng = Lcg(0xbac);
+        let input: Vec<f32> = (0..BATCH as u32 * n_in)
+            .map(|_| rng.unit_f32() - 0.5)
+            .collect();
+        let w: Vec<f32> = (0..n_in * n_out).map(|_| rng.unit_f32() - 0.5).collect();
+        let expected = host_forward(&input, &w, n_in as usize, n_out as usize);
+        let (pin, pw, pout) = (region(0), region(1), region(2));
+        let launch =
+            Launch::new(program(n_in, n_out), n_out / 256, 256).with_params(vec![pin, pw, pout]);
+        Prepared {
+            launches: vec![launch],
+            inputs: vec![
+                (pin, input.iter().map(|v| v.to_bits()).collect()),
+                (pw, w.iter().map(|v| v.to_bits()).collect()),
+            ],
+            verify: Box::new(move |mem| {
+                let out = mem.read_f32s(pout, BATCH * n_out as usize);
+                crate::util::assert_close(&out, &expected, 1e-3)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_prepared;
+    use warpweave_core::SmConfig;
+
+    #[test]
+    fn host_sigmoid_range() {
+        let n_in = 2;
+        let n_out = 2;
+        let input = vec![0.5f32; BATCH * n_in];
+        let w = vec![0.25f32; n_in * n_out];
+        for v in host_forward(&input, &w, n_in, n_out) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn verifies_on_baseline() {
+        run_prepared(&SmConfig::baseline(), Backprop.prepare(Scale::Test), true).unwrap();
+    }
+
+    #[test]
+    fn verifies_on_swi() {
+        run_prepared(&SmConfig::swi(), Backprop.prepare(Scale::Test), true).unwrap();
+    }
+}

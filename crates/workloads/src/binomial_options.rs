@@ -1,0 +1,167 @@
+//! BinomialOptions (CUDA SDK): binomial-lattice option pricing by backward
+//! induction — triangular but *uniform across threads* loop nest, hence
+//! regular; strided per-thread scratch keeps accesses coalesced.
+
+use warpweave_core::Launch;
+use warpweave_isa::{p, r, CmpOp, KernelBuilder, Program};
+
+use crate::runner::{Prepared, Scale};
+use crate::util::{emit_elem_addr, emit_gtid, region, Lcg};
+use crate::{Category, Workload};
+
+/// See the [module docs](self).
+pub struct BinomialOptions;
+
+/// Lattice steps.
+const STEPS: u32 = 16;
+const U: f32 = 1.1;
+const D: f32 = 1.0 / 1.1;
+const PU: f32 = 0.55;
+const PD: f32 = 0.45;
+const DF: f32 = 0.995;
+
+const P_S: u8 = 0;
+const P_X: u8 = 1;
+const P_OUT: u8 = 2;
+
+fn program() -> Program {
+    // Lattice row stride in shared memory: v[i] for thread t lives at
+    // (i·256 + t)·4 — conflict-free banking, as in the SDK kernel.
+    let stride4 = 256 * 4;
+    let mut k = KernelBuilder::new("binomial");
+    emit_gtid(&mut k, r(0));
+    emit_elem_addr(&mut k, r(1), P_S, r(0));
+    k.ld(r(2), r(1), 0); // S
+    emit_elem_addr(&mut k, r(1), P_X, r(0));
+    k.ld(r(3), r(1), 0); // X
+    // w = S · dⁿ
+    k.mov(r(4), r(2));
+    for _ in 0..STEPS {
+        k.fmul(r(4), r(4), D);
+    }
+    // Leaf values v[i] = max(w − X, 0), w ·= u/d (lattice in shared).
+    k.mov(r(5), warpweave_isa::SpecialReg::Tid);
+    k.shl(r(5), r(5), 2i32); // &v[0][tid]
+    k.mov(r(6), STEPS as i32 + 1); // leaves remaining
+    k.label("leaves");
+    k.fsub(r(7), r(4), r(3));
+    k.fmax(r(7), r(7), 0.0f32);
+    k.st_shared(r(5), 0, r(7));
+    k.iadd(r(5), r(5), stride4);
+    k.fmul(r(4), r(4), U / D);
+    k.iadd(r(6), r(6), -1i32);
+    k.isetp(p(0), CmpOp::Gt, r(6), 0i32);
+    k.bra_if(p(0), "leaves");
+    // Backward induction: for j = STEPS..1: for i in 0..j:
+    //   v[i] = df·(pu·v[i+1] + pd·v[i])
+    k.mov(r(8), STEPS as i32); // j
+    k.label("outer");
+    k.mov(r(5), warpweave_isa::SpecialReg::Tid);
+    k.shl(r(5), r(5), 2i32);
+    k.mov(r(9), r(8)); // i count
+    k.label("inner");
+    k.ld_shared(r(10), r(5), 0); // v[i]
+    k.ld_shared(r(11), r(5), stride4); // v[i+1]
+    k.fmul(r(12), r(11), PU);
+    k.ffma(r(12), r(10), PD, r(12));
+    k.fmul(r(12), r(12), DF);
+    k.st_shared(r(5), 0, r(12));
+    k.iadd(r(5), r(5), stride4);
+    k.iadd(r(9), r(9), -1i32);
+    k.isetp(p(1), CmpOp::Gt, r(9), 0i32);
+    k.bra_if(p(1), "inner");
+    k.iadd(r(8), r(8), -1i32);
+    k.isetp(p(2), CmpOp::Gt, r(8), 0i32);
+    k.bra_if(p(2), "outer");
+    // Result = v[0].
+    k.mov(r(5), warpweave_isa::SpecialReg::Tid);
+    k.shl(r(5), r(5), 2i32);
+    k.ld_shared(r(13), r(5), 0);
+    emit_elem_addr(&mut k, r(14), P_OUT, r(0));
+    k.st(r(14), 0, r(13));
+    k.exit();
+    k.build().expect("binomial assembles")
+}
+
+fn host_price(s: f32, x: f32) -> f32 {
+    let mut w = s;
+    for _ in 0..STEPS {
+        w *= D;
+    }
+    let mut v: Vec<f32> = (0..=STEPS)
+        .map(|_| {
+            let leaf = (w - x).max(0.0);
+            w *= U / D;
+            leaf
+        })
+        .collect();
+    for j in (1..=STEPS as usize).rev() {
+        for i in 0..j {
+            v[i] = (v[i + 1] * PU + v[i] * PD) * DF;
+        }
+    }
+    v[0]
+}
+
+impl Workload for BinomialOptions {
+    fn name(&self) -> &'static str {
+        "BinomialOptions"
+    }
+
+    fn category(&self) -> Category {
+        Category::Regular
+    }
+
+    fn prepare(&self, scale: Scale) -> Prepared {
+        let n: u32 = match scale {
+            Scale::Test => 1024,
+            Scale::Bench => 4096,
+        };
+        let mut rng = Lcg(0xb10);
+        let s: Vec<f32> = (0..n).map(|_| 10.0 + 20.0 * rng.unit_f32()).collect();
+        let x: Vec<f32> = (0..n).map(|_| 10.0 + 20.0 * rng.unit_f32()).collect();
+        let expected: Vec<f32> = s.iter().zip(&x).map(|(&s, &x)| host_price(s, x)).collect();
+        let (ps, px, pout) = (region(0), region(1), region(2));
+        let launch = Launch::new(program(), n / 256, 256).with_params(vec![ps, px, pout]);
+        Prepared {
+            launches: vec![launch],
+            inputs: vec![
+                (ps, s.iter().map(|v| v.to_bits()).collect()),
+                (px, x.iter().map(|v| v.to_bits()).collect()),
+            ],
+            verify: Box::new(move |mem| {
+                let out = mem.read_f32s(pout, n as usize);
+                crate::util::assert_close(&out, &expected, 1e-3)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_prepared;
+    use warpweave_core::SmConfig;
+
+    #[test]
+    fn host_price_bounds() {
+        // Deep in-the-money ≈ S − X discounted; worthless when X huge.
+        assert!(host_price(100.0, 1.0) > 50.0);
+        assert_eq!(host_price(1.0, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn verifies_on_baseline() {
+        run_prepared(
+            &SmConfig::baseline(),
+            BinomialOptions.prepare(Scale::Test),
+            true,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn verifies_on_sbi() {
+        run_prepared(&SmConfig::sbi(), BinomialOptions.prepare(Scale::Test), true).unwrap();
+    }
+}

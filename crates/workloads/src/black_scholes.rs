@@ -1,0 +1,203 @@
+#![allow(clippy::excessive_precision)] // Abramowitz–Stegun constants kept verbatim
+//! BlackScholes (CUDA SDK): European option pricing, branch-free
+//! straight-line floating point with heavy SFU use — the archetypal regular
+//! workload.
+
+use warpweave_core::Launch;
+use warpweave_isa::{p, r, CmpOp, KernelBuilder, Program, Reg};
+
+
+use crate::runner::{Prepared, Scale};
+use crate::util::{assert_close, emit_elem_addr, emit_gtid, region, Lcg};
+use crate::{Category, Workload};
+
+/// See the [module docs](self).
+pub struct BlackScholes;
+
+const RISK_FREE: f32 = 0.02;
+const VOLATILITY: f32 = 0.30;
+const LN2: f32 = std::f32::consts::LN_2;
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+const INV_SQRT_2PI: f32 = 0.398_942_3;
+
+const P_S: u8 = 0;
+const P_X: u8 = 1;
+const P_T: u8 = 2;
+const P_CALL: u8 = 3;
+const P_PUT: u8 = 4;
+
+/// Emits the cumulative normal distribution (Abramowitz–Stegun polynomial)
+/// of `d` into `out`, clobbering `t0..t3` and predicate 0.
+fn emit_cnd(k: &mut KernelBuilder, out: Reg, d: Reg, t0: Reg, t1: Reg, t2: Reg, t3: Reg) {
+    // a = |d|
+    k.fsub(t0, 0.0f32, d);
+    k.fmax(t0, t0, d);
+    // kk = 1 / (1 + 0.2316419 a)
+    k.ffma(t1, t0, 0.231_641_9f32, 1.0f32);
+    k.rcp(t1, t1);
+    // poly = kk (a1 + kk (a2 + kk (a3 + kk (a4 + kk a5))))
+    k.fmul(t2, t1, 1.330_274_5_f32);
+    k.fadd(t2, t2, -1.821_255_9_f32);
+    k.fmul(t2, t2, t1);
+    k.fadd(t2, t2, 1.781_477_9_f32);
+    k.fmul(t2, t2, t1);
+    k.fadd(t2, t2, -0.356_563_78_f32);
+    k.fmul(t2, t2, t1);
+    k.fadd(t2, t2, 0.319_381_54_f32);
+    k.fmul(t2, t2, t1);
+    // nd = inv_sqrt_2pi · 2^(−a²/2 · log2 e)
+    k.fmul(t3, t0, t0);
+    k.fmul(t3, t3, -0.5 * LOG2E);
+    k.ex2(t3, t3);
+    k.fmul(t3, t3, INV_SQRT_2PI);
+    // w = nd · poly ; cnd = d < 0 ? w : 1 − w
+    k.fmul(t2, t3, t2);
+    k.fsub(t3, 1.0f32, t2);
+    k.fsetp(p(0), CmpOp::Lt, d, 0.0f32);
+    k.sel(out, p(0), t2, t3);
+}
+
+/// Host mirror of [`emit_cnd`] — same f32 operation order.
+fn cnd_host(d: f32) -> f32 {
+    let a = (-d).max(d);
+    let kk = 1.0 / a.mul_add(0.231_641_9, 1.0);
+    let mut poly = kk * 1.330_274_5;
+    poly += -1.821_255_9;
+    poly *= kk;
+    poly += 1.781_477_9;
+    poly *= kk;
+    poly += -0.356_563_78;
+    poly *= kk;
+    poly += 0.319_381_54;
+    poly *= kk;
+    let nd = (a * a * (-0.5 * LOG2E)).exp2() * INV_SQRT_2PI;
+    let w = nd * poly;
+    if d < 0.0 {
+        w
+    } else {
+        1.0 - w
+    }
+}
+
+fn program() -> Program {
+    let mut k = KernelBuilder::new("black_scholes");
+    emit_gtid(&mut k, r(0));
+    emit_elem_addr(&mut k, r(1), P_S, r(0));
+    k.ld(r(2), r(1), 0); // S
+    emit_elem_addr(&mut k, r(1), P_X, r(0));
+    k.ld(r(3), r(1), 0); // X
+    emit_elem_addr(&mut k, r(1), P_T, r(0));
+    k.ld(r(4), r(1), 0); // T
+    // d1 = (ln(S/X) + (R + V²/2) T) / (V √T)
+    k.rcp(r(5), r(3));
+    k.fmul(r(5), r(2), r(5));
+    k.lg2(r(5), r(5));
+    k.fmul(r(5), r(5), LN2);
+    k.ffma(r(5), r(4), RISK_FREE + 0.5 * VOLATILITY * VOLATILITY, r(5));
+    k.sqrt(r(6), r(4));
+    k.fmul(r(6), r(6), VOLATILITY); // V √T
+    k.rcp(r(7), r(6));
+    k.fmul(r(7), r(5), r(7)); // d1
+    k.fsub(r(8), r(7), r(6)); // d2
+    emit_cnd(&mut k, r(9), r(7), r(10), r(11), r(12), r(13));
+    emit_cnd(&mut k, r(14), r(8), r(10), r(11), r(12), r(13));
+    // e = X · 2^(−R·T·log2 e)
+    k.fmul(r(15), r(4), -RISK_FREE * LOG2E);
+    k.ex2(r(15), r(15));
+    k.fmul(r(15), r(3), r(15));
+    // call = S·cnd1 − e·cnd2 ; put = call − S + e
+    k.fmul(r(16), r(2), r(9));
+    k.fmul(r(17), r(15), r(14));
+    k.fsub(r(16), r(16), r(17));
+    emit_elem_addr(&mut k, r(1), P_CALL, r(0));
+    k.st(r(1), 0, r(16));
+    k.fsub(r(17), r(16), r(2));
+    k.fadd(r(17), r(17), r(15));
+    emit_elem_addr(&mut k, r(1), P_PUT, r(0));
+    k.st(r(1), 0, r(17));
+    k.exit();
+    k.build().expect("black_scholes assembles")
+}
+
+fn host_price(s: f32, x: f32, t: f32) -> (f32, f32) {
+    let d1 = (s / x).ln().mul_add(1.0, t * (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY))
+        / (VOLATILITY * t.sqrt());
+    let d2 = d1 - VOLATILITY * t.sqrt();
+    let e = x * (-RISK_FREE * t).exp();
+    let call = s * cnd_host(d1) - e * cnd_host(d2);
+    let put = call - s + e;
+    (call, put)
+}
+
+impl Workload for BlackScholes {
+    fn name(&self) -> &'static str {
+        "BlackScholes"
+    }
+
+    fn category(&self) -> Category {
+        Category::Regular
+    }
+
+    fn prepare(&self, scale: Scale) -> Prepared {
+        let n: u32 = match scale {
+            Scale::Test => 1024,
+            Scale::Bench => 16384,
+        };
+        let mut rng = Lcg(0x5e_edb5);
+        let s: Vec<f32> = (0..n).map(|_| 5.0 + 25.0 * rng.unit_f32()).collect();
+        let x: Vec<f32> = (0..n).map(|_| 5.0 + 25.0 * rng.unit_f32()).collect();
+        let t: Vec<f32> = (0..n).map(|_| 0.25 + 5.0 * rng.unit_f32()).collect();
+        let expected: Vec<(f32, f32)> = s
+            .iter()
+            .zip(&x)
+            .zip(&t)
+            .map(|((&s, &x), &t)| host_price(s, x, t))
+            .collect();
+        let (a_s, a_x, a_t, a_call, a_put) =
+            (region(0), region(1), region(2), region(3), region(4));
+        let launch = Launch::new(program(), n / 256, 256)
+            .with_params(vec![a_s, a_x, a_t, a_call, a_put]);
+        Prepared {
+            launches: vec![launch],
+            inputs: vec![
+                (a_s, s.iter().map(|v| v.to_bits()).collect()),
+                (a_x, x.iter().map(|v| v.to_bits()).collect()),
+                (a_t, t.iter().map(|v| v.to_bits()).collect()),
+            ],
+            verify: Box::new(move |mem| {
+                let calls = mem.read_f32s(a_call, n as usize);
+                let puts = mem.read_f32s(a_put, n as usize);
+                let ec: Vec<f32> = expected.iter().map(|&(c, _)| c).collect();
+                let ep: Vec<f32> = expected.iter().map(|&(_, p)| p).collect();
+                assert_close(&calls, &ec, 2e-2).map_err(|e| format!("call: {e}"))?;
+                assert_close(&puts, &ep, 2e-2).map_err(|e| format!("put: {e}"))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_prepared;
+    use warpweave_core::SmConfig;
+
+    #[test]
+    fn cnd_host_sane() {
+        assert!((cnd_host(0.0) - 0.5).abs() < 1e-3);
+        assert!(cnd_host(4.0) > 0.999);
+        assert!(cnd_host(-4.0) < 0.001);
+    }
+
+    #[test]
+    fn verifies_on_baseline() {
+        let w = BlackScholes;
+        run_prepared(&SmConfig::baseline(), w.prepare(Scale::Test), true).unwrap();
+    }
+
+    #[test]
+    fn verifies_on_sbi_swi() {
+        let w = BlackScholes;
+        run_prepared(&SmConfig::sbi_swi(), w.prepare(Scale::Test), true).unwrap();
+    }
+}

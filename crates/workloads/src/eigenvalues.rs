@@ -1,0 +1,226 @@
+//! Eigenvalues (CUDA SDK): bisection with Sturm-sequence counts for
+//! symmetric tridiagonal matrices — each thread hunts a different eigenvalue
+//! index, so bisection paths and convergence rates diverge within warps.
+
+use warpweave_core::Launch;
+use warpweave_isa::{p, r, CmpOp, KernelBuilder, Operand, Program};
+
+use crate::runner::{Prepared, Scale};
+use crate::util::{assert_close, emit_gtid, region, Lcg};
+use crate::{Category, Workload};
+
+/// See the [module docs](self).
+pub struct Eigenvalues;
+
+/// Matrix dimension (eigenvalues per matrix).
+const N: u32 = 32;
+/// Bisection iteration cap.
+const MAX_ITER: u32 = 40;
+const EPS: f32 = 2e-4;
+
+const P_D: u8 = 0; // diagonals, strided per matrix
+const P_E2: u8 = 1; // squared off-diagonals
+const P_OUT: u8 = 2;
+const P_LO: u8 = 3; // Gershgorin lower bound (f32 bits)
+const P_HI: u8 = 4;
+
+fn program() -> Program {
+    let mut k = KernelBuilder::new("eigenvalues");
+    emit_gtid(&mut k, r(0));
+    k.and_(r(1), r(0), (N - 1) as i32); // eigenvalue index kk
+    k.shr(r(2), r(0), N.trailing_zeros() as i32); // matrix index
+    // Array bases for this matrix.
+    k.imul(r(3), r(2), (N * 4) as i32);
+    k.iadd(r(4), Operand::Param(P_D), r(3));
+    k.iadd(r(5), Operand::Param(P_E2), r(3));
+    k.mov(r(6), Operand::Param(P_LO)); // lo
+    k.mov(r(7), Operand::Param(P_HI)); // hi
+    k.mov(r(8), MAX_ITER as i32);
+    k.label("bisect");
+    // mid = 0.5 (lo + hi); stop when hi − lo ≤ eps·max(|mid|, 0.01) —
+    // a *relative* tolerance, so eigenvalues of different magnitude
+    // converge after different iteration counts (intra-warp divergence).
+    k.fadd(r(9), r(6), r(7));
+    k.fmul(r(9), r(9), 0.5f32);
+    k.fsub(r(10), r(7), r(6));
+    k.fsub(r(22), 0.0f32, r(9));
+    k.fmax(r(22), r(22), r(9)); // |mid|
+    k.fmax(r(22), r(22), 0.01f32);
+    k.fmul(r(22), r(22), EPS);
+    k.fsetp(p(0), CmpOp::Le, r(10), r(22));
+    k.bra_if(p(0), "done");
+    // Sturm count at mid: q = d[0] − mid; then q = d[i] − mid − e2[i]/q.
+    k.mov(r(11), 0i32); // count
+    k.ld(r(12), r(4), 0);
+    k.fsub(r(12), r(12), r(9)); // q
+    k.fsetp(p(1), CmpOp::Lt, r(12), 0.0f32);
+    k.guard_t(p(1)).iadd(r(11), r(11), 1i32);
+    k.mov(r(13), 1i32); // i
+    k.mov(r(14), r(4));
+    k.mov(r(15), r(5));
+    k.label("sturm");
+    k.iadd(r(14), r(14), 4i32);
+    k.iadd(r(15), r(15), 4i32);
+    // Guard against tiny pivots (data-dependent branch).
+    k.fsub(r(16), 0.0f32, r(12));
+    k.fmax(r(16), r(16), r(12)); // |q|
+    k.fsetp(p(2), CmpOp::Ge, r(16), 1e-10f32);
+    k.bra_if(p(2), "safe");
+    k.mov(r(12), 1e-10f32);
+    k.label("safe");
+    k.ld(r(17), r(14), 0); // d[i]
+    k.ld(r(18), r(15), 0); // e2[i]
+    k.rcp(r(19), r(12));
+    k.fmul(r(19), r(18), r(19));
+    k.fsub(r(12), r(17), r(9));
+    k.fsub(r(12), r(12), r(19));
+    k.fsetp(p(3), CmpOp::Lt, r(12), 0.0f32);
+    k.guard_t(p(3)).iadd(r(11), r(11), 1i32);
+    // Early exit: the count only grows, so once it exceeds kk the
+    // bisection decision is already pinned (data-dependent trip count).
+    k.isetp(p(7), CmpOp::Gt, r(11), r(1));
+    k.bra_if(p(7), "sturm_done");
+    k.iadd(r(13), r(13), 1i32);
+    k.isetp(p(4), CmpOp::Lt, r(13), N as i32);
+    k.bra_if(p(4), "sturm");
+    k.label("sturm_done");
+    // count > kk → eigenvalue below mid: hi = mid, else lo = mid.
+    k.isetp(p(5), CmpOp::Gt, r(11), r(1));
+    k.sel(r(20), p(5), r(9), r(7));
+    k.mov(r(7), r(20)); // hi
+    k.sel(r(20), p(5), r(6), r(9));
+    k.mov(r(6), r(20)); // lo
+    k.iadd(r(8), r(8), -1i32);
+    k.isetp(p(6), CmpOp::Gt, r(8), 0i32);
+    k.bra_if(p(6), "bisect");
+    k.label("done");
+    k.shl(r(21), r(0), 2i32);
+    k.iadd(r(21), Operand::Param(P_OUT), r(21));
+    k.st(r(21), 0, r(9));
+    k.exit();
+    k.build().expect("eigenvalues assembles")
+}
+
+/// Host mirror of the kernel's bisection (same f32 operations).
+fn host_eigen(d: &[f32], e2: &[f32], kk: usize, mut lo: f32, mut hi: f32) -> f32 {
+    let mut mid;
+    for _ in 0..MAX_ITER {
+        mid = 0.5 * (lo + hi);
+        let tol = EPS * (-mid).max(mid).max(0.01);
+        if hi - lo <= tol {
+            return mid;
+        }
+        let mut count = 0usize;
+        let mut q = d[0] - mid;
+        if q < 0.0 {
+            count += 1;
+        }
+        for i in 1..d.len() {
+            if count > kk {
+                break;
+            }
+            let aq = (-q).max(q);
+            if aq < 1e-10 {
+                q = 1e-10;
+            }
+            q = (d[i] - mid) - e2[i] * (1.0 / q);
+            if q < 0.0 {
+                count += 1;
+            }
+        }
+        if count > kk {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+impl Workload for Eigenvalues {
+    fn name(&self) -> &'static str {
+        "Eigenvalues"
+    }
+
+    fn category(&self) -> Category {
+        Category::Irregular
+    }
+
+    fn prepare(&self, scale: Scale) -> Prepared {
+        let matrices: u32 = match scale {
+            Scale::Test => 32,
+            Scale::Bench => 96,
+        };
+        let threads = matrices * N;
+        let mut rng = Lcg(0xe16);
+        let d: Vec<f32> = (0..threads).map(|_| 4.0 * rng.unit_f32() - 2.0).collect();
+        let mut e2: Vec<f32> = (0..threads).map(|_| rng.unit_f32() + 0.01).collect();
+        for m in 0..matrices {
+            e2[(m * N) as usize] = 0.0; // e[0] unused
+        }
+        // Global Gershgorin bounds across all matrices.
+        let lo = -8.0f32;
+        let hi = 8.0f32;
+        let expected: Vec<f32> = (0..threads)
+            .map(|t| {
+                let m = (t / N) as usize;
+                let kk = (t % N) as usize;
+                let base = m * N as usize;
+                host_eigen(
+                    &d[base..base + N as usize],
+                    &e2[base..base + N as usize],
+                    kk,
+                    lo,
+                    hi,
+                )
+            })
+            .collect();
+        let (pd, pe2, pout) = (region(0), region(1), region(2));
+        let launch = Launch::new(program(), threads / 256, 256).with_params(vec![
+            pd,
+            pe2,
+            pout,
+            lo.to_bits(),
+            hi.to_bits(),
+        ]);
+        Prepared {
+            launches: vec![launch],
+            inputs: vec![
+                (pd, d.iter().map(|v| v.to_bits()).collect()),
+                (pe2, e2.iter().map(|v| v.to_bits()).collect()),
+            ],
+            verify: Box::new(move |mem| {
+                let out = mem.read_f32s(pout, threads as usize);
+                assert_close(&out, &expected, 5e-3)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_prepared;
+    use warpweave_core::SmConfig;
+
+    #[test]
+    fn host_eigen_diagonal_matrix() {
+        // A diagonal matrix's eigenvalues are its (sorted) diagonal.
+        let d = vec![-1.0f32, 0.5, 2.0, 3.0];
+        let e2 = vec![0.0f32; 4];
+        for (kk, want) in [-1.0f32, 0.5, 2.0, 3.0].iter().enumerate() {
+            let got = host_eigen(&d, &e2, kk, -8.0, 8.0);
+            assert!((got - want).abs() < 1e-3, "k={kk}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn verifies_on_baseline() {
+        run_prepared(&SmConfig::baseline(), Eigenvalues.prepare(Scale::Test), true).unwrap();
+    }
+
+    #[test]
+    fn verifies_on_sbi_swi() {
+        run_prepared(&SmConfig::sbi_swi(), Eigenvalues.prepare(Scale::Test), true).unwrap();
+    }
+}

@@ -1,0 +1,182 @@
+//! LUD (Rodinia): batched in-place LU decomposition of 16×16 tiles in
+//! shared memory — the active thread set shrinks triangularly with the
+//! elimination step, a strongly tid-correlated imbalance pattern.
+
+use warpweave_core::Launch;
+use warpweave_isa::{p, r, CmpOp, KernelBuilder, Operand, Program, SpecialReg};
+
+use crate::runner::{Prepared, Scale};
+use crate::util::{assert_close, region, Lcg};
+use crate::{Category, Workload};
+
+/// See the [module docs](self).
+pub struct Lud;
+
+/// Matrix dimension per block.
+const N: u32 = 16;
+const P_A: u8 = 0;
+
+fn program() -> Program {
+    let mut k = KernelBuilder::new("lud");
+    k.mov(r(0), SpecialReg::Tid);
+    k.shr(r(1), r(0), 4i32); // i (row)
+    k.and_(r(2), r(0), (N - 1) as i32); // j (col)
+    // Load A[i][j] into shared[tid].
+    k.mov(r(3), SpecialReg::CtaId);
+    k.imad(r(4), r(3), (N * N) as i32, r(0));
+    k.shl(r(4), r(4), 2i32);
+    k.iadd(r(4), Operand::Param(P_A), r(4));
+    k.ld(r(5), r(4), 0);
+    k.shl(r(6), r(0), 2i32);
+    k.st_shared(r(6), 0, r(5));
+    k.bar();
+    for kk in 0..(N - 1) as i32 {
+        let div_done = format!("div{kk}");
+        let upd_done = format!("upd{kk}");
+        // L column: threads with i > kk && j == kk divide by the pivot
+        // (nested divergent branches keep the uniform prologue minimal).
+        k.isetp(p(0), CmpOp::Gt, r(1), kk);
+        k.bra_ifn(p(0), div_done.clone());
+        k.isetp(p(1), CmpOp::Eq, r(2), kk);
+        k.bra_ifn(p(1), div_done.clone());
+        k.ld_shared(r(9), r(6), 0); // A[i][kk]
+        // pivot A[kk][kk] at (kk·16+kk)·4
+        k.mov(r(10), (kk * 16 + kk) * 4);
+        k.ld_shared(r(11), r(10), 0);
+        k.rcp(r(11), r(11));
+        k.fmul(r(9), r(9), r(11));
+        k.st_shared(r(6), 0, r(9));
+        k.label(div_done);
+        k.bar();
+        // Submatrix update: threads with i > kk && j > kk.
+        k.bra_ifn(p(0), upd_done.clone());
+        k.isetp(p(2), CmpOp::Gt, r(2), kk);
+        k.bra_ifn(p(2), upd_done.clone());
+        // l = A[i][kk], u = A[kk][j]
+        k.imad(r(12), r(1), (N * 4) as i32, kk * 4);
+        k.ld_shared(r(13), r(12), 0);
+        k.imad(r(12), r(2), 4i32, kk * 16 * 4);
+        k.ld_shared(r(14), r(12), 0);
+        k.ld_shared(r(15), r(6), 0);
+        k.fmul(r(13), r(13), r(14));
+        k.fsub(r(15), r(15), r(13));
+        k.st_shared(r(6), 0, r(15));
+        k.label(upd_done);
+        k.bar();
+    }
+    // Store the packed LU back.
+    k.ld_shared(r(16), r(6), 0);
+    k.st(r(4), 0, r(16));
+    k.exit();
+    k.build().expect("lud assembles")
+}
+
+/// Host mirror: in-place Doolittle with the kernel's operation order.
+fn host_lud(a: &mut [f32]) {
+    let n = N as usize;
+    for kk in 0..n - 1 {
+        let pivot = a[kk * n + kk];
+        let rp = 1.0 / pivot;
+        for i in kk + 1..n {
+            a[i * n + kk] *= rp;
+        }
+        for i in kk + 1..n {
+            for j in kk + 1..n {
+                let l = a[i * n + kk];
+                let u = a[kk * n + j];
+                a[i * n + j] -= l * u;
+            }
+        }
+    }
+}
+
+impl Workload for Lud {
+    fn name(&self) -> &'static str {
+        "LUD"
+    }
+
+    fn category(&self) -> Category {
+        Category::Irregular
+    }
+
+    fn prepare(&self, scale: Scale) -> Prepared {
+        let blocks: u32 = match scale {
+            Scale::Test => 8,
+            Scale::Bench => 64,
+        };
+        let n = N as usize;
+        let mut rng = Lcg(0x10d);
+        let mut a: Vec<f32> = (0..blocks as usize * n * n)
+            .map(|_| rng.unit_f32() - 0.5)
+            .collect();
+        // Diagonal dominance keeps the factorisation stable.
+        for b in 0..blocks as usize {
+            for i in 0..n {
+                a[b * n * n + i * n + i] += 8.0;
+            }
+        }
+        let mut expected = a.clone();
+        for b in 0..blocks as usize {
+            host_lud(&mut expected[b * n * n..(b + 1) * n * n]);
+        }
+        let pa = region(0);
+        let launch = Launch::new(program(), blocks, 256).with_params(vec![pa]);
+        Prepared {
+            launches: vec![launch],
+            inputs: vec![(pa, a.iter().map(|v| v.to_bits()).collect())],
+            verify: Box::new(move |mem| {
+                let out = mem.read_f32s(pa, expected.len());
+                assert_close(&out, &expected, 1e-3)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_prepared;
+    use warpweave_core::SmConfig;
+
+    #[test]
+    fn host_lud_reconstructs() {
+        // L·U must reproduce the original matrix.
+        let n = N as usize;
+        let mut rng = Lcg(3);
+        let mut a: Vec<f32> = (0..n * n).map(|_| rng.unit_f32() - 0.5).collect();
+        for i in 0..n {
+            a[i * n + i] += 8.0;
+        }
+        let orig = a.clone();
+        host_lud(&mut a);
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0f32;
+                for t in 0..n {
+                    let l = match t.cmp(&i) {
+                        std::cmp::Ordering::Less => a[i * n + t],
+                        std::cmp::Ordering::Equal => 1.0,
+                        std::cmp::Ordering::Greater => 0.0,
+                    };
+                    let u = if t <= j { a[t * n + j] } else { 0.0 };
+                    sum += l * u;
+                }
+                assert!(
+                    (sum - orig[i * n + j]).abs() < 1e-3,
+                    "A[{i}][{j}]: {sum} vs {}",
+                    orig[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verifies_on_baseline() {
+        run_prepared(&SmConfig::baseline(), Lud.prepare(Scale::Test), true).unwrap();
+    }
+
+    #[test]
+    fn verifies_on_sbi() {
+        run_prepared(&SmConfig::sbi(), Lud.prepare(Scale::Test), true).unwrap();
+    }
+}

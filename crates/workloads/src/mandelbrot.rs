@@ -1,0 +1,155 @@
+//! Mandelbrot (CUDA SDK): per-pixel escape-time iteration — strongly
+//! data-dependent trip counts, with a block barrier between the pixels each
+//! thread processes. The paper observes exactly this barrier "prevents
+//! warp-splits from running ahead across iterations" (§5.1), flattening the
+//! differences between architectures.
+
+use warpweave_core::Launch;
+use warpweave_isa::{p, r, CmpOp, KernelBuilder, Operand, Program};
+
+use crate::runner::{Prepared, Scale};
+use crate::util::{emit_gtid, region};
+use crate::{Category, Workload};
+
+/// See the [module docs](self).
+pub struct Mandelbrot;
+
+const X0: f32 = -2.2;
+const Y0: f32 = -1.5;
+const SPAN_X: f32 = 3.0;
+const SPAN_Y: f32 = 3.0;
+const P_OUT: u8 = 0;
+const P_TOTAL: u8 = 1;
+
+fn program(w: u32, max_iter: u32, pixels_per_thread: u32) -> Program {
+    let mut k = KernelBuilder::new("mandelbrot");
+    emit_gtid(&mut k, r(0));
+    k.mov(r(1), r(0)); // pixel index
+    k.mov(r(2), pixels_per_thread as i32);
+    k.label("pixels");
+    // c = (X0 + x·dx, Y0 + y·dy)
+    k.and_(r(3), r(1), (w - 1) as i32);
+    k.shr(r(4), r(1), w.trailing_zeros() as i32);
+    k.i2f(r(3), r(3));
+    k.i2f(r(4), r(4));
+    k.ffma(r(3), r(3), SPAN_X / w as f32, X0); // cre
+    k.ffma(r(4), r(4), SPAN_Y / w as f32, Y0); // cim
+    k.mov(r(5), 0.0f32); // zr
+    k.mov(r(6), 0.0f32); // zi
+    k.mov(r(7), 0i32); // iter
+    k.label("iter");
+    k.fmul(r(8), r(5), r(5)); // zr²
+    k.fmul(r(9), r(6), r(6)); // zi²
+    k.fadd(r(10), r(8), r(9));
+    k.fsetp(p(0), CmpOp::Gt, r(10), 4.0f32);
+    k.bra_if(p(0), "escaped");
+    k.fsub(r(8), r(8), r(9));
+    k.fadd(r(8), r(8), r(3)); // zr' = zr²−zi²+cre
+    k.fmul(r(9), r(5), r(6));
+    k.fmul(r(9), r(9), 2.0f32);
+    k.fadd(r(6), r(9), r(4)); // zi' = 2·zr·zi+cim
+    k.mov(r(5), r(8));
+    k.iadd(r(7), r(7), 1i32);
+    k.isetp(p(1), CmpOp::Lt, r(7), max_iter as i32);
+    k.bra_if(p(1), "iter");
+    k.label("escaped");
+    // out[pixel] = iter
+    k.shl(r(11), r(1), 2i32);
+    k.iadd(r(11), Operand::Param(P_OUT), r(11));
+    k.st(r(11), 0, r(7));
+    // Next pixel (grid stride); barrier between pixels, as in the SDK's
+    // per-frame loop.
+    k.iadd(r(1), r(1), Operand::Param(P_TOTAL));
+    k.bar();
+    k.iadd(r(2), r(2), -1i32);
+    k.isetp(p(2), CmpOp::Gt, r(2), 0i32);
+    k.bra_if(p(2), "pixels");
+    k.exit();
+    k.build().expect("mandelbrot assembles")
+}
+
+/// Host mirror: identical f32 operation order → exact iteration counts.
+fn host_iters(pix: u32, w: u32, max_iter: u32) -> u32 {
+    let x = (pix & (w - 1)) as f32;
+    let y = (pix >> w.trailing_zeros()) as f32;
+    let cre = x.mul_add(SPAN_X / w as f32, X0);
+    let cim = y.mul_add(SPAN_Y / w as f32, Y0);
+    let (mut zr, mut zi) = (0.0f32, 0.0f32);
+    let mut iter = 0;
+    loop {
+        let zr2 = zr * zr;
+        let zi2 = zi * zi;
+        if zr2 + zi2 > 4.0 {
+            return iter;
+        }
+        let nzr = (zr2 - zi2) + cre;
+        zi = (zr * zi) * 2.0 + cim;
+        zr = nzr;
+        iter += 1;
+        if iter >= max_iter {
+            return iter;
+        }
+    }
+}
+
+impl Workload for Mandelbrot {
+    fn name(&self) -> &'static str {
+        "Mandelbrot"
+    }
+
+    fn category(&self) -> Category {
+        Category::Irregular
+    }
+
+    fn prepare(&self, scale: Scale) -> Prepared {
+        let (w, h, max_iter, ppt): (u32, u32, u32, u32) = match scale {
+            Scale::Test => (64, 32, 32, 2),
+            Scale::Bench => (128, 64, 64, 2),
+        };
+        let total_pixels = w * h;
+        let threads = total_pixels / ppt;
+        let pout = region(0);
+        let launch =
+            Launch::new(program(w, max_iter, ppt), threads / 256, 256)
+                .with_params(vec![pout, threads]);
+        Prepared {
+            launches: vec![launch],
+            inputs: vec![],
+            verify: Box::new(move |mem| {
+                let out = mem.read_words(pout, total_pixels as usize);
+                for (pix, &got) in out.iter().enumerate() {
+                    let want = host_iters(pix as u32, w, max_iter);
+                    if got != want {
+                        return Err(format!("pixel {pix}: {got} iters, expected {want}"));
+                    }
+                }
+                Ok(())
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_prepared;
+    use warpweave_core::SmConfig;
+
+    #[test]
+    fn host_iters_disc_membership() {
+        // The centre of the set never escapes; far outside escapes fast.
+        let w = 64;
+        // pixel at complex (X0, Y0) corner escapes almost immediately
+        assert!(host_iters(0, w, 64) < 3);
+    }
+
+    #[test]
+    fn verifies_on_baseline() {
+        run_prepared(&SmConfig::baseline(), Mandelbrot.prepare(Scale::Test), true).unwrap();
+    }
+
+    #[test]
+    fn verifies_on_sbi() {
+        run_prepared(&SmConfig::sbi(), Mandelbrot.prepare(Scale::Test), true).unwrap();
+    }
+}

@@ -1,0 +1,190 @@
+//! Needleman-Wunsch (Rodinia): global sequence alignment by anti-diagonal
+//! wavefront — the number of active threads ramps 1‥L‥1 across diagonals, a
+//! tid-correlated imbalance the paper's lane shuffling exploits (XorRev wins
+//! +7.7 % here, fig. 8b).
+
+use warpweave_core::Launch;
+use warpweave_isa::{p, r, CmpOp, KernelBuilder, Operand, Program, SpecialReg};
+
+use crate::runner::{Prepared, Scale};
+use crate::util::{region, Lcg};
+use crate::{Category, Workload};
+
+/// See the [module docs](self).
+pub struct NeedlemanWunsch;
+
+/// Sequence length (DP matrix is (L+1)²).
+const L: u32 = 48;
+const GAP: i32 = -2;
+const MATCH: i32 = 3;
+const MISMATCH: i32 = -1;
+
+const P_SEQA: u8 = 0; // per-block sequences, strided
+const P_SEQB: u8 = 1;
+const P_OUT: u8 = 2; // per-block final score
+
+/// Shared layout: DP at 0, (L+1)² words.
+const DP: i32 = 0;
+
+fn dp_addr(i: i32, j: i32) -> i32 {
+    DP + (i * (L as i32 + 1) + j) * 4
+}
+
+fn program() -> Program {
+    let mut k = KernelBuilder::new("needleman_wunsch");
+    k.mov(r(0), SpecialReg::Tid);
+    k.mov(r(1), SpecialReg::CtaId);
+    // Initialise border rows/cols: dp[0][t] = dp[t][0] = GAP·t for t ≤ L.
+    k.isetp(p(0), CmpOp::Gt, r(0), L as i32);
+    k.bra_if(p(0), "init_done");
+    k.imul(r(2), r(0), GAP);
+    k.imul(r(3), r(0), (L as i32 + 1) * 4);
+    k.st_shared(r(3), DP, r(2)); // dp[t][0]
+    k.shl(r(3), r(0), 2i32);
+    k.st_shared(r(3), DP, r(2)); // dp[0][t]
+    k.label("init_done");
+    k.bar();
+    // Sequence bases for this block (bytes-as-words, strided by L).
+    k.imul(r(4), r(1), (L * 4) as i32);
+    k.iadd(r(5), Operand::Param(P_SEQA), r(4));
+    k.iadd(r(6), Operand::Param(P_SEQB), r(4));
+    // Anti-diagonals d = i + j, d = 2 ..= 2L (unrolled: bounds are consts).
+    for d in 2..=(2 * L as i32) {
+        let skip = format!("diag{d}");
+        let i_min = 1.max(d - L as i32);
+        let i_max = (L as i32).min(d - 1);
+        let cells = i_max - i_min + 1;
+        k.isetp(p(1), CmpOp::Ge, r(0), cells);
+        k.bra_if(p(1), skip.clone());
+        // i = i_min + tid, j = d − i
+        k.iadd(r(7), r(0), i_min);
+        k.isub(r(8), d, r(7));
+        // a = seqA[i−1], b = seqB[j−1]
+        k.shl(r(9), r(7), 2i32);
+        k.iadd(r(9), r(5), r(9));
+        k.ld(r(10), r(9), -4);
+        k.shl(r(9), r(8), 2i32);
+        k.iadd(r(9), r(6), r(9));
+        k.ld(r(11), r(9), -4);
+        // sub = (a == b) ? MATCH : MISMATCH
+        k.isetp(p(2), CmpOp::Eq, r(10), r(11));
+        k.sel(r(12), p(2), MATCH, MISMATCH);
+        // dp addresses: base = (i·(L+1) + j)·4
+        k.imul(r(13), r(7), (L as i32 + 1) * 4);
+        k.shl(r(14), r(8), 2i32);
+        k.iadd(r(13), r(13), r(14));
+        // diag, up, left
+        k.ld_shared(r(15), r(13), DP - ((L as i32 + 1) * 4) - 4);
+        k.iadd(r(15), r(15), r(12));
+        k.ld_shared(r(16), r(13), DP - ((L as i32 + 1) * 4));
+        k.iadd(r(16), r(16), GAP);
+        k.ld_shared(r(17), r(13), DP - 4);
+        k.iadd(r(17), r(17), GAP);
+        k.imax(r(15), r(15), r(16));
+        k.imax(r(15), r(15), r(17));
+        k.st_shared(r(13), DP, r(15));
+        k.label(skip);
+        k.bar();
+    }
+    // Thread 0 stores the final score dp[L][L].
+    k.isetp(p(3), CmpOp::Ne, r(0), 0i32);
+    k.bra_if(p(3), "done");
+    k.mov(r(18), dp_addr(L as i32, L as i32));
+    k.ld_shared(r(19), r(18), 0);
+    k.shl(r(20), r(1), 2i32);
+    k.iadd(r(20), Operand::Param(P_OUT), r(20));
+    k.st(r(20), 0, r(19));
+    k.label("done");
+    k.exit();
+    k.build().expect("needleman_wunsch assembles")
+}
+
+#[allow(clippy::needless_range_loop)] // DP borders indexed symmetrically
+fn host_nw(a: &[u32], b: &[u32]) -> i32 {
+    let n = L as usize;
+    let mut dp = vec![vec![0i32; n + 1]; n + 1];
+    for t in 0..=n {
+        dp[0][t] = GAP * t as i32;
+        dp[t][0] = GAP * t as i32;
+    }
+    for i in 1..=n {
+        for j in 1..=n {
+            let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            dp[i][j] = (dp[i - 1][j - 1] + sub)
+                .max(dp[i - 1][j] + GAP)
+                .max(dp[i][j - 1] + GAP);
+        }
+    }
+    dp[n][n]
+}
+
+impl Workload for NeedlemanWunsch {
+    fn name(&self) -> &'static str {
+        "Needleman-Wunsch"
+    }
+
+    fn category(&self) -> Category {
+        Category::Irregular
+    }
+
+    fn prepare(&self, scale: Scale) -> Prepared {
+        let blocks: u32 = match scale {
+            Scale::Test => 8,
+            Scale::Bench => 48,
+        };
+        let mut rng = Lcg(0x95);
+        let seq_a: Vec<u32> = (0..blocks * L).map(|_| rng.below(4)).collect();
+        let seq_b: Vec<u32> = (0..blocks * L).map(|_| rng.below(4)).collect();
+        let expected: Vec<i32> = (0..blocks as usize)
+            .map(|b| {
+                host_nw(
+                    &seq_a[b * L as usize..(b + 1) * L as usize],
+                    &seq_b[b * L as usize..(b + 1) * L as usize],
+                )
+            })
+            .collect();
+        let (pa, pb, pout) = (region(0), region(1), region(2));
+        let launch = Launch::new(program(), blocks, 64).with_params(vec![pa, pb, pout]);
+        Prepared {
+            launches: vec![launch],
+            inputs: vec![(pa, seq_a), (pb, seq_b)],
+            verify: Box::new(move |mem| {
+                for (b, &want) in expected.iter().enumerate() {
+                    let got = mem.read_i32(pout + 4 * b as u32);
+                    if got != want {
+                        return Err(format!("block {b}: score {got}, expected {want}"));
+                    }
+                }
+                Ok(())
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_prepared;
+    use warpweave_core::SmConfig;
+
+    #[test]
+    fn host_nw_identical_sequences() {
+        let s: Vec<u32> = (0..L).map(|i| i % 4).collect();
+        assert_eq!(host_nw(&s, &s), MATCH * L as i32);
+    }
+
+    #[test]
+    fn verifies_on_baseline() {
+        run_prepared(
+            &SmConfig::baseline(),
+            NeedlemanWunsch.prepare(Scale::Test),
+            true,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn verifies_on_swi() {
+        run_prepared(&SmConfig::swi(), NeedlemanWunsch.prepare(Scale::Test), true).unwrap();
+    }
+}

@@ -1,0 +1,172 @@
+//! Executes prepared workloads on a configured SM and verifies results.
+
+use warpweave_core::{Launch, Sm, SmConfig, Stats};
+use warpweave_mem::Memory;
+
+/// Problem size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small inputs for unit/integration tests (sub-second in debug builds).
+    Test,
+    /// Benchmark inputs used by the figure harnesses.
+    Bench,
+}
+
+/// Result-verification callback: inspects final global memory.
+pub type Verifier = Box<dyn Fn(&Memory) -> Result<(), String> + Send + Sync>;
+
+/// A fully-prepared workload run: kernels to launch in sequence, initial
+/// memory contents and a verifier.
+pub struct Prepared {
+    /// Kernels launched back-to-back on the same memory (most workloads
+    /// have one; BFS has one per frontier level, etc.).
+    pub launches: Vec<Launch>,
+    /// `(byte address, words)` pairs preloaded into global memory.
+    pub inputs: Vec<(u32, Vec<u32>)>,
+    /// Checks the final memory against the host reference.
+    pub verify: Verifier,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("launches", &self.launches.len())
+            .field("inputs", &self.inputs.len())
+            .finish()
+    }
+}
+
+/// Failures while running a workload.
+#[derive(Debug)]
+pub enum RunError {
+    /// The simulator failed (deadlock or cycle budget).
+    Sim(warpweave_core::SimError),
+    /// Setup failed (invalid configuration or program).
+    Setup(String),
+    /// The result did not match the host reference.
+    Verify(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::Setup(e) => write!(f, "setup failed: {e}"),
+            RunError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Maximum cycles per launch before declaring failure.
+pub const MAX_CYCLES_PER_LAUNCH: u64 = 200_000_000;
+
+/// Runs a prepared workload under `cfg`; verifies when `verify` is set.
+///
+/// # Errors
+/// See [`RunError`].
+pub fn run_prepared(cfg: &SmConfig, prepared: Prepared, verify: bool) -> Result<Stats, RunError> {
+    let mut mem = Memory::new();
+    for (addr, words) in &prepared.inputs {
+        mem.write_words(*addr, words);
+    }
+    let mut total = Stats::default();
+    let n = prepared.launches.len();
+    for (i, launch) in prepared.launches.into_iter().enumerate() {
+        let mut sm = Sm::new(cfg.clone(), launch).map_err(RunError::Setup)?;
+        sm.set_memory(mem);
+        let stats = sm
+            .run(MAX_CYCLES_PER_LAUNCH)
+            .map_err(RunError::Sim)?
+            .clone();
+        total.accumulate(&stats);
+        mem = sm.into_memory();
+        let _ = (i, n);
+    }
+    if verify {
+        (prepared.verify)(&mem).map_err(RunError::Verify)?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpweave_isa::{r, KernelBuilder, Operand, SpecialReg};
+
+    fn store_tid_program() -> warpweave_isa::Program {
+        let mut k = KernelBuilder::new("store_tid");
+        k.mov(r(0), SpecialReg::CtaId);
+        k.imad(r(0), r(0), SpecialReg::NTid, SpecialReg::Tid);
+        k.shl(r(1), r(0), 2i32);
+        k.iadd(r(1), Operand::Param(0), r(1));
+        k.st(r(1), 0, r(0));
+        k.exit();
+        k.build().unwrap()
+    }
+
+    #[test]
+    fn runs_and_verifies() {
+        let base = crate::util::region(0);
+        let prepared = Prepared {
+            launches: vec![Launch::new(store_tid_program(), 2, 256).with_params(vec![base])],
+            inputs: vec![],
+            verify: Box::new(move |mem| {
+                for i in 0..512u32 {
+                    let v = mem.read_u32(base + 4 * i);
+                    if v != i {
+                        return Err(format!("slot {i} holds {v}"));
+                    }
+                }
+                Ok(())
+            }),
+        };
+        let stats = run_prepared(&SmConfig::baseline(), prepared, true).unwrap();
+        assert!(stats.thread_instructions > 0);
+    }
+
+    #[test]
+    fn verification_failure_reported() {
+        let prepared = Prepared {
+            launches: vec![Launch::new(store_tid_program(), 1, 256)
+                .with_params(vec![crate::util::region(0)])],
+            inputs: vec![],
+            verify: Box::new(|_| Err("always fails".into())),
+        };
+        let err = run_prepared(&SmConfig::baseline(), prepared, true).unwrap_err();
+        assert!(matches!(err, RunError::Verify(_)));
+    }
+
+    #[test]
+    fn multi_launch_carries_memory() {
+        // Launch 1 stores tids; launch 2 increments them.
+        let base = crate::util::region(0);
+        let mut k = KernelBuilder::new("incr");
+        k.mov(r(0), SpecialReg::CtaId);
+        k.imad(r(0), r(0), SpecialReg::NTid, SpecialReg::Tid);
+        k.shl(r(1), r(0), 2i32);
+        k.iadd(r(1), Operand::Param(0), r(1));
+        k.ld(r(2), r(1), 0);
+        k.iadd(r(2), r(2), 100i32);
+        k.st(r(1), 0, r(2));
+        k.exit();
+        let incr = k.build().unwrap();
+        let prepared = Prepared {
+            launches: vec![
+                Launch::new(store_tid_program(), 1, 256).with_params(vec![base]),
+                Launch::new(incr, 1, 256).with_params(vec![base]),
+            ],
+            inputs: vec![],
+            verify: Box::new(move |mem| {
+                for i in 0..256u32 {
+                    if mem.read_u32(base + 4 * i) != i + 100 {
+                        return Err(format!("slot {i}"));
+                    }
+                }
+                Ok(())
+            }),
+        };
+        run_prepared(&SmConfig::sbi(), prepared, true).unwrap();
+    }
+}

@@ -1,0 +1,262 @@
+//! SRAD (Rodinia): speckle-reducing anisotropic diffusion — two stencil
+//! kernels per iteration; the diffusion-coefficient clamp is a
+//! data-dependent branch, making the workload irregular.
+
+use warpweave_core::Launch;
+use warpweave_isa::{p, r, CmpOp, KernelBuilder, Operand, Program};
+
+use crate::runner::{Prepared, Scale};
+use crate::util::{assert_close, emit_gtid, region, Lcg};
+use crate::{Category, Workload};
+
+/// See the [module docs](self).
+pub struct Srad;
+
+const Q0_SQ: f32 = 0.25; // homogeneity parameter q0²
+const LAMBDA: f32 = 0.125;
+const P_J: u8 = 0;
+const P_C: u8 = 1;
+const P_OUT: u8 = 2;
+
+/// Emits `dst = J[clamped neighbour] − c` where the neighbour index is the
+/// current cell shifted by `(dx, dy)` with edge clamping (no divergence).
+#[allow(clippy::too_many_arguments)]
+fn emit_diff(
+    k: &mut KernelBuilder,
+    dst: warpweave_isa::Reg,
+    x: warpweave_isa::Reg,
+    y: warpweave_isa::Reg,
+    centre: warpweave_isa::Reg,
+    dx: i32,
+    dy: i32,
+    w: u32,
+) {
+    // nx = clamp(x+dx, 0, w-1); ny = clamp(y+dy, 0, h-1) — h clamp handled
+    // by caller passing pre-clamped y range (we clamp both here).
+    k.iadd(r(20), x, dx);
+    k.imax(r(20), r(20), 0i32);
+    k.imin(r(20), r(20), (w - 1) as i32);
+    k.iadd(r(21), y, dy);
+    k.imax(r(21), r(21), 0i32);
+    // caller clamps ny upper bound via h-1 constant placed in r(25)
+    k.imin(r(21), r(21), r(25));
+    k.imad(r(22), r(21), w as i32, r(20));
+    k.shl(r(22), r(22), 2i32);
+    k.iadd(r(22), Operand::Param(P_J), r(22));
+    k.ld(dst, r(22), 0);
+    k.fsub(dst, dst, centre);
+}
+
+/// Kernel 1: diffusion coefficient c(x,y) with data-dependent clamping.
+fn program_coeff(w: u32, h: u32) -> Program {
+    let mut k = KernelBuilder::new("srad_coeff");
+    emit_gtid(&mut k, r(0));
+    k.and_(r(1), r(0), (w - 1) as i32); // x
+    k.shr(r(2), r(0), w.trailing_zeros() as i32); // y
+    k.mov(r(25), (h - 1) as i32);
+    k.shl(r(3), r(0), 2i32);
+    k.iadd(r(4), Operand::Param(P_J), r(3));
+    k.ld(r(5), r(4), 0); // centre
+    emit_diff(&mut k, r(6), r(1), r(2), r(5), 0, -1, w); // dN
+    emit_diff(&mut k, r(7), r(1), r(2), r(5), 0, 1, w); // dS
+    emit_diff(&mut k, r(8), r(1), r(2), r(5), -1, 0, w); // dW
+    emit_diff(&mut k, r(9), r(1), r(2), r(5), 1, 0, w); // dE
+    // G2 = (dN²+dS²+dW²+dE²) / c², L = (dN+dS+dW+dE) / c
+    k.fmul(r(10), r(6), r(6));
+    k.ffma(r(10), r(7), r(7), r(10));
+    k.ffma(r(10), r(8), r(8), r(10));
+    k.ffma(r(10), r(9), r(9), r(10));
+    k.fmul(r(11), r(5), r(5));
+    k.rcp(r(11), r(11));
+    k.fmul(r(10), r(10), r(11)); // G2
+    k.fadd(r(12), r(6), r(7));
+    k.fadd(r(12), r(12), r(8));
+    k.fadd(r(12), r(12), r(9));
+    k.rcp(r(13), r(5));
+    k.fmul(r(12), r(12), r(13)); // L
+    // q² = (G2/2 − L²/16) / (1 + L/4)²
+    k.fmul(r(14), r(12), r(12));
+    k.fmul(r(14), r(14), 0.0625f32);
+    k.fmul(r(15), r(10), 0.5f32);
+    k.fsub(r(15), r(15), r(14));
+    k.ffma(r(16), r(12), 0.25f32, 1.0f32);
+    k.fmul(r(16), r(16), r(16));
+    k.rcp(r(16), r(16));
+    k.fmul(r(15), r(15), r(16)); // q²
+    // c = 1 / (1 + (q² − q0²)/(q0²(1+q0²)))
+    k.fsub(r(17), r(15), Q0_SQ);
+    k.fmul(r(17), r(17), 1.0 / (Q0_SQ * (1.0 + Q0_SQ)));
+    k.fadd(r(17), r(17), 1.0f32);
+    k.rcp(r(17), r(17));
+    // Data-dependent clamp — divergent branches.
+    k.fsetp(p(0), CmpOp::Lt, r(17), 0.0f32);
+    k.bra_ifn(p(0), "not_low");
+    k.mov(r(17), 0.0f32);
+    k.bra("clamped");
+    k.label("not_low");
+    k.fsetp(p(1), CmpOp::Gt, r(17), 1.0f32);
+    k.bra_ifn(p(1), "clamped");
+    k.mov(r(17), 1.0f32);
+    k.label("clamped");
+    k.iadd(r(18), Operand::Param(P_C), r(3));
+    k.st(r(18), 0, r(17));
+    k.exit();
+    k.build().expect("srad_coeff assembles")
+}
+
+/// Kernel 2: J += λ/4 · (cC·(dN + dW) + cS·dS + cE·dE).
+fn program_update(w: u32, h: u32) -> Program {
+    let mut k = KernelBuilder::new("srad_update");
+    emit_gtid(&mut k, r(0));
+    k.and_(r(1), r(0), (w - 1) as i32);
+    k.shr(r(2), r(0), w.trailing_zeros() as i32);
+    k.mov(r(25), (h - 1) as i32);
+    k.shl(r(3), r(0), 2i32);
+    k.iadd(r(4), Operand::Param(P_J), r(3));
+    k.ld(r(5), r(4), 0);
+    emit_diff(&mut k, r(6), r(1), r(2), r(5), 0, -1, w); // dN
+    emit_diff(&mut k, r(7), r(1), r(2), r(5), 0, 1, w); // dS
+    emit_diff(&mut k, r(8), r(1), r(2), r(5), -1, 0, w); // dW
+    emit_diff(&mut k, r(9), r(1), r(2), r(5), 1, 0, w); // dE
+    // cC, cS (south neighbour, clamped), cE (east neighbour, clamped)
+    k.iadd(r(10), Operand::Param(P_C), r(3));
+    k.ld(r(10), r(10), 0); // cC
+    k.iadd(r(11), r(2), 1i32);
+    k.imin(r(11), r(11), r(25));
+    k.imad(r(11), r(11), w as i32, r(1));
+    k.shl(r(11), r(11), 2i32);
+    k.iadd(r(11), Operand::Param(P_C), r(11));
+    k.ld(r(11), r(11), 0); // cS
+    k.iadd(r(12), r(1), 1i32);
+    k.imin(r(12), r(12), (w - 1) as i32);
+    k.imad(r(12), r(2), w as i32, r(12));
+    k.shl(r(12), r(12), 2i32);
+    k.iadd(r(12), Operand::Param(P_C), r(12));
+    k.ld(r(12), r(12), 0); // cE
+    // div = cC·(dN + dW) + cS·dS + cE·dE
+    k.fadd(r(13), r(6), r(8));
+    k.fmul(r(13), r(13), r(10));
+    k.ffma(r(13), r(11), r(7), r(13));
+    k.ffma(r(13), r(12), r(9), r(13));
+    // J' = J + λ/4 · div
+    k.ffma(r(14), r(13), LAMBDA * 0.25, r(5));
+    k.iadd(r(15), Operand::Param(P_OUT), r(3));
+    k.st(r(15), 0, r(14));
+    k.exit();
+    k.build().expect("srad_update assembles")
+}
+
+/// Host mirror of both kernels.
+fn host_srad(j: &[f32], w: usize, h: usize) -> Vec<f32> {
+    let clampi = |v: i32, hi: i32| v.clamp(0, hi) as usize;
+    let diff = |j: &[f32], x: usize, y: usize, dx: i32, dy: i32| {
+        let nx = clampi(x as i32 + dx, w as i32 - 1);
+        let ny = clampi(y as i32 + dy, h as i32 - 1);
+        j[ny * w + nx] - j[y * w + x]
+    };
+    let mut c = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let centre = j[y * w + x];
+            let dn = diff(j, x, y, 0, -1);
+            let ds = diff(j, x, y, 0, 1);
+            let dw = diff(j, x, y, -1, 0);
+            let de = diff(j, x, y, 1, 0);
+            let g2 = de.mul_add(
+                de,
+                dw.mul_add(dw, ds.mul_add(ds, dn * dn)),
+            ) * (1.0 / (centre * centre));
+            let l = (((dn + ds) + dw) + de) * (1.0 / centre);
+            let q2 = (g2 * 0.5 - (l * l) * 0.0625) * {
+                let d = l.mul_add(0.25, 1.0);
+                1.0 / (d * d)
+            };
+            let mut cc = 1.0 / ((q2 - Q0_SQ) * (1.0 / (Q0_SQ * (1.0 + Q0_SQ))) + 1.0);
+            // Mirrors the kernel's two-branch clamp exactly (not f32::clamp,
+            // whose NaN semantics differ).
+            #[allow(clippy::manual_clamp)]
+            if cc < 0.0 {
+                cc = 0.0;
+            } else if cc > 1.0 {
+                cc = 1.0;
+            }
+            c[y * w + x] = cc;
+        }
+    }
+    let mut out = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            let dn = diff(j, x, y, 0, -1);
+            let ds = diff(j, x, y, 0, 1);
+            let dw = diff(j, x, y, -1, 0);
+            let de = diff(j, x, y, 1, 0);
+            let cs = c[clampi(y as i32 + 1, h as i32 - 1) * w + x];
+            let ce = c[y * w + clampi(x as i32 + 1, w as i32 - 1)];
+            let div = ce.mul_add(de, cs.mul_add(ds, (dn + dw) * c[i]));
+            out[i] = div.mul_add(LAMBDA * 0.25, j[i]);
+        }
+    }
+    out
+}
+
+impl Workload for Srad {
+    fn name(&self) -> &'static str {
+        "SRAD"
+    }
+
+    fn category(&self) -> Category {
+        Category::Irregular
+    }
+
+    fn prepare(&self, scale: Scale) -> Prepared {
+        let (w, h): (u32, u32) = match scale {
+            Scale::Test => (32, 32),
+            Scale::Bench => (256, 128),
+        };
+        let mut rng = Lcg(0x54ad);
+        let j: Vec<f32> = (0..w * h).map(|_| 1.0 + 4.0 * rng.unit_f32()).collect();
+        let expected = host_srad(&j, w as usize, h as usize);
+        let (pj, pc, pout) = (region(0), region(1), region(2));
+        let blocks = w * h / 256;
+        let launches = vec![
+            Launch::new(program_coeff(w, h), blocks, 256).with_params(vec![pj, pc, pout]),
+            Launch::new(program_update(w, h), blocks, 256).with_params(vec![pj, pc, pout]),
+        ];
+        Prepared {
+            launches,
+            inputs: vec![(pj, j.iter().map(|v| v.to_bits()).collect())],
+            verify: Box::new(move |mem| {
+                let out = mem.read_f32s(pout, (w * h) as usize);
+                assert_close(&out, &expected, 5e-3)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_prepared;
+    use warpweave_core::SmConfig;
+
+    #[test]
+    fn host_uniform_image_is_stationary() {
+        // Zero gradients → q² = 0 → c clamps; divergence term is 0 anyway.
+        let j = vec![2.0f32; 16 * 16];
+        let out = host_srad(&j, 16, 16);
+        for (a, b) in out.iter().zip(&j) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn verifies_on_baseline() {
+        run_prepared(&SmConfig::baseline(), Srad.prepare(Scale::Test), true).unwrap();
+    }
+
+    #[test]
+    fn verifies_on_sbi_swi() {
+        run_prepared(&SmConfig::sbi_swi(), Srad.prepare(Scale::Test), true).unwrap();
+    }
+}

@@ -1,0 +1,33 @@
+//! BFS across all five architectures — the paper's motivating class of
+//! irregular application (data-dependent neighbour loops, one kernel launch
+//! per frontier level).
+//!
+//! ```sh
+//! cargo run --release --example bfs_frontier
+//! ```
+
+use warpweave::core::SmConfig;
+use warpweave::workloads::{by_name, run_prepared, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bfs = by_name("BFS").expect("BFS is registered");
+    println!("level-synchronous BFS on a random graph (results verified):\n");
+    let mut base_ipc = None;
+    for cfg in SmConfig::figure7_set() {
+        let name = cfg.name.clone();
+        let stats = run_prepared(&cfg, bfs.prepare(Scale::Bench), true)?;
+        let speedup = base_ipc
+            .map(|b: f64| format!("{:+.1}%", (stats.ipc() / b - 1.0) * 100.0))
+            .unwrap_or_else(|| "—".into());
+        if base_ipc.is_none() {
+            base_ipc = Some(stats.ipc());
+        }
+        println!(
+            "{name:<10} IPC {:>5.2}   cycles {:>9}   L1 hit-rate {:>5.1}%   vs baseline {speedup}",
+            stats.ipc(),
+            stats.cycles,
+            stats.l1.hit_rate() * 100.0,
+        );
+    }
+    Ok(())
+}

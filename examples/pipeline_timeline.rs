@@ -1,0 +1,49 @@
+//! The paper's figure 2, as a runnable example: watch the execution
+//! pipeline fill under SIMT, SBI (with/without reconvergence constraints),
+//! SWI and SBI+SWI for a toy if-then-else kernel.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_timeline
+//! ```
+
+use warpweave::core::{render_timeline, Launch, Sm, SmConfig};
+use warpweave::isa::{p, r, CmpOp, KernelBuilder, Program, SpecialReg};
+
+fn toy() -> Program {
+    let mut k = KernelBuilder::new("fig2");
+    k.and_(r(0), SpecialReg::Tid, 1i32);
+    k.isetp(p(0), CmpOp::Eq, r(0), 0i32);
+    k.bra_if(p(0), "else"); // the divergent branch (paper's instr 1)
+    k.iadd(r(1), r(1), 1i32); // 2
+    k.iadd(r(2), r(2), 1i32); // 3
+    k.iadd(r(3), r(3), 1i32); // 4
+    k.bra("join");
+    k.label("else");
+    k.iadd(r(4), r(4), 1i32); // 5
+    k.label("join");
+    k.iadd(r(5), r(5), 1i32); // 6
+    k.exit();
+    k.build().expect("toy kernel assembles")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (label, mut cfg) in [
+        ("(a) SIMT", SmConfig::baseline()),
+        ("(b) SBI", SmConfig::sbi().with_constraints(false)),
+        ("(c) SBI + constraints", SmConfig::sbi().with_constraints(true)),
+        ("(d) SWI", SmConfig::swi()),
+        ("(e) SBI+SWI", SmConfig::sbi_swi()),
+    ] {
+        cfg.num_warps = 2;
+        cfg.warp_width = 4;
+        for g in &mut cfg.groups {
+            g.width = g.width.min(4);
+        }
+        let mut sm = Sm::new(cfg, Launch::new(toy(), 2, 4))?;
+        sm.enable_trace();
+        sm.run(10_000)?;
+        println!("== {label} ==  ({} cycles)", sm.stats().cycles);
+        println!("{}", render_timeline(sm.trace_events(), 2, 4));
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Every registered workload, verified against its host reference on every
+//! architecture (test-scale inputs).
+
+use warpweave::core::SmConfig;
+use warpweave::workloads::{all_workloads, run_prepared, Scale};
+
+#[test]
+fn all_workloads_verify_on_all_architectures() {
+    let configs = SmConfig::figure7_set();
+    for w in all_workloads() {
+        for cfg in &configs {
+            run_prepared(cfg, w.prepare(Scale::Test), true).unwrap_or_else(|e| {
+                panic!("{} on {}: {e}", w.name(), cfg.name);
+            });
+        }
+    }
+}
+
+#[test]
+fn lane_shuffles_and_associativity_preserve_results() {
+    use warpweave::core::{Associativity, LaneShuffle};
+    let w = warpweave::by_name("SortingNetworks").expect("registered");
+    for shuffle in LaneShuffle::ALL {
+        let cfg = SmConfig::swi().with_lane_shuffle(shuffle);
+        run_prepared(&cfg, w.prepare(Scale::Test), true)
+            .unwrap_or_else(|e| panic!("{shuffle:?}: {e}"));
+    }
+    for assoc in [
+        Associativity::Full,
+        Associativity::Ways(11),
+        Associativity::Ways(3),
+        Associativity::Ways(1),
+    ] {
+        let cfg = SmConfig::swi().with_warps(24).with_assoc(assoc);
+        run_prepared(&cfg, w.prepare(Scale::Test), true)
+            .unwrap_or_else(|e| panic!("{assoc:?}: {e}"));
+    }
+}
+
+#[test]
+fn registry_matches_paper_layout() {
+    use warpweave::workloads::{irregular, regular};
+    // Fig. 7a order.
+    let names: Vec<&str> = regular().iter().map(|w| w.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "3DFD",
+            "Backprop",
+            "BinomialOptions",
+            "BlackScholes",
+            "DWTHaar1D",
+            "FastWalshTransform",
+            "Hotspot",
+            "MatrixMul",
+            "MonteCarlo",
+            "Transpose"
+        ]
+    );
+    // Fig. 7b order.
+    let names: Vec<&str> = irregular().iter().map(|w| w.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "BFS",
+            "ConvolutionSeparable",
+            "Eigenvalues",
+            "Histogram",
+            "LUD",
+            "Mandelbrot",
+            "Needleman-Wunsch",
+            "SortingNetworks",
+            "SRAD",
+            "TMD1",
+            "TMD2"
+        ]
+    );
+}
