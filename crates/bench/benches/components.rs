@@ -57,5 +57,11 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_heap, bench_depmatrix, bench_coalesce, bench_cache);
+criterion_group!(
+    benches,
+    bench_heap,
+    bench_depmatrix,
+    bench_coalesce,
+    bench_cache
+);
 criterion_main!(benches);

@@ -15,17 +15,13 @@ fn bench_fig7(c: &mut Criterion) {
     for workload in ["MatrixMul", "SortingNetworks"] {
         for cfg in SmConfig::figure7_set() {
             let w = by_name(workload).expect("registered workload");
-            group.bench_with_input(
-                BenchmarkId::new(workload, &cfg.name),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let prepared = w.prepare(Scale::Test);
-                        let stats = run_prepared(cfg, prepared, false).expect("run succeeds");
-                        stats.thread_instructions
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(workload, &cfg.name), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let prepared = w.prepare(Scale::Test);
+                    let stats = run_prepared(cfg, prepared, false).expect("run succeeds");
+                    stats.thread_instructions
+                })
+            });
         }
     }
     group.finish();

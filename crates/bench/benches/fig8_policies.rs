@@ -16,7 +16,11 @@ fn bench_constraints(c: &mut Criterion) {
             BenchmarkId::new("sbi", if on { "on" } else { "off" }),
             &cfg,
             |b, cfg| {
-                b.iter(|| run_prepared(cfg, w.prepare(Scale::Test), false).expect("runs").cycles)
+                b.iter(|| {
+                    run_prepared(cfg, w.prepare(Scale::Test), false)
+                        .expect("runs")
+                        .cycles
+                })
             },
         );
     }
@@ -30,7 +34,11 @@ fn bench_lane_shuffle(c: &mut Criterion) {
         let cfg = SmConfig::swi().with_lane_shuffle(shuffle);
         let w = by_name("Needleman-Wunsch").expect("registered");
         group.bench_with_input(BenchmarkId::new("swi", shuffle.name()), &cfg, |b, cfg| {
-            b.iter(|| run_prepared(cfg, w.prepare(Scale::Test), false).expect("runs").cycles)
+            b.iter(|| {
+                run_prepared(cfg, w.prepare(Scale::Test), false)
+                    .expect("runs")
+                    .cycles
+            })
         });
     }
     group.finish();

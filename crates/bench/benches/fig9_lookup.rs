@@ -19,7 +19,11 @@ fn bench_associativity(c: &mut Criterion) {
         let cfg = SmConfig::swi().with_warps(24).with_assoc(assoc);
         let w = by_name("LUD").expect("registered");
         group.bench_with_input(BenchmarkId::new("swi", assoc.name()), &cfg, |b, cfg| {
-            b.iter(|| run_prepared(cfg, w.prepare(Scale::Test), false).expect("runs").cycles)
+            b.iter(|| {
+                run_prepared(cfg, w.prepare(Scale::Test), false)
+                    .expect("runs")
+                    .cycles
+            })
         });
     }
     group.finish();

@@ -1,0 +1,67 @@
+//! Criterion comparison of the serial vs. parallel sweep paths and of the
+//! single-SM vs. multi-SM machine on one workload. The absolute numbers
+//! land in `BENCH_sweep.json` via the `bench_sweep` binary; this bench
+//! tracks the same ratios under criterion so regressions show up in
+//! `cargo bench` output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use warpweave_core::{SmConfig, SweepRunner};
+use warpweave_workloads::{by_name, run_prepared, run_prepared_multi_sm, Scale};
+
+/// The job list both paths execute: 2 representative workloads (one
+/// regular, one irregular) × the five fig. 7 front-ends, test scale.
+fn jobs() -> Vec<(&'static str, SmConfig)> {
+    let mut v = Vec::new();
+    for workload in ["MatrixMul", "SortingNetworks"] {
+        for cfg in SmConfig::figure7_set() {
+            v.push((workload, cfg));
+        }
+    }
+    v
+}
+
+fn run_cell(job: &(&'static str, SmConfig)) -> u64 {
+    let w = by_name(job.0).expect("registered workload");
+    run_prepared(&job.1, w.prepare(Scale::Test), false)
+        .expect("cell runs")
+        .cycles
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    let jobs = jobs();
+    group.bench_function("serial", |b| {
+        b.iter(|| jobs.iter().map(run_cell).sum::<u64>())
+    });
+    let runner = SweepRunner::new();
+    group.bench_function("parallel", |b| {
+        b.iter(|| runner.run(&jobs, run_cell).into_iter().sum::<u64>())
+    });
+    group.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(10);
+    let w = by_name("Mandelbrot").expect("registered workload");
+    for num_sms in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sbi_swi", format!("{num_sms}sm")),
+            &num_sms,
+            |b, &n| {
+                b.iter(|| {
+                    run_prepared_multi_sm(&SmConfig::sbi_swi(), n, w.prepare(Scale::Test), false)
+                        .expect("machine runs")
+                        .total
+                        .cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Measures the serial vs. parallel sweep wall-clock and emits a
+//! machine-readable `BENCH_sweep.json` baseline for the performance
+//! trajectory.
+//!
+//! Usage: `bench_sweep [--full] [--out PATH]`
+//!
+//! * default — a quick test-scale sweep (2 workloads × 5 front-ends) plus
+//!   a 4-SM machine scaling probe; finishes in seconds.
+//! * `--full` — the fig. 7 sweep (all 21 workloads × 5 front-ends) at
+//!   bench scale, the acceptance workload for the parallel engine.
+//!
+//! Besides timing, the binary cross-checks that the serial and parallel
+//! paths produce **bit-identical statistics** for every cell, so the JSON
+//! doubles as a determinism audit.
+
+use std::time::Instant;
+
+use warpweave_bench::harness::{run_matrix_at, run_matrix_serial_at, MatrixResult};
+use warpweave_core::{SmConfig, SweepRunner};
+use warpweave_workloads::{all_workloads, by_name, run_prepared_multi_sm, Scale, Workload};
+
+fn cells_identical(a: &MatrixResult, b: &MatrixResult) -> bool {
+    a.workloads == b.workloads
+        && a.configs == b.configs
+        && a.cells.len() == b.cells.len()
+        && a.cells
+            .iter()
+            .zip(&b.cells)
+            .all(|(ra, rb)| ra.iter().zip(rb).all(|(ca, cb)| ca.stats == cb.stats))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_sweep.json")
+        .to_string();
+
+    let configs = SmConfig::figure7_set();
+    let workloads: Vec<Box<dyn Workload>> = if full {
+        all_workloads()
+    } else {
+        ["MatrixMul", "SortingNetworks"]
+            .iter()
+            .map(|n| by_name(n).expect("registered workload"))
+            .collect()
+    };
+    // Keep the timing comparison pure simulation (verification is covered
+    // by the test suite).
+    let verify = false;
+    let scale = if full { Scale::Bench } else { Scale::Test };
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs = configs.len() * workloads.len();
+    eprintln!(
+        "sweep: {} workloads x {} configs = {jobs} jobs on {host_threads} host threads ({})",
+        workloads.len(),
+        configs.len(),
+        if full { "bench scale" } else { "test scale" },
+    );
+
+    let t0 = Instant::now();
+    let serial = run_matrix_serial_at(&configs, &workloads, scale, verify);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("serial:   {serial_ms:9.1} ms");
+
+    let runner = SweepRunner::new();
+    let t1 = Instant::now();
+    let parallel = run_matrix_at(&runner, &configs, &workloads, scale, verify);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "parallel: {parallel_ms:9.1} ms ({} worker threads)",
+        runner.threads()
+    );
+
+    let identical = cells_identical(&serial, &parallel);
+    assert!(
+        identical,
+        "serial and parallel sweeps must produce bit-identical statistics"
+    );
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    eprintln!("speedup:  {speedup:9.2}x (stats bit-identical: {identical})");
+
+    // Multi-SM machine probe on one irregular workload.
+    let probe = by_name("Mandelbrot").expect("registered workload");
+    let mut machine_lines = Vec::new();
+    for num_sms in [1usize, 4] {
+        let t = Instant::now();
+        let stats =
+            run_prepared_multi_sm(&SmConfig::sbi_swi(), num_sms, probe.prepare(scale), false)
+                .expect("machine runs");
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "machine {num_sms}sm: {wall_ms:7.1} ms, makespan {} cycles, ipc {:.1}",
+            stats.total.cycles,
+            stats.ipc()
+        );
+        machine_lines.push(format!(
+            "    {{\"num_sms\": {num_sms}, \"wall_ms\": {wall_ms:.3}, \"makespan_cycles\": {}, \"ipc\": {:.4}}}",
+            stats.total.cycles,
+            stats.ipc()
+        ));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"warpweave-bench-sweep-v1\",\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if full { "bench" } else { "test" }
+    ));
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("  \"worker_threads\": {},\n", runner.threads()));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!("  \"serial_ms\": {serial_ms:.3},\n"));
+    json.push_str(&format!("  \"parallel_ms\": {parallel_ms:.3},\n"));
+    json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
+    json.push_str(&format!("  \"stats_bit_identical\": {identical},\n"));
+    json.push_str("  \"machine_probe\": [\n");
+    json.push_str(&machine_lines.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"gmean_ipc_per_config\": {\n");
+    let rows: Vec<usize> = (0..parallel.workloads.len())
+        .filter(|&w| !parallel.workloads[w].starts_with("TMD"))
+        .collect();
+    let gmeans = parallel.gmean_ipc(&rows);
+    let entries: Vec<String> = parallel
+        .configs
+        .iter()
+        .zip(&gmeans)
+        .map(|(c, g)| format!("    \"{}\": {g:.4}", json_escape(c)))
+        .collect();
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
+    eprintln!("wrote {out_path}");
+}

@@ -27,12 +27,7 @@ fn main() {
     ];
     let configs: Vec<SmConfig> = points
         .iter()
-        .map(|&a| {
-            SmConfig::swi()
-                .with_warps(24)
-                .with_assoc(a)
-                .named(a.name())
-        })
+        .map(|&a| SmConfig::swi().with_warps(24).with_assoc(a).named(a.name()))
         .collect();
     let workloads = if set == "regular" {
         warpweave_workloads::regular()

@@ -1,8 +1,7 @@
-//! Workload × configuration run matrix with simple thread-level parallelism.
+//! Workload × configuration run matrix, fanned out across host cores via
+//! [`SweepRunner`].
 
-use std::sync::Mutex;
-
-use warpweave_core::{SmConfig, Stats};
+use warpweave_core::{SmConfig, Stats, SweepRunner};
 use warpweave_workloads::{run_prepared, Scale, Workload};
 
 /// Seed used by every benchmark configuration (determinism across figures).
@@ -78,7 +77,20 @@ pub fn gmean(values: impl Iterator<Item = f64>) -> f64 {
 /// Panics if the simulation fails or (when `verify`) the result is wrong —
 /// benchmark numbers from a broken run would be meaningless.
 pub fn run_one(cfg: &SmConfig, workload: &dyn Workload, verify: bool) -> CellResult {
-    let prepared = workload.prepare(Scale::Bench);
+    run_one_at(cfg, workload, Scale::Bench, verify)
+}
+
+/// [`run_one`] at an explicit problem scale.
+///
+/// # Panics
+/// As [`run_one`].
+pub fn run_one_at(
+    cfg: &SmConfig,
+    workload: &dyn Workload,
+    scale: Scale,
+    verify: bool,
+) -> CellResult {
+    let prepared = workload.prepare(scale);
     let stats = run_prepared(cfg, prepared, verify)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), cfg.name));
     CellResult {
@@ -88,49 +100,86 @@ pub fn run_one(cfg: &SmConfig, workload: &dyn Workload, verify: bool) -> CellRes
     }
 }
 
-/// Runs the full `workloads × configs` matrix, parallelised across host
-/// threads. Results are deterministic (each simulation is single-threaded
-/// and seeded).
+/// Runs the full `workloads × configs` matrix, fanning the cells out
+/// across host cores through [`SweepRunner`]. Each cell stays a
+/// single-SM simulation (the paper's figures model one SM), so per-cell
+/// statistics are bit-identical to [`run_matrix_serial`] and independent
+/// of the host thread count.
 pub fn run_matrix(
     configs: &[SmConfig],
     workloads: &[Box<dyn Workload>],
     verify: bool,
 ) -> MatrixResult {
+    run_matrix_on(&SweepRunner::new(), configs, workloads, verify)
+}
+
+/// [`run_matrix`] on an explicit [`SweepRunner`] (thread-cap control for
+/// benchmarks and tests).
+pub fn run_matrix_on(
+    runner: &SweepRunner,
+    configs: &[SmConfig],
+    workloads: &[Box<dyn Workload>],
+    verify: bool,
+) -> MatrixResult {
+    run_matrix_at(runner, configs, workloads, Scale::Bench, verify)
+}
+
+/// [`run_matrix_on`] at an explicit problem scale.
+pub fn run_matrix_at(
+    runner: &SweepRunner,
+    configs: &[SmConfig],
+    workloads: &[Box<dyn Workload>],
+    scale: Scale,
+    verify: bool,
+) -> MatrixResult {
     let jobs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
         .collect();
-    let results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; jobs.len()]);
-    let next: Mutex<usize> = Mutex::new(0);
-    let nthreads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    std::thread::scope(|s| {
-        for _ in 0..nthreads {
-            s.spawn(|| loop {
-                let idx = {
-                    let mut n = next.lock().expect("queue lock");
-                    if *n >= jobs.len() {
-                        return;
-                    }
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                let (w, c) = jobs[idx];
-                let cell = run_one(&configs[c], workloads[w].as_ref(), verify);
-                results.lock().expect("result lock")[idx] = Some(cell);
-            });
-        }
+    let flat = runner.run(&jobs, |&(w, c)| {
+        run_one_at(&configs[c], workloads[w].as_ref(), scale, verify)
     });
-    let flat = results.into_inner().expect("results");
+    collect_matrix(configs, workloads, flat)
+}
+
+/// The pre-parallelism reference path: every cell run back-to-back on the
+/// calling thread. Kept as the baseline the sweep-scaling benchmark and
+/// `BENCH_sweep.json` measure against.
+pub fn run_matrix_serial(
+    configs: &[SmConfig],
+    workloads: &[Box<dyn Workload>],
+    verify: bool,
+) -> MatrixResult {
+    run_matrix_serial_at(configs, workloads, Scale::Bench, verify)
+}
+
+/// [`run_matrix_serial`] at an explicit problem scale.
+pub fn run_matrix_serial_at(
+    configs: &[SmConfig],
+    workloads: &[Box<dyn Workload>],
+    scale: Scale,
+    verify: bool,
+) -> MatrixResult {
+    let flat: Vec<CellResult> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .map(|(w, c)| run_one_at(&configs[c], workloads[w].as_ref(), scale, verify))
+        .collect();
+    collect_matrix(configs, workloads, flat)
+}
+
+fn collect_matrix(
+    configs: &[SmConfig],
+    workloads: &[Box<dyn Workload>],
+    flat: Vec<CellResult>,
+) -> MatrixResult {
+    debug_assert_eq!(flat.len(), configs.len() * workloads.len());
     let mut cells: Vec<Vec<CellResult>> = Vec::with_capacity(workloads.len());
     let mut it = flat.into_iter();
     for _ in 0..workloads.len() {
-        let row: Vec<CellResult> = (0..configs.len())
-            .map(|_| it.next().flatten().expect("all jobs completed"))
-            .collect();
-        cells.push(row);
+        cells.push(
+            (0..configs.len())
+                .map(|_| it.next().expect("full matrix"))
+                .collect(),
+        );
     }
     MatrixResult {
         configs: configs.iter().map(|c| c.name.clone()).collect(),

@@ -7,5 +7,6 @@
 pub mod harness;
 
 pub use harness::{
-    gmean, run_matrix, run_one, CellResult, MatrixResult, BENCH_SEED,
+    format_ipc_table, gmean, run_matrix, run_matrix_at, run_matrix_on, run_matrix_serial,
+    run_matrix_serial_at, run_one, run_one_at, CellResult, MatrixResult, BENCH_SEED,
 };

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! Supports the `proptest!` macro over named strategies (`any::<T>()`,
+//! integer ranges, tuples, `collection::vec`), `prop_assert!` /
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`. Cases are driven
+//! from a deterministic per-test RNG; failures panic immediately (no
+//! shrinking), printing the case number so a failure can be replayed by
+//! reading the generated inputs under a debugger.
+
+/// Test-runner configuration, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// Number of cases each property runs (mirrors `Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic case generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG seeded from the test's name, so every property gets an
+        /// independent but reproducible stream.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut state = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                state ^= b as u64;
+                state = state.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Value-generation strategies, mirroring `proptest::strategy`.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let width = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add((rng.next_u64() % width) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, usize);
+
+    impl Strategy for core::ops::Range<u64> {
+        type Value = u64;
+
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let width = self.end.wrapping_sub(self.start);
+            self.start.wrapping_add(rng.next_u64() % width)
+        }
+    }
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty => $u:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let width = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                    self.start.wrapping_add((rng.next_u64() % width) as $t)
+                }
+            }
+        )*};
+    }
+    impl_signed_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    /// Full-domain strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        pub(crate) _marker: core::marker::PhantomData<T>,
+    }
+
+    macro_rules! impl_any_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `any::<T>()` and friends, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// A full-domain strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: crate::strategy::Strategy,
+    {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — a vector of `element` samples.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % width) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                )+
+                let run = || $body;
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed",
+                        case + 1,
+                        config.cases,
+                        stringify!($name)
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds and tuples/vecs compose.
+        #[test]
+        fn shim_machinery_works(
+            x in 0u32..100,
+            pair in (0u8..4, 1u64..u64::MAX),
+            v in crate::collection::vec(0usize..7, 1..9),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(pair.0 < 4 && pair.1 >= 1);
+            prop_assert!(!v.is_empty() && v.len() < 9, "len {}", v.len());
+            prop_assert_eq!(v.iter().filter(|&&e| e >= 7).count(), 0);
+        }
+
+        /// `any` covers the full domain deterministically.
+        #[test]
+        fn any_is_deterministic(a in any::<u64>()) {
+            prop_assert_ne!(a, a.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    fn per_test_streams_differ() {
+        let mut a = crate::test_runner::TestRng::deterministic("a");
+        let mut b = crate::test_runner::TestRng::deterministic("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

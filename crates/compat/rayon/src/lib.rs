@@ -1,0 +1,349 @@
+//! Offline stand-in for the `rayon` crate (1.x API subset).
+//!
+//! Provides the data-parallel surface the workspace uses — slice/`Vec`
+//! parallel iterators with `map`/`collect`/`for_each`, plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] for bounding worker
+//! counts. Work is distributed over scoped `std::thread` workers pulling
+//! items off a shared atomic cursor; results are always collected in input
+//! order, so any deterministic per-item computation yields deterministic
+//! aggregate output regardless of worker count — the property the
+//! multi-SM engine's tests rely on.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel calls will use in this context.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error building a thread pool (mirrors `rayon::ThreadPoolBuildError`).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a bounded [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (all available cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` workers (0 means "all available", like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails in this implementation; the `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A bounded scope for parallel execution. Unlike real rayon there are no
+/// persistent workers; the pool only bounds how many scoped threads each
+/// parallel call inside [`ThreadPool::install`] may spawn.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker bound.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with this pool's thread bound installed for any parallel
+    /// iterator calls it makes.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let out = f();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..len` across the current thread budget,
+/// collecting results in input order.
+fn par_run<R: Send>(len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let workers = current_num_threads().min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    return;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+/// The parallel-iterator traits and adaptors the workspace uses.
+pub mod iter {
+    use super::par_run;
+
+    /// A minimal parallel iterator: an indexed source plus a mapping stage.
+    pub trait ParallelIterator: Sized + Send {
+        /// The item type produced.
+        type Item: Send;
+
+        /// Number of items.
+        fn pi_len(&self) -> usize;
+
+        /// Produces item `i`. Must be callable concurrently.
+        fn pi_get(&self, i: usize) -> Self::Item;
+
+        /// Maps each item through `f` in parallel.
+        fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> Map<Self, F> {
+            Map { base: self, f }
+        }
+
+        /// Collects the mapped items, preserving input order.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C
+        where
+            Self: Sync,
+        {
+            par_run(self.pi_len(), |i| self.pi_get(i))
+                .into_iter()
+                .collect()
+        }
+
+        /// Runs `f` on every item in parallel.
+        fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F)
+        where
+            Self: Sync,
+        {
+            par_run(self.pi_len(), |i| f(self.pi_get(i)));
+        }
+    }
+
+    /// `map` adaptor.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, F, R> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator + Sync,
+        F: Fn(I::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        type Item = R;
+
+        fn pi_len(&self) -> usize {
+            self.base.pi_len()
+        }
+
+        fn pi_get(&self, i: usize) -> R {
+            (self.f)(self.base.pi_get(i))
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct SliceIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync + 'a> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+
+        fn pi_len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn pi_get(&self, i: usize) -> &'a T {
+            &self.slice[i]
+        }
+    }
+
+    /// Owning parallel iterator over a `Vec` (items cloned out by index —
+    /// sufficient for the coarse job descriptors the workspace fans out).
+    pub struct VecIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send + Sync + Clone> ParallelIterator for VecIter<T> {
+        type Item = T;
+
+        fn pi_len(&self) -> usize {
+            self.items.len()
+        }
+
+        fn pi_get(&self, i: usize) -> T {
+            self.items[i].clone()
+        }
+    }
+
+    /// Conversion into an owning parallel iterator (`into_par_iter`).
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts self.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send + Sync + Clone> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = RangeIter;
+
+        fn into_par_iter(self) -> RangeIter {
+            RangeIter { range: self }
+        }
+    }
+
+    /// Parallel iterator over `Range<usize>`.
+    pub struct RangeIter {
+        range: std::ops::Range<usize>,
+    }
+
+    impl ParallelIterator for RangeIter {
+        type Item = usize;
+
+        fn pi_len(&self) -> usize {
+            self.range.len()
+        }
+
+        fn pi_get(&self, i: usize) -> usize {
+            self.range.start + i
+        }
+    }
+
+    /// Conversion into a borrowing parallel iterator (`par_iter`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Borrows self.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn install_bounds_and_restores() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let before = super::current_num_threads();
+        let inside = pool.install(super::current_num_threads);
+        assert_eq!(inside, 2);
+        assert_eq!(super::current_num_threads(), before);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let v: Vec<u32> = (0..257).collect();
+        let reference: Vec<u32> = v.par_iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        for n in [1, 2, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let out: Vec<u32> =
+                pool.install(|| v.par_iter().map(|&x| x.wrapping_mul(2654435761)).collect());
+            assert_eq!(out, reference, "{n} threads");
+        }
+    }
+
+    #[test]
+    fn for_each_and_ranges() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (0usize..100).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+}

@@ -148,6 +148,13 @@ pub struct SmConfig {
     /// Model the sideband CCT sorter's walk time (degrades to stack order
     /// under pressure, §3.4). `false` keeps the CCT ideally sorted.
     pub model_sideband_sorter: bool,
+    /// Skip over provably-idle stretches by jumping the clock to the next
+    /// writeback / port-release event instead of ticking cycle-by-cycle.
+    /// Produces bit-identical statistics to exhaustive ticking (the
+    /// equivalence is asserted by `fast_forward_is_exact` in
+    /// `tests/multi_sm_determinism.rs`); disable only when tracing
+    /// cycle-by-cycle behaviour in a debugger.
+    pub fast_forward: bool,
     /// Back-end SIMD groups.
     pub groups: Vec<GroupConfig>,
     /// L1 data cache geometry/timing.
@@ -178,10 +185,20 @@ impl SmConfig {
             shared_latency: 10,
             cct_capacity: 8,
             model_sideband_sorter: true,
+            fast_forward: true,
             groups: vec![
-                GroupConfig { class: Mad, width: 64 },
-                GroupConfig { class: Sfu, width: 8 },
-                GroupConfig { class: Lsu, width: 32 },
+                GroupConfig {
+                    class: Mad,
+                    width: 64,
+                },
+                GroupConfig {
+                    class: Sfu,
+                    width: 8,
+                },
+                GroupConfig {
+                    class: Lsu,
+                    width: 32,
+                },
             ],
             l1: CacheConfig::paper_l1(),
             dram: DramConfig::paper(),
@@ -199,10 +216,22 @@ impl SmConfig {
             divergence: DivergenceModel::Stack,
             delivery_latency: 0,
             groups: vec![
-                GroupConfig { class: Mad, width: 32 },
-                GroupConfig { class: Mad, width: 32 },
-                GroupConfig { class: Sfu, width: 8 },
-                GroupConfig { class: Lsu, width: 32 },
+                GroupConfig {
+                    class: Mad,
+                    width: 32,
+                },
+                GroupConfig {
+                    class: Mad,
+                    width: 32,
+                },
+                GroupConfig {
+                    class: Sfu,
+                    width: 8,
+                },
+                GroupConfig {
+                    class: Lsu,
+                    width: 32,
+                },
             ],
             ..Self::common(Frontend::Baseline)
         }
@@ -289,6 +318,27 @@ impl SmConfig {
     pub fn with_constraints(mut self, on: bool) -> SmConfig {
         self.sbi_constraints = on;
         self
+    }
+
+    /// Enables/disables idle-cycle fast-forwarding (builder style).
+    pub fn with_fast_forward(mut self, on: bool) -> SmConfig {
+        self.fast_forward = on;
+        self
+    }
+
+    /// Derives the configuration for SM `sm_id` of a multi-SM machine:
+    /// identical architecture, with the tie-breaking RNG re-seeded from
+    /// `(seed, sm_id)` so per-SM pseudo-random streams are decorrelated yet
+    /// fully deterministic. SM 0 keeps the base seed, so a 1-SM machine
+    /// reproduces a standalone [`crate::Sm`] bit-for-bit.
+    pub fn for_sm(&self, sm_id: usize) -> SmConfig {
+        use rand::rngs::SmallRng;
+        use rand::{RngCore, SeedableRng};
+        let mut cfg = self.clone();
+        if sm_id > 0 {
+            cfg.seed = SmallRng::seed_from_u64(cfg.seed.wrapping_add(sm_id as u64)).next_u64();
+        }
+        cfg
     }
 
     /// Total SM thread capacity.

@@ -366,7 +366,7 @@ mod tests {
         h.apply_pair(Some(split(0b1100, 4, 0b0011, 8)), None, true);
         h.apply_pair(Some(split(0b0100, 5, 0b1000, 12)), None, true);
         assert_eq!(h.cct_len(), 1); // ctx @12 spilled
-        // Primary jumps to 20: now 12 < 20 must re-enter the HCT.
+                                    // Primary jumps to 20: now 12 < 20 must re-enter the HCT.
         h.apply_pair(Some(Transition::Advance(Pc(20))), None, true);
         assert_eq!(h.primary().unwrap().pc, Pc(8));
         assert_eq!(h.secondary().unwrap().pc, Pc(12));

@@ -128,7 +128,14 @@ pub fn execute_thread(
     params: &[u32],
 ) -> ThreadOutcome {
     let mut out = ThreadOutcome::default();
-    let v = |i: usize| operand_value(instr.srcs[i].expect("validated operand"), regs, info, params);
+    let v = |i: usize| {
+        operand_value(
+            instr.srcs[i].expect("validated operand"),
+            regs,
+            info,
+            params,
+        )
+    };
     let f = |i: usize| f32::from_bits(v(i));
     let dst = instr.dst.map(|r| r.index());
     let wr = |val: u32| Some((dst.expect("validated dst"), val));

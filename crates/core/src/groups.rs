@@ -68,6 +68,17 @@ impl ExecGroups {
         now + cycles - 1
     }
 
+    /// The earliest future cycle at which any currently-busy port frees
+    /// (`None` when every port is already free at `now`). Used by the
+    /// pipeline's idle fast-forward to find the next scheduling event.
+    pub fn next_release_after(&self, now: u64) -> Option<u64> {
+        self.groups
+            .iter()
+            .map(|g| g.port_free_at)
+            .filter(|&t| t > now)
+            .min()
+    }
+
     /// Per-group utilisation over `total_cycles`.
     pub fn utilisation(&self, total_cycles: u64) -> Vec<(UnitClass, f64)> {
         self.groups
@@ -93,10 +104,22 @@ mod tests {
 
     fn groups() -> ExecGroups {
         ExecGroups::new(&[
-            GroupConfig { class: Mad, width: 32 },
-            GroupConfig { class: Mad, width: 32 },
-            GroupConfig { class: Sfu, width: 8 },
-            GroupConfig { class: Lsu, width: 32 },
+            GroupConfig {
+                class: Mad,
+                width: 32,
+            },
+            GroupConfig {
+                class: Mad,
+                width: 32,
+            },
+            GroupConfig {
+                class: Sfu,
+                width: 8,
+            },
+            GroupConfig {
+                class: Lsu,
+                width: 32,
+            },
         ])
     }
 

@@ -47,23 +47,25 @@ pub mod groups;
 pub mod lane;
 pub mod launch;
 pub mod lsu;
+pub mod machine;
 pub mod mask;
 pub mod pipeline;
 pub mod scoreboard;
 pub mod stats;
+pub mod sweep;
 pub mod trace;
 
-pub use config::{
-    Associativity, DivergenceModel, Frontend, GroupConfig, ScoreboardMode, SmConfig,
-};
+pub use config::{Associativity, DivergenceModel, Frontend, GroupConfig, ScoreboardMode, SmConfig};
 pub use divergence::frontier::{FrontierHeap, HeapStats};
 pub use divergence::stack::PdomStack;
 pub use divergence::Transition;
 pub use exec::{ThreadInfo, ThreadRegs};
 pub use lane::LaneShuffle;
 pub use launch::Launch;
+pub use machine::{Machine, MachineStats, MemJournal};
 pub use mask::Mask;
 pub use pipeline::{SimError, Sm};
 pub use scoreboard::{DepMatrix, Scoreboard};
 pub use stats::Stats;
+pub use sweep::SweepRunner;
 pub use trace::{render_timeline, IssueSlot, TraceEvent};

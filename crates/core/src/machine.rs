@@ -1,0 +1,397 @@
+//! The parallel multi-SM machine.
+//!
+//! A [`Machine`] simulates a kernel launch on `num_sms` streaming
+//! multiprocessors at once, the way the paper's evaluation platform (and
+//! any real GPU) runs a grid: blocks are distributed over SMs and each SM
+//! executes its share independently. Per-SM simulations run concurrently
+//! on host threads, which is where the wall-clock speedup of the engine
+//! comes from.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical regardless of host thread count**:
+//!
+//! * the block→SM assignment is a pure function of `(block_id, num_sms)`
+//!   (round-robin), never of host scheduling;
+//! * each SM's tie-breaking RNG is seeded from `(seed, sm_id)` via
+//!   [`SmConfig::for_sm`];
+//! * global-memory side effects are collected in per-SM [`MemJournal`]s
+//!   and merged in SM-id order after every SM finishes;
+//! * per-SM [`Stats`] are merged in SM-id order.
+//!
+//! `tests/multi_sm_determinism.rs` pins all four properties.
+//!
+//! # Memory model
+//!
+//! Every SM starts a launch from a snapshot of global memory and runs
+//! against its private copy; cross-SM effects commit at launch boundaries
+//! (stores in SM order, atomic-add deltas summed). This is the bulk-
+//! synchronous approximation CUDA itself licenses inside one kernel —
+//! blocks may not rely on the order of other blocks' same-launch writes —
+//! and it is exact for the disjoint-store and commutative-atomic patterns
+//! the benchmarked workloads use. A kernel that both plain-stores *and*
+//! atomically updates the same word in one launch is outside the model
+//! (the merge applies stores before deltas).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use warpweave_isa::Program;
+use warpweave_mem::Memory;
+
+use crate::config::SmConfig;
+use crate::launch::Launch;
+use crate::pipeline::{SimError, Sm};
+use crate::stats::Stats;
+use crate::sweep::SweepRunner;
+
+/// Outcome of one SM shard's simulation: `(sm_id, stats + journal, or the
+/// failure the shard hit)`.
+type ShardOutcome = (usize, Result<(Stats, MemJournal), SimError>);
+
+/// Global-memory side effects of one SM over one launch, recorded so a
+/// [`Machine`] can merge shards deterministically.
+///
+/// Stores keep the last value written per word; atomic adds keep the
+/// wrapping sum of deltas per word (commutative, so the cross-SM merge
+/// is order-independent for atomics).
+#[derive(Debug, Clone, Default)]
+pub struct MemJournal {
+    stores: HashMap<u32, u32>,
+    atomic_deltas: HashMap<u32, u32>,
+}
+
+impl MemJournal {
+    /// Records a plain store of `value` at word-aligned `addr`.
+    #[inline]
+    pub fn record_store(&mut self, addr: u32, value: u32) {
+        self.stores.insert(addr, value);
+    }
+
+    /// Records an atomic add of `delta` at word-aligned `addr`.
+    #[inline]
+    pub fn record_atomic_add(&mut self, addr: u32, delta: u32) {
+        let slot = self.atomic_deltas.entry(addr).or_insert(0);
+        *slot = slot.wrapping_add(delta);
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty() && self.atomic_deltas.is_empty()
+    }
+
+    /// Number of distinct words touched.
+    pub fn words_touched(&self) -> usize {
+        self.stores.len() + self.atomic_deltas.len()
+    }
+
+    /// Commits a sequence of journals to `mem`: every journal's stores in
+    /// the order given (so the caller's SM-id ordering decides write-write
+    /// races deterministically), then the atomic deltas summed across all
+    /// journals (commutative, hence order-independent). This is the single
+    /// authoritative merge used by [`Machine::run`].
+    pub fn commit_all<'a>(journals: impl IntoIterator<Item = &'a MemJournal>, mem: &mut Memory) {
+        let mut summed_deltas: HashMap<u32, u32> = HashMap::new();
+        for journal in journals {
+            for (&addr, &value) in &journal.stores {
+                mem.write_u32(addr, value);
+            }
+            for (&addr, &delta) in &journal.atomic_deltas {
+                let slot = summed_deltas.entry(addr).or_insert(0);
+                *slot = slot.wrapping_add(delta);
+            }
+        }
+        for (&addr, &delta) in &summed_deltas {
+            let old = mem.read_u32(addr);
+            mem.write_u32(addr, old.wrapping_add(delta));
+        }
+    }
+}
+
+/// Statistics of one [`Machine::run`]: the per-SM breakdown plus the
+/// aggregate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// One entry per simulated SM, in SM-id order (empty shards included
+    /// as default stats so indices always equal SM ids).
+    pub per_sm: Vec<Stats>,
+    /// Counters summed across SMs with `cycles` = the makespan
+    /// (see [`Stats::merge_parallel`]).
+    pub total: Stats,
+}
+
+impl MachineStats {
+    /// Whole-machine thread-instructions per makespan cycle.
+    pub fn ipc(&self) -> f64 {
+        self.total.ipc()
+    }
+
+    /// Folds a subsequent launch's machine stats into this one (summing,
+    /// like [`Stats::accumulate`], launch after launch).
+    pub fn accumulate(&mut self, other: &MachineStats) {
+        if self.per_sm.len() < other.per_sm.len() {
+            self.per_sm.resize(other.per_sm.len(), Stats::default());
+        }
+        for (mine, theirs) in self.per_sm.iter_mut().zip(&other.per_sm) {
+            mine.accumulate(theirs);
+        }
+        self.total.accumulate(&other.total);
+    }
+}
+
+/// A whole simulated GPU: `num_sms` SMs sharing a kernel and a global
+/// memory, simulated in parallel on host threads.
+///
+/// # Examples
+/// ```
+/// use warpweave_core::{Launch, Machine, SmConfig};
+/// use warpweave_isa::{KernelBuilder, SpecialReg, r};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut k = KernelBuilder::new("demo");
+/// k.mov(r(0), SpecialReg::Tid);
+/// k.exit();
+/// let launch = Launch::new(k.build()?, 16, 256);
+/// let mut machine = Machine::new(SmConfig::sbi(), 4, launch)?;
+/// let stats = machine.run(1_000_000)?;
+/// assert_eq!(stats.per_sm.len(), 4);
+/// assert!(stats.ipc() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SmConfig,
+    num_sms: usize,
+    threads: Option<usize>,
+    program: Arc<Program>,
+    grid_blocks: u32,
+    block_threads: u32,
+    params: Vec<u32>,
+    mem: Memory,
+    stats: MachineStats,
+}
+
+impl Machine {
+    /// Builds a machine of `num_sms` SMs for `launch` under `cfg`.
+    ///
+    /// # Errors
+    /// Configuration validation failures, empty programs, zero SMs.
+    pub fn new(cfg: SmConfig, num_sms: usize, launch: Launch) -> Result<Machine, String> {
+        cfg.validate()?;
+        if num_sms == 0 {
+            return Err("machine needs at least one SM".into());
+        }
+        if launch.program.is_empty() {
+            return Err("empty program".into());
+        }
+        let warps_per_block = (launch.block_threads as usize).div_ceil(cfg.warp_width);
+        if warps_per_block > cfg.num_warps {
+            return Err(format!(
+                "block of {} threads needs {warps_per_block} warps; each SM has {}",
+                launch.block_threads, cfg.num_warps
+            ));
+        }
+        Ok(Machine {
+            cfg,
+            num_sms,
+            threads: None,
+            program: Arc::new(launch.program),
+            grid_blocks: launch.grid_blocks,
+            block_threads: launch.block_threads,
+            params: launch.params,
+            mem: Memory::new(),
+            stats: MachineStats::default(),
+        })
+    }
+
+    /// Caps the host threads used to simulate SMs (builder style). The
+    /// default is one thread per available core. Results never depend on
+    /// this setting — only wall-clock time does.
+    pub fn with_threads(mut self, n: usize) -> Machine {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Number of simulated SMs.
+    pub fn num_sms(&self) -> usize {
+        self.num_sms
+    }
+
+    /// The block ids SM `sm_id` simulates: round-robin over the grid, a
+    /// pure function of the ids so results cannot depend on host timing.
+    pub fn shard(&self, sm_id: usize) -> Vec<u32> {
+        (0..self.grid_blocks)
+            .filter(|b| (*b as usize) % self.num_sms == sm_id)
+            .collect()
+    }
+
+    /// Global memory (for writing inputs before `run` and reading results
+    /// after).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Global memory, read-only.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Consumes the machine and hands back its global memory (to seed the
+    /// next launch of a multi-kernel workload).
+    pub fn into_memory(self) -> Memory {
+        self.mem
+    }
+
+    /// Replaces global memory wholesale.
+    pub fn set_memory(&mut self, mem: Memory) {
+        self.mem = mem;
+    }
+
+    /// Statistics of the last [`Machine::run`].
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Runs the launch to completion, simulating SMs in parallel, and
+    /// merges per-SM statistics and memory effects deterministically.
+    ///
+    /// # Errors
+    /// The first (by SM id) [`SimError`] any SM hits.
+    pub fn run(&mut self, max_cycles: u64) -> Result<&MachineStats, SimError> {
+        let shards: Vec<(usize, Vec<u32>)> = (0..self.num_sms)
+            .map(|sm| (sm, self.shard(sm)))
+            .filter(|(_, blocks)| !blocks.is_empty())
+            .collect();
+
+        let runner = match self.threads {
+            Some(n) => SweepRunner::with_threads(n),
+            None => SweepRunner::new(),
+        };
+        let cfg = &self.cfg;
+        let program = &self.program;
+        let base_mem = &self.mem;
+        let (grid, threads, params) = (self.grid_blocks, self.block_threads, &self.params);
+        let results: Vec<ShardOutcome> = runner.run(&shards, |(sm_id, blocks)| {
+            let outcome = (|| {
+                let mut sm = Sm::for_blocks(
+                    cfg.for_sm(*sm_id),
+                    Arc::clone(program),
+                    grid,
+                    threads,
+                    params.clone(),
+                    blocks.clone(),
+                )
+                .map_err(|e| SimError::Deadlock {
+                    cycle: 0,
+                    detail: format!("SM {sm_id} setup: {e}"),
+                })?;
+                sm.set_memory(base_mem.clone());
+                sm.enable_mem_journal();
+                let stats = sm.run(max_cycles)?.clone();
+                let journal = sm.take_mem_journal().expect("journal was enabled");
+                Ok((stats, journal))
+            })();
+            (*sm_id, outcome)
+        });
+
+        // Merge in SM-id order (the runner already preserves input order;
+        // the sort is a belt-and-braces guarantee of the contract).
+        let mut results = results;
+        results.sort_by_key(|(sm_id, _)| *sm_id);
+
+        let mut per_sm = vec![Stats::default(); self.num_sms];
+        let mut journals: Vec<MemJournal> = Vec::with_capacity(results.len());
+        for (sm_id, outcome) in results {
+            let (stats, journal) = outcome?;
+            per_sm[sm_id] = stats;
+            journals.push(journal);
+        }
+        MemJournal::commit_all(&journals, &mut self.mem);
+
+        let mut total = Stats::default();
+        for stats in &per_sm {
+            total.merge_parallel(stats);
+        }
+        self.stats = MachineStats { per_sm, total };
+        Ok(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpweave_isa::{r, KernelBuilder, SpecialReg};
+
+    fn store_tid_launch(grid: u32) -> Launch {
+        let mut k = KernelBuilder::new("store_tid");
+        k.mov(r(0), SpecialReg::CtaId);
+        k.imad(r(0), r(0), SpecialReg::NTid, SpecialReg::Tid);
+        k.shl(r(1), r(0), 2i32);
+        k.st(r(1), 0x1000, r(0));
+        k.exit();
+        Launch::new(k.build().unwrap(), grid, 128)
+    }
+
+    #[test]
+    fn shards_partition_the_grid() {
+        let m = Machine::new(SmConfig::baseline(), 3, store_tid_launch(10)).unwrap();
+        let mut seen: Vec<u32> = (0..3).flat_map(|s| m.shard(s)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<u32>>());
+        assert_eq!(m.shard(0), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn single_sm_machine_matches_standalone_sm() {
+        let launch = store_tid_launch(4);
+        let mut sm = Sm::new(SmConfig::baseline(), launch.clone()).unwrap();
+        let solo = sm.run(1_000_000).unwrap().clone();
+        let mut m = Machine::new(SmConfig::baseline(), 1, launch).unwrap();
+        let stats = m.run(1_000_000).unwrap();
+        assert_eq!(stats.per_sm[0], solo);
+        assert_eq!(stats.total, solo);
+        for i in 0..4 * 128u32 {
+            assert_eq!(
+                m.memory().read_u32(0x1000 + 4 * i),
+                sm.memory().read_u32(0x1000 + 4 * i)
+            );
+        }
+    }
+
+    #[test]
+    fn multi_sm_merges_disjoint_stores() {
+        let mut m = Machine::new(SmConfig::sbi(), 4, store_tid_launch(8)).unwrap();
+        m.run(1_000_000).unwrap();
+        for i in 0..8 * 128u32 {
+            assert_eq!(m.memory().read_u32(0x1000 + 4 * i), i, "word {i}");
+        }
+        assert!(m.stats().ipc() > 0.0);
+        assert_eq!(m.stats().per_sm.len(), 4);
+    }
+
+    #[test]
+    fn journal_commit_all_merges_stores_and_atomics() {
+        let mut j1 = MemJournal::default();
+        let mut j2 = MemJournal::default();
+        j1.record_atomic_add(0x40, 5);
+        j2.record_atomic_add(0x40, 7);
+        j1.record_store(0x80, 1);
+        j2.record_store(0x80, 2); // later journal wins write-write races
+        assert!(!j1.is_empty());
+        assert_eq!(j1.words_touched(), 2);
+
+        let mut mem = Memory::new();
+        mem.write_u32(0x40, 100);
+        MemJournal::commit_all([&j1, &j2], &mut mem);
+        assert_eq!(mem.read_u32(0x40), 112, "base + summed deltas");
+        assert_eq!(mem.read_u32(0x80), 2, "stores applied in journal order");
+
+        // Commit order of the journals must not matter for atomics.
+        let mut mem2 = Memory::new();
+        mem2.write_u32(0x40, 100);
+        MemJournal::commit_all([&j2, &j1], &mut mem2);
+        assert_eq!(mem2.read_u32(0x40), 112);
+        assert_eq!(mem2.read_u32(0x80), 1);
+    }
+}

@@ -13,6 +13,8 @@
 //!   with another warp's instruction (§4).
 //! * [`Frontend::SbiSwi`] — both.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,6 +29,7 @@ use crate::exec::{execute_thread, guard_passes, ThreadInfo, ThreadRegs};
 use crate::groups::ExecGroups;
 use crate::launch::Launch;
 use crate::lsu::{shared_passes, time_global};
+use crate::machine::MemJournal;
 use crate::mask::Mask;
 use crate::scoreboard::{SbToken, Scoreboard};
 use crate::stats::Stats;
@@ -155,7 +158,9 @@ struct PendingPrimary {
 #[derive(Debug)]
 pub struct Sm {
     cfg: SmConfig,
-    program: Program,
+    /// Decoded instructions, shared (not cloned) with every other SM
+    /// simulating the same kernel and borrowed on the issue path.
+    program: Arc<Program>,
     params: Vec<u32>,
     mem: Memory,
     shared: Vec<Memory>,
@@ -164,9 +169,16 @@ pub struct Sm {
     cycle: u64,
     warps: Vec<Warp>,
     blocks: Vec<BlockSlot>,
+    /// Index of the next entry of `block_ids` to assign to a free slot.
     next_block: u32,
+    /// The grid blocks this SM simulates (the whole grid for a standalone
+    /// SM; a fixed shard under [`crate::machine::Machine`]).
+    block_ids: Vec<u32>,
     grid_blocks: u32,
     block_threads: u32,
+    /// Optional journal of global-memory effects, enabled by the parallel
+    /// machine so shards can be merged deterministically.
+    journal: Option<MemJournal>,
     groups: ExecGroups,
     sideband_busy_until: u64,
     pending_wb: Vec<WbEvent>,
@@ -188,15 +200,48 @@ impl Sm {
     /// # Errors
     /// Configuration validation failures and empty programs.
     pub fn new(cfg: SmConfig, launch: Launch) -> Result<Sm, String> {
+        let blocks = (0..launch.grid_blocks).collect();
+        Sm::for_blocks(
+            cfg,
+            Arc::new(launch.program),
+            launch.grid_blocks,
+            launch.block_threads,
+            launch.params,
+            blocks,
+        )
+    }
+
+    /// Builds an SM that simulates only `block_ids` of a
+    /// `grid_blocks × block_threads` launch whose decoded program is shared
+    /// between SMs. This is the constructor the parallel
+    /// [`crate::machine::Machine`] uses to shard a grid.
+    ///
+    /// # Errors
+    /// Configuration validation failures, empty programs and out-of-range
+    /// block ids.
+    pub fn for_blocks(
+        cfg: SmConfig,
+        program: Arc<Program>,
+        grid_blocks: u32,
+        block_threads: u32,
+        params: Vec<u32>,
+        block_ids: Vec<u32>,
+    ) -> Result<Sm, String> {
         cfg.validate()?;
-        if launch.program.is_empty() {
+        if program.is_empty() {
             return Err("empty program".into());
         }
-        let warps_per_block = (launch.block_threads as usize).div_ceil(cfg.warp_width);
+        if grid_blocks == 0 || block_threads == 0 {
+            return Err("empty launch grid".into());
+        }
+        if let Some(&bad) = block_ids.iter().find(|&&b| b >= grid_blocks) {
+            return Err(format!("block id {bad} outside grid of {grid_blocks}"));
+        }
+        let warps_per_block = (block_threads as usize).div_ceil(cfg.warp_width);
         if warps_per_block > cfg.num_warps {
             return Err(format!(
-                "block of {} threads needs {warps_per_block} warps; SM has {}",
-                launch.block_threads, cfg.num_warps
+                "block of {block_threads} threads needs {warps_per_block} warps; SM has {}",
+                cfg.num_warps
             ));
         }
         let num_slots = cfg.num_warps / warps_per_block;
@@ -227,8 +272,8 @@ impl Sm {
         let dram = Dram::new(cfg.dram);
         let seed = cfg.seed;
         let mut sm = Sm {
-            program: launch.program,
-            params: launch.params,
+            program,
+            params,
             mem: Memory::new(),
             shared: vec![Memory::new(); num_slots],
             l1,
@@ -237,8 +282,10 @@ impl Sm {
             warps,
             blocks,
             next_block: 0,
-            grid_blocks: launch.grid_blocks,
-            block_threads: launch.block_threads,
+            block_ids,
+            grid_blocks,
+            block_threads,
+            journal: None,
             groups: ExecGroups::new(&cfg.groups),
             sideband_busy_until: 0,
             pending_wb: Vec::new(),
@@ -303,9 +350,20 @@ impl Sm {
         self.cycle
     }
 
-    /// True when every block of the grid has completed.
+    /// Starts journaling global-memory stores and atomics so a parallel
+    /// machine can merge this SM's effects with its siblings'.
+    pub fn enable_mem_journal(&mut self) {
+        self.journal = Some(MemJournal::default());
+    }
+
+    /// Takes the accumulated journal (if journaling was enabled).
+    pub fn take_mem_journal(&mut self) -> Option<MemJournal> {
+        self.journal.take()
+    }
+
+    /// True when every assigned block has completed.
     pub fn is_done(&self) -> bool {
-        self.next_block >= self.grid_blocks && self.blocks.iter().all(|b| !b.active)
+        self.next_block as usize >= self.block_ids.len() && self.blocks.iter().all(|b| !b.active)
     }
 
     /// Runs until the kernel finishes or `max_cycles` elapse; returns the
@@ -366,7 +424,18 @@ impl Sm {
         }
         self.release_barriers();
         self.refill_blocks();
-        self.fetch();
+        let fetched = self.fetch();
+        // Idle fast-forward: if this whole cycle did nothing (no writeback,
+        // no issue, no barrier/block event, no fetch) and the SWI cascade
+        // holds no pending pick, the machine state is frozen until the next
+        // timed event — jump straight to it instead of ticking.
+        if self.cfg.fast_forward
+            && !fetched
+            && self.last_progress < self.cycle
+            && self.pending_primary.is_none()
+        {
+            self.fast_forward_idle();
+        }
         if self.cycle - self.last_progress > WATCHDOG_CYCLES {
             return Err(SimError::Deadlock {
                 cycle: self.cycle,
@@ -374,6 +443,50 @@ impl Sm {
             });
         }
         Ok(())
+    }
+
+    /// Jumps the clock to one cycle before the next event that can unfreeze
+    /// the machine: the earliest pending writeback or issue-port release.
+    /// Exact with respect to cycle-by-cycle simulation — every skipped cycle
+    /// would have issued nothing, fetched nothing and retired nothing, so
+    /// only `cycle`, `idle_cycles` and the fetch round-robin pointers (which
+    /// rotate 1/cycle while no warp is fetchable) need advancing.
+    fn fast_forward_idle(&mut self) {
+        let now = self.cycle;
+        let mut next_event = u64::MAX;
+        for ev in &self.pending_wb {
+            next_event = next_event.min(ev.time);
+        }
+        if let Some(t) = self.groups.next_release_after(now) {
+            next_event = next_event.min(t);
+        }
+        let target = if next_event == u64::MAX {
+            // Nothing in flight at all: this is a deadlock — jump to where
+            // the watchdog fires so it is reported without 100k idle ticks.
+            self.last_progress + WATCHDOG_CYCLES + 1
+        } else {
+            next_event
+        };
+        if target > now + 1 {
+            let skipped = target - now - 1;
+            self.cycle += skipped;
+            self.stats.idle_cycles += skipped;
+            let nw = self.cfg.num_warps as u64;
+            for rr in &mut self.fetch_rr {
+                *rr = ((*rr as u64 + skipped) % nw) as usize;
+            }
+            // `issue_sbi` counts parked secondaries once per cycle even when
+            // nothing issues; replicate that for the skipped cycles so the
+            // statistic is exact (the suspension set is frozen with the rest
+            // of the state — no group frees and no writeback lands before
+            // `target` by construction).
+            if self.cfg.frontend == Frontend::Sbi {
+                let parked = (0..self.warps.len())
+                    .filter(|&w| self.ready_check(w, 1).is_none() && self.constraint_suspended(w))
+                    .count() as u64;
+                self.stats.constraint_suspensions += skipped * parked;
+            }
+        }
     }
 
     fn deadlock_detail(&self) -> String {
@@ -421,7 +534,11 @@ impl Sm {
                 }
             }
             Divergence::Frontier(h) => {
-                let c = if slot == 0 { h.primary() } else { h.secondary() };
+                let c = if slot == 0 {
+                    h.primary()
+                } else {
+                    h.secondary()
+                };
                 c.map(|c| (c.pc, c.mask, c.at_barrier))
             }
         }
@@ -559,24 +676,26 @@ impl Sm {
         })
     }
 
+    /// True if warp `w`'s secondary slot is currently parked by an SBI
+    /// reconvergence constraint (§3.3).
+    fn constraint_suspended(&self, w: usize) -> bool {
+        if !self.cfg.sbi_constraints {
+            return false;
+        }
+        let Some((pc, _, at_barrier)) = self.ctx(w, 1) else {
+            return false;
+        };
+        if at_barrier || self.program[pc].op != Op::Sync {
+            return false;
+        }
+        matches!(self.ctx(w, 0), Some((cpc1, _, _)) if cpc1 < pc)
+    }
+
     /// Counts a constraint suspension if that is the (only) reason the slot
     /// is not ready (statistics for §5.1's constraints discussion).
     fn note_constraint_suspension(&mut self, w: usize) {
-        if !self.cfg.sbi_constraints {
-            return;
-        }
-        if let Some((pc, _, at_barrier)) = self.ctx(w, 1) {
-            if at_barrier {
-                return;
-            }
-            let instr = &self.program[pc];
-            if instr.op == Op::Sync {
-                if let Some((cpc1, _, _)) = self.ctx(w, 0) {
-                    if cpc1 < pc {
-                        self.stats.constraint_suspensions += 1;
-                    }
-                }
-            }
+        if self.constraint_suspended(w) {
+            self.stats.constraint_suspensions += 1;
         }
     }
 
@@ -724,7 +843,9 @@ impl Sm {
             }
         }
         // Different class (or primary was control): needs its own free group.
-        self.groups.find_free(r2.unit, self.cycle).map(Dispatch::Group)
+        self.groups
+            .find_free(r2.unit, self.cycle)
+            .map(Dispatch::Group)
     }
 
     /// SWI / SBI+SWI: cascaded two-phase scheduling (2-cycle scheduler
@@ -947,20 +1068,23 @@ impl Sm {
     /// execution, back-end timing, divergence update, scoreboard event.
     fn commit_warp_issue(&mut self, w: usize, picks: Vec<Pick>) {
         debug_assert!(!picks.is_empty() && picks.len() <= 2);
+        // One refcount bump per issue event buys borrowed access to every
+        // decoded instruction below — no per-issue `Instruction` clone.
+        let program = Arc::clone(&self.program);
         let before = self.slot_masks(w);
         let mut transitions: [Option<Transition>; 2] = [None, None];
-        let mut sb_alloc: Vec<(usize, Instruction, Mask)> = Vec::new();
-        let mut wb_times: Vec<(usize, u64)> = Vec::new(); // parallel to sb_alloc? index by pick order
+        let mut sb_alloc: Vec<(usize, &Instruction, Mask)> = Vec::new();
+        let mut wb_times: Vec<(usize, u64)> = Vec::new(); // parallel to sb_alloc
 
         for pick in &picks {
             let r = pick.ready;
-            let instr = self.program[r.pc].clone();
-            let (taken, accesses) = self.execute_functional(w, &instr, r.mask);
-            let transition = self.transition_for(&instr, r.pc, r.mask, taken);
+            let instr = &program[r.pc];
+            let (taken, accesses) = self.execute_functional(w, instr, r.mask);
+            let transition = self.transition_for(instr, r.pc, r.mask, taken);
             transitions[r.slot] = Some(transition);
 
             // Back-end timing.
-            let wb_time = self.time_pick(w, &instr, r.mask, &accesses, pick.dispatch);
+            let wb_time = self.time_pick(w, instr, r.mask, &accesses, pick.dispatch);
 
             // Statistics & trace.
             self.stats.warp_instructions += 1;
@@ -1019,12 +1143,7 @@ impl Sm {
         // like the HCT sorter receiving CPC1/CPC2/CPC3 at once).
         let branch_reconv = picks
             .iter()
-            .find(|p| {
-                matches!(
-                    transitions[p.ready.slot],
-                    Some(Transition::Split { .. })
-                )
-            })
+            .find(|p| matches!(transitions[p.ready.slot], Some(Transition::Split { .. })))
             .map(|p| self.program[p.ready.pc].reconv)
             .unwrap_or(None);
         let sideband_free = self.sideband_busy_until <= self.cycle;
@@ -1048,10 +1167,10 @@ impl Sm {
         if !sb_alloc.is_empty() {
             let warp = &mut self.warps[w];
             let (first, rest) = sb_alloc.split_first().expect("non-empty");
-            let i2 = rest.first().map(|(_, i, m)| (i, *m));
+            let i2 = rest.first().map(|&(_, i, m)| (i, m));
             let tokens = warp
                 .scoreboard
-                .allocate((&first.1, first.2), i2)
+                .allocate((first.1, first.2), i2)
                 .expect("ready_check guaranteed a free entry");
             new_entry = Some(tokens.0);
             self.pending_wb.push(WbEvent {
@@ -1129,7 +1248,12 @@ impl Sm {
                 for &(t, addr, data) in &accesses {
                     let _ = t;
                     match instr.space {
-                        warpweave_isa::MemSpace::Global => self.mem.write_u32(addr & !3, data),
+                        warpweave_isa::MemSpace::Global => {
+                            self.mem.write_u32(addr & !3, data);
+                            if let Some(j) = &mut self.journal {
+                                j.record_store(addr & !3, data);
+                            }
+                        }
                         warpweave_isa::MemSpace::Shared => {
                             self.shared[block_slot].write_u32(addr & !3, data)
                         }
@@ -1142,6 +1266,9 @@ impl Sm {
                         warpweave_isa::MemSpace::Global => {
                             let old = self.mem.read_u32(addr & !3);
                             self.mem.write_u32(addr & !3, old.wrapping_add(data));
+                            if let Some(j) = &mut self.journal {
+                                j.record_atomic_add(addr & !3, data);
+                            }
                         }
                         warpweave_isa::MemSpace::Shared => {
                             let old = self.shared[block_slot].read_u32(addr & !3);
@@ -1190,66 +1317,59 @@ impl Sm {
                 let waves = self.groups.waves(g, width);
                 now + waves - 1 + lat
             }
-            Dispatch::Group(g) => {
-                match instr.op.unit() {
-                    UnitClass::Mad | UnitClass::Sfu => {
-                        let waves = self.groups.waves(g, width);
-                        let last = self.groups.occupy(g, now, waves);
-                        last + lat
-                    }
-                    UnitClass::Lsu => {
-                        let addr_list: Vec<(usize, u32)> =
-                            accesses.iter().map(|&(t, a, _)| (t, a & !3)).collect();
-                        let waves = self.groups.waves(g, width);
-                        let (port, ready) = match (instr.space, instr.op) {
-                            (warpweave_isa::MemSpace::Global, Op::AtomAdd) => {
-                                let txs = atomic_transactions(&addr_list);
-                                self.stats.lsu_transactions += txs.len() as u64;
-                                if txs.len() > 1 {
-                                    self.stats.lsu_replays += 1;
-                                }
-                                let t = time_global(&mut self.l1, &mut self.dram, now, &txs, true);
-                                (t.port_cycles, now + 1)
-                            }
-                            (warpweave_isa::MemSpace::Global, op) => {
-                                let txs = coalesce(&addr_list);
-                                self.stats.lsu_transactions += txs.len() as u64;
-                                if txs.len() > 1 {
-                                    self.stats.lsu_replays += 1;
-                                }
-                                let t = time_global(
-                                    &mut self.l1,
-                                    &mut self.dram,
-                                    now,
-                                    &txs,
-                                    op == Op::St,
-                                );
-                                (t.port_cycles, t.data_ready)
-                            }
-                            (warpweave_isa::MemSpace::Shared, Op::AtomAdd) => {
-                                let txs = atomic_transactions(&addr_list);
-                                self.stats.lsu_transactions += txs.len() as u64;
-                                (
-                                    txs.len().max(1) as u64,
-                                    now + self.cfg.shared_latency as u64,
-                                )
-                            }
-                            (warpweave_isa::MemSpace::Shared, _) => {
-                                let passes = shared_passes(&addr_list);
-                                self.stats.lsu_transactions += passes;
-                                if passes > 1 {
-                                    self.stats.lsu_replays += 1;
-                                }
-                                (passes, now + passes - 1 + self.cfg.shared_latency as u64)
-                            }
-                        };
-                        self.groups.occupy(g, now, port.max(waves));
-                        let _ = w;
-                        ready + self.cfg.delivery_latency as u64
-                    }
-                    UnitClass::Control => now + 1,
+            Dispatch::Group(g) => match instr.op.unit() {
+                UnitClass::Mad | UnitClass::Sfu => {
+                    let waves = self.groups.waves(g, width);
+                    let last = self.groups.occupy(g, now, waves);
+                    last + lat
                 }
-            }
+                UnitClass::Lsu => {
+                    let addr_list: Vec<(usize, u32)> =
+                        accesses.iter().map(|&(t, a, _)| (t, a & !3)).collect();
+                    let waves = self.groups.waves(g, width);
+                    let (port, ready) = match (instr.space, instr.op) {
+                        (warpweave_isa::MemSpace::Global, Op::AtomAdd) => {
+                            let txs = atomic_transactions(&addr_list);
+                            self.stats.lsu_transactions += txs.len() as u64;
+                            if txs.len() > 1 {
+                                self.stats.lsu_replays += 1;
+                            }
+                            let t = time_global(&mut self.l1, &mut self.dram, now, &txs, true);
+                            (t.port_cycles, now + 1)
+                        }
+                        (warpweave_isa::MemSpace::Global, op) => {
+                            let txs = coalesce(&addr_list);
+                            self.stats.lsu_transactions += txs.len() as u64;
+                            if txs.len() > 1 {
+                                self.stats.lsu_replays += 1;
+                            }
+                            let t =
+                                time_global(&mut self.l1, &mut self.dram, now, &txs, op == Op::St);
+                            (t.port_cycles, t.data_ready)
+                        }
+                        (warpweave_isa::MemSpace::Shared, Op::AtomAdd) => {
+                            let txs = atomic_transactions(&addr_list);
+                            self.stats.lsu_transactions += txs.len() as u64;
+                            (
+                                txs.len().max(1) as u64,
+                                now + self.cfg.shared_latency as u64,
+                            )
+                        }
+                        (warpweave_isa::MemSpace::Shared, _) => {
+                            let passes = shared_passes(&addr_list);
+                            self.stats.lsu_transactions += passes;
+                            if passes > 1 {
+                                self.stats.lsu_replays += 1;
+                            }
+                            (passes, now + passes - 1 + self.cfg.shared_latency as u64)
+                        }
+                    };
+                    self.groups.occupy(g, now, port.max(waves));
+                    let _ = w;
+                    ready + self.cfg.delivery_latency as u64
+                }
+                UnitClass::Control => now + 1,
+            },
         }
     }
 
@@ -1304,8 +1424,8 @@ impl Sm {
                     self.last_progress = self.cycle;
                 }
             }
-            if !self.blocks[b].active && self.next_block < self.grid_blocks {
-                let block_id = self.next_block;
+            if !self.blocks[b].active && (self.next_block as usize) < self.block_ids.len() {
+                let block_id = self.block_ids[self.next_block as usize];
                 self.next_block += 1;
                 self.assign_block(b, block_id);
                 self.last_progress = self.cycle;
@@ -1364,7 +1484,10 @@ impl Sm {
     /// In SBI modes the second channel follows the CPC2 stream but falls
     /// back to the CPC1 stream when no warp has a secondary split to fetch
     /// for (otherwise the channel would idle on convergent code).
-    fn fetch(&mut self) {
+    ///
+    /// Returns whether any channel filled a buffer entry this cycle.
+    fn fetch(&mut self) -> bool {
+        let mut any = false;
         let nw = self.cfg.num_warps;
         // Channel domains: ordered preferences of (parity filter, slot).
         let channels: [&[(Option<usize>, usize)]; 2] = match self.cfg.frontend {
@@ -1396,6 +1519,7 @@ impl Sm {
                     self.next_seq += 1;
                     self.fetch_rr[ch] = (w + 1) % nw;
                     advanced = true;
+                    any = true;
                     break 'pref;
                 }
             }
@@ -1403,5 +1527,6 @@ impl Sm {
                 self.fetch_rr[ch] = (self.fetch_rr[ch] + 1) % nw;
             }
         }
+        any
     }
 }

@@ -206,10 +206,13 @@ impl Scoreboard {
             slot: 1,
         });
         self.entries[idx] = Some(e);
-        Some((SbToken {
-            entry: idx,
-            slot: 0,
-        }, t2))
+        Some((
+            SbToken {
+                entry: idx,
+                slot: 0,
+            },
+            t2,
+        ))
     }
 
     /// Folds this scheduling event's slot transition into every entry:
@@ -404,7 +407,11 @@ mod tests {
         for _ in 0..200 {
             let full = Mask::full(8);
             let m1 = Mask::from_bits(rng() & 0xff);
-            let m1 = if m1.is_empty() { Mask::from_bits(1) } else { m1 };
+            let m1 = if m1.is_empty() {
+                Mask::from_bits(1)
+            } else {
+                m1
+            };
             let m2 = full - m1;
             let mut exact = Scoreboard::new(ScoreboardMode::Exact, 6);
             let mut matrix = Scoreboard::new(ScoreboardMode::Matrix, 6);

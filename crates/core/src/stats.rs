@@ -5,7 +5,7 @@ use warpweave_mem::{CacheStats, DramStats};
 use crate::divergence::frontier::HeapStats;
 
 /// Counters collected over one kernel execution on one SM.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -115,6 +115,16 @@ impl Stats {
         self.l1.stores += other.l1.stores;
         self.dram.read_transfers += other.dram.read_transfers;
         self.dram.write_transfers += other.dram.write_transfers;
+    }
+
+    /// Folds the statistics of an SM that ran *concurrently* with this one
+    /// into an aggregate: counters are summed as in [`Stats::accumulate`],
+    /// but `cycles` becomes the makespan (maximum), so [`Stats::ipc`] on the
+    /// merged value reads as whole-machine throughput per cycle.
+    pub fn merge_parallel(&mut self, other: &Stats) {
+        let my_cycles = self.cycles;
+        self.accumulate(other);
+        self.cycles = my_cycles.max(other.cycles);
     }
 }
 

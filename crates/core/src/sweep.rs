@@ -1,0 +1,102 @@
+//! Parallel batch execution of independent simulation jobs.
+//!
+//! Everything above the single-SM pipeline that wants host-level
+//! parallelism — the multi-SM [`crate::machine::Machine`], the benchmark
+//! harness's `workload × frontend × config` matrices, criterion sweeps —
+//! funnels through [`SweepRunner::run`]: a deterministic parallel map
+//! that returns results in job order regardless of how many worker
+//! threads execute them.
+
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+/// A parallel job runner with an optional thread cap.
+///
+/// # Examples
+/// ```
+/// use warpweave_core::SweepRunner;
+///
+/// let jobs: Vec<u64> = (0..64).collect();
+/// let squares = SweepRunner::with_threads(4).run(&jobs, |&j| j * j);
+/// assert_eq!(squares[9], 81);
+/// ```
+#[derive(Debug, Default)]
+pub struct SweepRunner {
+    pool: Option<ThreadPool>,
+}
+
+impl SweepRunner {
+    /// A runner using the ambient thread budget (all available cores, or
+    /// whatever rayon pool the caller installed).
+    pub fn new() -> SweepRunner {
+        SweepRunner { pool: None }
+    }
+
+    /// A runner capped at `threads` workers. `run` results are identical
+    /// for every cap — only wall-clock time changes.
+    pub fn with_threads(threads: usize) -> SweepRunner {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("thread pool construction cannot fail");
+        SweepRunner { pool: Some(pool) }
+    }
+
+    /// The worker budget `run` will use.
+    pub fn threads(&self) -> usize {
+        match &self.pool {
+            Some(pool) => pool.current_num_threads(),
+            None => rayon::current_num_threads(),
+        }
+    }
+
+    /// Maps `f` over `jobs` in parallel, returning results in job order.
+    ///
+    /// `f` must be a pure function of its job for the output to be
+    /// deterministic — every simulation entry point that goes through
+    /// here (seeded SMs, prepared workloads) satisfies that.
+    pub fn run<J, R, F>(&self, jobs: &[J], f: F) -> Vec<R>
+    where
+        J: Sync + Send,
+        R: Send,
+        F: Fn(&J) -> R + Sync + Send,
+    {
+        let map = || jobs.par_iter().map(&f).collect();
+        match &self.pool {
+            Some(pool) => pool.install(map),
+            None => map(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_job_order() {
+        let jobs: Vec<usize> = (0..100).collect();
+        let out = SweepRunner::new().run(&jobs, |&j| 2 * j);
+        assert_eq!(out, (0..200).step_by(2).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn identical_results_across_thread_caps() {
+        let jobs: Vec<u64> = (0..57).collect();
+        let hash = |&j: &u64| j.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 7;
+        let reference = SweepRunner::with_threads(1).run(&jobs, hash);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                SweepRunner::with_threads(threads).run(&jobs, hash),
+                reference,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn reports_thread_budget() {
+        assert_eq!(SweepRunner::with_threads(3).threads(), 3);
+        assert!(SweepRunner::new().threads() >= 1);
+    }
+}

@@ -1,7 +1,7 @@
 //! Integration tests: whole kernels through every architecture, checking
 //! functional results and coarse timing behaviour.
 
-use warpweave_core::{Launch, LaneShuffle, Sm, SmConfig};
+use warpweave_core::{LaneShuffle, Launch, Sm, SmConfig};
 use warpweave_isa::{p, r, CmpOp, KernelBuilder, Program, SpecialReg};
 
 /// All five fig. 7 configurations.
@@ -84,13 +84,16 @@ fn collatz_step_program() -> Program {
 fn divergent_if_else_correct_everywhere() {
     for cfg in all_configs() {
         let name = cfg.name.clone();
-        let launch =
-            Launch::new(collatz_step_program(), 8, 256).with_params(vec![C]);
+        let launch = Launch::new(collatz_step_program(), 8, 256).with_params(vec![C]);
         let mut sm = Sm::new(cfg, launch).unwrap();
         sm.run(10_000_000).unwrap();
         let out = sm.memory().read_words(C, 2048);
         for (i, &v) in out.iter().enumerate() {
-            let expect = if i % 2 == 1 { 3 * i as u32 + 1 } else { i as u32 / 2 };
+            let expect = if i % 2 == 1 {
+                3 * i as u32 + 1
+            } else {
+                i as u32 / 2
+            };
             assert_eq!(v, expect, "{name}: wrong out[{i}]");
         }
     }

@@ -204,7 +204,11 @@ pub fn format_table4(p: &HwParams, c: &AreaCoefficients) -> String {
     ));
     out.push_str(&format!(
         "{:<14}{:>10}{:>10.1}{:>10.1}{:>10.1}\n",
-        "Overhead", "-", t[1] - t[0], t[2] - t[0], t[3] - t[0]
+        "Overhead",
+        "-",
+        t[1] - t[0],
+        t[2] - t[0],
+        t[3] - t[0]
     ));
     out.push_str("\nOverhead vs 15.6 mm^2 SM:\n");
     for (arch, kum2, pct) in overheads(p, c) {
@@ -238,10 +242,7 @@ mod tests {
             ),
             ("Scheduler", [None, None, Some(27.4), Some(27.4)]),
             ("HCT", [Some(66.8), Some(88.8), Some(43.8), Some(88.8)]),
-            (
-                "CCT",
-                [Some(584.4), Some(480.8), Some(480.8), Some(480.8)],
-            ),
+            ("CCT", [Some(584.4), Some(480.8), Some(480.8), Some(480.8)]),
             (
                 "Insn. Buffer",
                 [Some(52.8), Some(52.8), Some(33.4), Some(67.4)],

@@ -67,7 +67,9 @@ impl KernelBuilder {
     pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
         let name = name.into();
         assert!(
-            self.labels.insert(name.clone(), self.instrs.len()).is_none(),
+            self.labels
+                .insert(name.clone(), self.instrs.len())
+                .is_none(),
             "label `{name}` defined twice"
         );
         self
@@ -363,7 +365,14 @@ impl KernelBuilder {
 
     /// `global[addr + offset] = val`.
     pub fn st(&mut self, addr: Reg, offset: i32, val: impl Into<Operand>) -> &mut Self {
-        self.emit_mem(Op::St, MemSpace::Global, None, addr, offset, Some(val.into()))
+        self.emit_mem(
+            Op::St,
+            MemSpace::Global,
+            None,
+            addr,
+            offset,
+            Some(val.into()),
+        )
     }
 
     /// `dst = shared[addr + offset]`.
@@ -373,7 +382,14 @@ impl KernelBuilder {
 
     /// `shared[addr + offset] = val`.
     pub fn st_shared(&mut self, addr: Reg, offset: i32, val: impl Into<Operand>) -> &mut Self {
-        self.emit_mem(Op::St, MemSpace::Shared, None, addr, offset, Some(val.into()))
+        self.emit_mem(
+            Op::St,
+            MemSpace::Shared,
+            None,
+            addr,
+            offset,
+            Some(val.into()),
+        )
     }
 
     /// `global[addr + offset] += val` atomically.
@@ -389,7 +405,12 @@ impl KernelBuilder {
     }
 
     /// `shared[addr + offset] += val` atomically.
-    pub fn atom_add_shared(&mut self, addr: Reg, offset: i32, val: impl Into<Operand>) -> &mut Self {
+    pub fn atom_add_shared(
+        &mut self,
+        addr: Reg,
+        offset: i32,
+        val: impl Into<Operand>,
+    ) -> &mut Self {
         self.emit_mem(
             Op::AtomAdd,
             MemSpace::Shared,

@@ -69,10 +69,9 @@ pub fn build_cfg(instrs: &[Instruction]) -> Cfg {
                     leader[i + 1] = true;
                 }
             }
-            Op::Exit
-                if i + 1 < n => {
-                    leader[i + 1] = true;
-                }
+            Op::Exit if i + 1 < n => {
+                leader[i + 1] = true;
+            }
             _ => {}
         }
     }
@@ -395,7 +394,9 @@ pub fn analyze_and_finalize(
                 new_index(s)
             };
             let b_pc = new_index(bidx);
-            report.branch_reconv.push((Pc(b_pc as u32), Pc(rec_pc as u32)));
+            report
+                .branch_reconv
+                .push((Pc(b_pc as u32), Pc(rec_pc as u32)));
             if rec_pc <= b_pc {
                 report.frontier_ordered = false;
             }

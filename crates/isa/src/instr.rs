@@ -182,10 +182,7 @@ impl Instruction {
 
     /// Predicates read by this instruction (guard + select predicate).
     pub fn src_preds(&self) -> impl Iterator<Item = Pred> + '_ {
-        self.guard
-            .map(|g| g.pred)
-            .into_iter()
-            .chain(self.sel_pred)
+        self.guard.map(|g| g.pred).into_iter().chain(self.sel_pred)
     }
 
     /// True if the instruction may cause intra-warp control-flow divergence:

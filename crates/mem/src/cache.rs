@@ -145,7 +145,13 @@ impl Cache {
         self.stats.load_misses += 1;
         let (base, tag) = self.set_range(addr);
         let victim = (base..base + self.cfg.ways as usize)
-            .min_by_key(|&i| if self.lines[i].valid { self.lines[i].lru } else { 0 })
+            .min_by_key(|&i| {
+                if self.lines[i].valid {
+                    self.lines[i].lru
+                } else {
+                    0
+                }
+            })
             .expect("non-empty set");
         self.lines[victim] = Line {
             tag,

@@ -112,8 +112,7 @@ impl Workload for Bfs {
         dist0[0] = 0;
         let launches = (0..levels)
             .map(|level| {
-                Launch::new(program(), n / 256, 256)
-                    .with_params(vec![prow, pcol, pdist, level])
+                Launch::new(program(), n / 256, 256).with_params(vec![prow, pcol, pdist, level])
             })
             .collect();
         Prepared {

@@ -34,7 +34,7 @@ fn program() -> Program {
     k.ld(r(2), r(1), 0); // S
     emit_elem_addr(&mut k, r(1), P_X, r(0));
     k.ld(r(3), r(1), 0); // X
-    // w = S · dⁿ
+                         // w = S · dⁿ
     k.mov(r(4), r(2));
     for _ in 0..STEPS {
         k.fmul(r(4), r(4), D);

@@ -6,7 +6,6 @@
 use warpweave_core::Launch;
 use warpweave_isa::{p, r, CmpOp, KernelBuilder, Program, Reg};
 
-
 use crate::runner::{Prepared, Scale};
 use crate::util::{assert_close, emit_elem_addr, emit_gtid, region, Lcg};
 use crate::{Category, Workload};
@@ -88,7 +87,7 @@ fn program() -> Program {
     k.ld(r(3), r(1), 0); // X
     emit_elem_addr(&mut k, r(1), P_T, r(0));
     k.ld(r(4), r(1), 0); // T
-    // d1 = (ln(S/X) + (R + V²/2) T) / (V √T)
+                         // d1 = (ln(S/X) + (R + V²/2) T) / (V √T)
     k.rcp(r(5), r(3));
     k.fmul(r(5), r(2), r(5));
     k.lg2(r(5), r(5));
@@ -120,7 +119,9 @@ fn program() -> Program {
 }
 
 fn host_price(s: f32, x: f32, t: f32) -> (f32, f32) {
-    let d1 = (s / x).ln().mul_add(1.0, t * (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY))
+    let d1 = (s / x)
+        .ln()
+        .mul_add(1.0, t * (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY))
         / (VOLATILITY * t.sqrt());
     let d2 = d1 - VOLATILITY * t.sqrt();
     let e = x * (-RISK_FREE * t).exp();
@@ -155,8 +156,8 @@ impl Workload for BlackScholes {
             .collect();
         let (a_s, a_x, a_t, a_call, a_put) =
             (region(0), region(1), region(2), region(3), region(4));
-        let launch = Launch::new(program(), n / 256, 256)
-            .with_params(vec![a_s, a_x, a_t, a_call, a_put]);
+        let launch =
+            Launch::new(program(), n / 256, 256).with_params(vec![a_s, a_x, a_t, a_call, a_put]);
         Prepared {
             launches: vec![launch],
             inputs: vec![

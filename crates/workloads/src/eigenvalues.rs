@@ -29,7 +29,7 @@ fn program() -> Program {
     emit_gtid(&mut k, r(0));
     k.and_(r(1), r(0), (N - 1) as i32); // eigenvalue index kk
     k.shr(r(2), r(0), N.trailing_zeros() as i32); // matrix index
-    // Array bases for this matrix.
+                                                  // Array bases for this matrix.
     k.imul(r(3), r(2), (N * 4) as i32);
     k.iadd(r(4), Operand::Param(P_D), r(3));
     k.iadd(r(5), Operand::Param(P_E2), r(3));
@@ -216,7 +216,12 @@ mod tests {
 
     #[test]
     fn verifies_on_baseline() {
-        run_prepared(&SmConfig::baseline(), Eigenvalues.prepare(Scale::Test), true).unwrap();
+        run_prepared(
+            &SmConfig::baseline(),
+            Eigenvalues.prepare(Scale::Test),
+            true,
+        )
+        .unwrap();
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn program(elems_per_thread: u32) -> Program {
     k.mov(r(0), SpecialReg::Tid);
     k.mov(r(1), SpecialReg::CtaId);
     k.imad(r(2), r(1), SpecialReg::NTid, r(0)); // gtid
-    // Zero this block's shared sub-histogram (256 bins, 256 threads).
+                                                // Zero this block's shared sub-histogram (256 bins, 256 threads).
     k.shl(r(3), r(0), 2i32);
     k.st_shared(r(3), 0, 0i32);
     k.bar();

@@ -21,7 +21,7 @@ fn program(w: u32, h: u32) -> Program {
     emit_gtid(&mut k, r(0));
     k.and_(r(1), r(0), (w - 1) as i32); // x
     k.shr(r(2), r(0), w.trailing_zeros() as i32); // y
-    // interior iff (x-1)|(w-2-x)|(y-1)|(h-2-y) ≥ 0 (signed).
+                                                  // interior iff (x-1)|(w-2-x)|(y-1)|(h-2-y) ≥ 0 (signed).
     k.iadd(r(3), r(1), -1i32);
     k.isub(r(4), (w - 2) as i32, r(1));
     k.or_(r(3), r(3), r(4));

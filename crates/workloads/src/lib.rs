@@ -54,7 +54,7 @@ mod threedfd;
 mod tmd;
 mod transpose;
 
-pub use runner::{run_prepared, Prepared, RunError, Scale, Verifier};
+pub use runner::{run_prepared, run_prepared_multi_sm, Prepared, RunError, Scale, Verifier};
 
 /// Workload class per the paper's fig. 7 split.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

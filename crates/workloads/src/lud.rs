@@ -21,7 +21,7 @@ fn program() -> Program {
     k.mov(r(0), SpecialReg::Tid);
     k.shr(r(1), r(0), 4i32); // i (row)
     k.and_(r(2), r(0), (N - 1) as i32); // j (col)
-    // Load A[i][j] into shared[tid].
+                                        // Load A[i][j] into shared[tid].
     k.mov(r(3), SpecialReg::CtaId);
     k.imad(r(4), r(3), (N * N) as i32, r(0));
     k.shl(r(4), r(4), 2i32);
@@ -40,7 +40,7 @@ fn program() -> Program {
         k.isetp(p(1), CmpOp::Eq, r(2), kk);
         k.bra_ifn(p(1), div_done.clone());
         k.ld_shared(r(9), r(6), 0); // A[i][kk]
-        // pivot A[kk][kk] at (kk·16+kk)·4
+                                    // pivot A[kk][kk] at (kk·16+kk)·4
         k.mov(r(10), (kk * 16 + kk) * 4);
         k.ld_shared(r(11), r(10), 0);
         k.rcp(r(11), r(11));

@@ -109,9 +109,8 @@ impl Workload for Mandelbrot {
         let total_pixels = w * h;
         let threads = total_pixels / ppt;
         let pout = region(0);
-        let launch =
-            Launch::new(program(w, max_iter, ppt), threads / 256, 256)
-                .with_params(vec![pout, threads]);
+        let launch = Launch::new(program(w, max_iter, ppt), threads / 256, 256)
+            .with_params(vec![pout, threads]);
         Prepared {
             launches: vec![launch],
             inputs: vec![],

@@ -29,7 +29,7 @@ fn program(n: u32) -> Program {
     k.mov(r(3), warpweave_isa::SpecialReg::Tid);
     k.and_(r(4), r(3), (TILE - 1) as i32); // tx
     k.shr(r(5), r(3), 4i32); // ty
-    // row = by·16 + ty, col = bx·16 + tx
+                             // row = by·16 + ty, col = bx·16 + tx
     k.imad(r(6), r(1), TILE as i32, r(5));
     k.imad(r(7), r(2), TILE as i32, r(4));
     // A-row base: pA + (row·n + tx)·4 ; per-tile offset kt·64 bytes.

@@ -109,7 +109,11 @@ fn host_nw(a: &[u32], b: &[u32]) -> i32 {
     }
     for i in 1..=n {
         for j in 1..=n {
-            let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let sub = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             dp[i][j] = (dp[i - 1][j - 1] + sub)
                 .max(dp[i - 1][j] + GAP)
                 .max(dp[i][j - 1] + GAP);

@@ -1,6 +1,7 @@
-//! Executes prepared workloads on a configured SM and verifies results.
+//! Executes prepared workloads on a configured SM (or a parallel multi-SM
+//! machine) and verifies results.
 
-use warpweave_core::{Launch, Sm, SmConfig, Stats};
+use warpweave_core::{Launch, Machine, MachineStats, Sm, SmConfig, Stats};
 use warpweave_mem::Memory;
 
 /// Problem size selector.
@@ -90,6 +91,40 @@ pub fn run_prepared(cfg: &SmConfig, prepared: Prepared, verify: bool) -> Result<
     Ok(total)
 }
 
+/// Runs a prepared workload on a parallel machine of `num_sms` SMs,
+/// verifying the merged memory when `verify` is set. Results are
+/// bit-identical for any host thread count; `num_sms = 1` reproduces
+/// [`run_prepared`] exactly.
+///
+/// # Errors
+/// See [`RunError`].
+pub fn run_prepared_multi_sm(
+    cfg: &SmConfig,
+    num_sms: usize,
+    prepared: Prepared,
+    verify: bool,
+) -> Result<MachineStats, RunError> {
+    let mut mem = Memory::new();
+    for (addr, words) in &prepared.inputs {
+        mem.write_words(*addr, words);
+    }
+    let mut total = MachineStats::default();
+    for launch in prepared.launches {
+        let mut machine = Machine::new(cfg.clone(), num_sms, launch).map_err(RunError::Setup)?;
+        machine.set_memory(mem);
+        let stats = machine
+            .run(MAX_CYCLES_PER_LAUNCH)
+            .map_err(RunError::Sim)?
+            .clone();
+        total.accumulate(&stats);
+        mem = machine.into_memory();
+    }
+    if verify {
+        (prepared.verify)(&mem).map_err(RunError::Verify)?;
+    }
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,13 +164,44 @@ mod tests {
     #[test]
     fn verification_failure_reported() {
         let prepared = Prepared {
-            launches: vec![Launch::new(store_tid_program(), 1, 256)
-                .with_params(vec![crate::util::region(0)])],
+            launches: vec![
+                Launch::new(store_tid_program(), 1, 256).with_params(vec![crate::util::region(0)])
+            ],
             inputs: vec![],
             verify: Box::new(|_| Err("always fails".into())),
         };
         let err = run_prepared(&SmConfig::baseline(), prepared, true).unwrap_err();
         assert!(matches!(err, RunError::Verify(_)));
+    }
+
+    #[test]
+    fn multi_sm_runner_verifies_and_matches_serial() {
+        let base = crate::util::region(0);
+        let make = || Prepared {
+            launches: vec![Launch::new(store_tid_program(), 4, 256).with_params(vec![base])],
+            inputs: vec![],
+            verify: Box::new(move |mem| {
+                for i in 0..1024u32 {
+                    let v = mem.read_u32(base + 4 * i);
+                    if v != i {
+                        return Err(format!("slot {i} holds {v}"));
+                    }
+                }
+                Ok(())
+            }),
+        };
+        let serial = run_prepared(&SmConfig::baseline(), make(), true).unwrap();
+        let single = run_prepared_multi_sm(&SmConfig::baseline(), 1, make(), true).unwrap();
+        assert_eq!(
+            single.total, serial,
+            "1-SM machine must reproduce the serial runner"
+        );
+        let quad = run_prepared_multi_sm(&SmConfig::baseline(), 4, make(), true).unwrap();
+        assert_eq!(quad.per_sm.len(), 4);
+        assert!(
+            quad.total.cycles <= serial.cycles,
+            "sharding cannot lengthen the makespan"
+        );
     }
 
     #[test]

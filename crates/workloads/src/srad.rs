@@ -61,7 +61,7 @@ fn program_coeff(w: u32, h: u32) -> Program {
     emit_diff(&mut k, r(7), r(1), r(2), r(5), 0, 1, w); // dS
     emit_diff(&mut k, r(8), r(1), r(2), r(5), -1, 0, w); // dW
     emit_diff(&mut k, r(9), r(1), r(2), r(5), 1, 0, w); // dE
-    // G2 = (dN²+dS²+dW²+dE²) / c², L = (dN+dS+dW+dE) / c
+                                                        // G2 = (dN²+dS²+dW²+dE²) / c², L = (dN+dS+dW+dE) / c
     k.fmul(r(10), r(6), r(6));
     k.ffma(r(10), r(7), r(7), r(10));
     k.ffma(r(10), r(8), r(8), r(10));
@@ -74,7 +74,7 @@ fn program_coeff(w: u32, h: u32) -> Program {
     k.fadd(r(12), r(12), r(9));
     k.rcp(r(13), r(5));
     k.fmul(r(12), r(12), r(13)); // L
-    // q² = (G2/2 − L²/16) / (1 + L/4)²
+                                 // q² = (G2/2 − L²/16) / (1 + L/4)²
     k.fmul(r(14), r(12), r(12));
     k.fmul(r(14), r(14), 0.0625f32);
     k.fmul(r(15), r(10), 0.5f32);
@@ -83,7 +83,7 @@ fn program_coeff(w: u32, h: u32) -> Program {
     k.fmul(r(16), r(16), r(16));
     k.rcp(r(16), r(16));
     k.fmul(r(15), r(15), r(16)); // q²
-    // c = 1 / (1 + (q² − q0²)/(q0²(1+q0²)))
+                                 // c = 1 / (1 + (q² − q0²)/(q0²(1+q0²)))
     k.fsub(r(17), r(15), Q0_SQ);
     k.fmul(r(17), r(17), 1.0 / (Q0_SQ * (1.0 + Q0_SQ)));
     k.fadd(r(17), r(17), 1.0f32);
@@ -118,7 +118,7 @@ fn program_update(w: u32, h: u32) -> Program {
     emit_diff(&mut k, r(7), r(1), r(2), r(5), 0, 1, w); // dS
     emit_diff(&mut k, r(8), r(1), r(2), r(5), -1, 0, w); // dW
     emit_diff(&mut k, r(9), r(1), r(2), r(5), 1, 0, w); // dE
-    // cC, cS (south neighbour, clamped), cE (east neighbour, clamped)
+                                                        // cC, cS (south neighbour, clamped), cE (east neighbour, clamped)
     k.iadd(r(10), Operand::Param(P_C), r(3));
     k.ld(r(10), r(10), 0); // cC
     k.iadd(r(11), r(2), 1i32);
@@ -133,7 +133,7 @@ fn program_update(w: u32, h: u32) -> Program {
     k.shl(r(12), r(12), 2i32);
     k.iadd(r(12), Operand::Param(P_C), r(12));
     k.ld(r(12), r(12), 0); // cE
-    // div = cC·(dN + dW) + cS·dS + cE·dE
+                           // div = cC·(dN + dW) + cS·dS + cE·dE
     k.fadd(r(13), r(6), r(8));
     k.fmul(r(13), r(13), r(10));
     k.ffma(r(13), r(11), r(7), r(13));
@@ -162,10 +162,8 @@ fn host_srad(j: &[f32], w: usize, h: usize) -> Vec<f32> {
             let ds = diff(j, x, y, 0, 1);
             let dw = diff(j, x, y, -1, 0);
             let de = diff(j, x, y, 1, 0);
-            let g2 = de.mul_add(
-                de,
-                dw.mul_add(dw, ds.mul_add(ds, dn * dn)),
-            ) * (1.0 / (centre * centre));
+            let g2 =
+                de.mul_add(de, dw.mul_add(dw, ds.mul_add(ds, dn * dn))) * (1.0 / (centre * centre));
             let l = (((dn + ds) + dw) + de) * (1.0 / centre);
             let q2 = (g2 * 0.5 - (l * l) * 0.0625) * {
                 let d = l.mul_add(0.25, 1.0);

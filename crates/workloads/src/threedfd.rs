@@ -21,7 +21,7 @@ fn program(nx: u32, ny: u32, nz: u32) -> Program {
     emit_gtid(&mut k, r(0));
     k.and_(r(1), r(0), (nx - 1) as i32); // x
     k.shr(r(2), r(0), nx.trailing_zeros() as i32); // y
-    // interior(x, y) via the sign trick
+                                                   // interior(x, y) via the sign trick
     k.iadd(r(3), r(1), -1i32);
     k.isub(r(4), (nx - 2) as i32, r(1));
     k.or_(r(3), r(3), r(4));

@@ -198,8 +198,7 @@ fn prepare(frontier_ordered: bool, scale: Scale) -> Prepared {
     };
     let expected: Vec<f32> = (0..threads).map(host_tmd).collect();
     let pout = region(0);
-    let launch = Launch::new(program(frontier_ordered), threads / 256, 256)
-        .with_params(vec![pout]);
+    let launch = Launch::new(program(frontier_ordered), threads / 256, 256).with_params(vec![pout]);
     Prepared {
         launches: vec![launch],
         inputs: vec![],

@@ -27,7 +27,7 @@ fn program(w: u32, h: u32) -> Program {
     k.mov(r(3), SpecialReg::Tid);
     k.and_(r(4), r(3), (TILE - 1) as i32); // tx
     k.shr(r(5), r(3), 4i32); // ty
-    // in[(by·16+ty)·w + bx·16+tx]
+                             // in[(by·16+ty)·w + bx·16+tx]
     k.imad(r(6), r(1), TILE as i32, r(5));
     k.imul(r(6), r(6), w as i32);
     k.imad(r(7), r(2), TILE as i32, r(4));

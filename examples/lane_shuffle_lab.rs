@@ -7,7 +7,7 @@
 //! cargo run --release --example lane_shuffle_lab
 //! ```
 
-use warpweave::core::{Launch, LaneShuffle, Sm, SmConfig};
+use warpweave::core::{LaneShuffle, Launch, Sm, SmConfig};
 use warpweave::isa::{p, r, CmpOp, KernelBuilder, Program, SpecialReg};
 
 /// Work proportional to 64 − lane-in-warp: maximally tid-correlated.

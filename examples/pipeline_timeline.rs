@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, mut cfg) in [
         ("(a) SIMT", SmConfig::baseline()),
         ("(b) SBI", SmConfig::sbi().with_constraints(false)),
-        ("(c) SBI + constraints", SmConfig::sbi().with_constraints(true)),
+        (
+            "(c) SBI + constraints",
+            SmConfig::sbi().with_constraints(true),
+        ),
         ("(d) SWI", SmConfig::swi()),
         ("(e) SBI+SWI", SmConfig::sbi_swi()),
     ] {

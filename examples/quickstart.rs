@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut k = KernelBuilder::new("collatz");
     k.mov(r(0), SpecialReg::CtaId);
     k.imad(r(0), r(0), SpecialReg::NTid, SpecialReg::Tid); // global tid
-    // n = tid % 97 + 1 (via repeated subtraction to keep the ISA tiny)
+                                                           // n = tid % 97 + 1 (via repeated subtraction to keep the ISA tiny)
     k.mov(r(1), r(0));
     k.label("mod");
     k.isetp(p(0), CmpOp::Ge, r(1), 97i32);

@@ -38,5 +38,7 @@ pub use warpweave_mem as mem;
 pub use warpweave_workloads as workloads;
 
 // Convenience re-exports of the most common entry points.
-pub use warpweave_core::{Launch, LaneShuffle, Sm, SmConfig, Stats};
-pub use warpweave_workloads::{all_workloads, by_name, run_prepared, Scale};
+pub use warpweave_core::{
+    LaneShuffle, Launch, Machine, MachineStats, Sm, SmConfig, Stats, SweepRunner,
+};
+pub use warpweave_workloads::{all_workloads, by_name, run_prepared, run_prepared_multi_sm, Scale};

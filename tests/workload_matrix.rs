@@ -38,6 +38,20 @@ fn lane_shuffles_and_associativity_preserve_results() {
 }
 
 #[test]
+fn all_workloads_verify_on_multi_sm_machine() {
+    // Every kernel's result must survive the parallel machine's
+    // snapshot-and-merge memory model (disjoint stores in SM order,
+    // atomic deltas summed) — the semantic contract of `Machine`.
+    use warpweave::workloads::run_prepared_multi_sm;
+    let cfg = SmConfig::sbi_swi();
+    for w in all_workloads() {
+        run_prepared_multi_sm(&cfg, 4, w.prepare(Scale::Test), true).unwrap_or_else(|e| {
+            panic!("{} on 4-SM {}: {e}", w.name(), cfg.name);
+        });
+    }
+}
+
+#[test]
 fn registry_matches_paper_layout() {
     use warpweave::workloads::{irregular, regular};
     // Fig. 7a order.
