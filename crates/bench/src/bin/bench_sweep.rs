@@ -91,30 +91,45 @@ fn main() {
     let speedup = serial_ms / parallel_ms.max(1e-9);
     eprintln!("speedup:  {speedup:9.2}x (stats bit-identical: {identical})");
 
-    // Multi-SM machine probe on one irregular workload.
+    // Multi-SM machine probe on one irregular workload, under both
+    // bandwidth models: private channels (the historical upper bound) and
+    // the machine-shared pool (the realistic, contended one).
     let probe = by_name("Mandelbrot").expect("registered workload");
     let mut machine_lines = Vec::new();
-    for num_sms in [1usize, 4] {
+    let mut shared_4sm = None;
+    for (num_sms, cfg) in [
+        (1usize, SmConfig::sbi_swi()),
+        (4, SmConfig::sbi_swi()),
+        (1, SmConfig::sbi_swi().with_shared_dram()),
+        (4, SmConfig::sbi_swi().with_shared_dram()),
+    ] {
+        let model = cfg.mem_model.name();
         let t = Instant::now();
-        let stats =
-            run_prepared_multi_sm(&SmConfig::sbi_swi(), num_sms, probe.prepare(scale), false)
-                .expect("machine runs");
+        let stats = run_prepared_multi_sm(&cfg, num_sms, probe.prepare(scale), false)
+            .expect("machine runs");
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let util = stats.channel_utilization(cfg.dram.bytes_per_cycle);
         eprintln!(
-            "machine {num_sms}sm: {wall_ms:7.1} ms, makespan {} cycles, ipc {:.1}",
+            "machine {num_sms}sm/{model}: {wall_ms:7.1} ms, makespan {} cycles, ipc {:.1}, channel util {:.1}%",
             stats.total.cycles,
-            stats.ipc()
+            stats.ipc(),
+            util * 100.0
         );
         machine_lines.push(format!(
-            "    {{\"num_sms\": {num_sms}, \"wall_ms\": {wall_ms:.3}, \"makespan_cycles\": {}, \"ipc\": {:.4}}}",
+            "    {{\"num_sms\": {num_sms}, \"mem_model\": \"{model}\", \"wall_ms\": {wall_ms:.3}, \"makespan_cycles\": {}, \"ipc\": {:.4}, \"channel_utilization\": {util:.4}}}",
             stats.total.cycles,
             stats.ipc()
         ));
+        if num_sms == 4 && model == "shared" {
+            shared_4sm = Some((stats, cfg));
+        }
     }
+    let (shared_stats, shared_cfg) = shared_4sm.expect("shared probe ran");
+    let ch = &shared_stats.channel;
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"warpweave-bench-sweep-v1\",\n");
+    json.push_str("  \"schema\": \"warpweave-bench-sweep-v2\",\n");
     json.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         if full { "bench" } else { "test" }
@@ -129,6 +144,31 @@ fn main() {
     json.push_str("  \"machine_probe\": [\n");
     json.push_str(&machine_lines.join(",\n"));
     json.push_str("\n  ],\n");
+    // Contention profile of the 4-SM shared-bandwidth probe: how saturated
+    // the single channel ran and how long loads queued behind it.
+    json.push_str("  \"shared_channel\": {\n");
+    json.push_str(&format!(
+        "    \"utilization\": {:.4},\n",
+        shared_stats.channel_utilization(shared_cfg.dram.bytes_per_cycle)
+    ));
+    json.push_str(&format!(
+        "    \"avg_queue_delay_cycles\": {:.4},\n",
+        ch.avg_queue_delay()
+    ));
+    json.push_str(&format!(
+        "    \"max_queue_delay_cycles\": {},\n",
+        ch.max_queue_delay
+    ));
+    json.push_str(&format!(
+        "    \"queued_requests\": {},\n",
+        ch.queued_requests
+    ));
+    json.push_str(&format!("    \"read_transfers\": {},\n", ch.read_transfers));
+    json.push_str(&format!(
+        "    \"write_transfers\": {}\n",
+        ch.write_transfers
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"gmean_ipc_per_config\": {\n");
     let rows: Vec<usize> = (0..parallel.workloads.len())
         .filter(|&w| !parallel.workloads[w].starts_with("TMD"))

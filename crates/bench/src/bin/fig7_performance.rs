@@ -9,7 +9,7 @@
 //! reconvergence rather than SBI and SWI, we do not take it into account
 //! when computing the performance means", §5.1).
 
-use warpweave_bench::harness::{format_ipc_table, run_matrix};
+use warpweave_bench::harness::{format_bandwidth_table, format_ipc_table, run_matrix};
 use warpweave_core::SmConfig;
 
 fn main() {
@@ -31,6 +31,9 @@ fn main() {
         println!("== Figure 7(a): regular applications (IPC) ==");
         print!("{}", format_ipc_table(&m, &rows, "Gmean"));
         println!();
+        println!("== DRAM bandwidth saturation (regular) ==");
+        print!("{}", format_bandwidth_table(&m, &configs[0].dram, &rows));
+        println!();
     }
     if set == "irregular" || set == "all" {
         let workloads = warpweave_workloads::irregular();
@@ -48,5 +51,8 @@ fn main() {
         for (c, name) in m.configs.iter().enumerate().skip(1) {
             println!("  {:<10} {:+.1}%", name, (g[c] / base - 1.0) * 100.0);
         }
+        println!();
+        println!("== DRAM bandwidth saturation (irregular) ==");
+        print!("{}", format_bandwidth_table(&m, &configs[0].dram, &rows));
     }
 }

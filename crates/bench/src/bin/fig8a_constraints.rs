@@ -5,7 +5,7 @@
 //!
 //! Usage: `fig8a_constraints [--no-verify]`
 
-use warpweave_bench::harness::run_matrix;
+use warpweave_bench::harness::{format_bandwidth_summary, run_matrix};
 use warpweave_core::SmConfig;
 
 fn main() {
@@ -61,6 +61,11 @@ fn main() {
         insn[0] / n as f64 * 100.0,
         insn[1] / n as f64 * 100.0
     );
+    println!();
+    let rows: Vec<usize> = (0..m.workloads.len())
+        .filter(|&w| !m.workloads[w].starts_with("TMD"))
+        .collect();
+    print!("{}", format_bandwidth_summary(&m, &configs[0].dram, &rows));
     println!();
     println!("paper: constraints ≈ ±0.1% IPC on SBI alone; SortingNetworks +2.4% with");
     println!("SBI+SWI; BFS/Histogram held back; instructions reduced 1.3%/5.5%.");

@@ -4,7 +4,7 @@
 //!
 //! Usage: `fig8b_lane_shuffle [--no-verify] [--set regular|irregular]`
 
-use warpweave_bench::harness::{gmean, run_matrix};
+use warpweave_bench::harness::{format_bandwidth_summary, gmean, run_matrix};
 use warpweave_core::{LaneShuffle, SmConfig};
 
 fn main() {
@@ -49,6 +49,8 @@ fn main() {
         print!("{g:>12.3}");
     }
     println!();
+    println!();
+    print!("{}", format_bandwidth_summary(&m, &configs[0].dram, &rows));
     println!();
     println!("paper: XorRev is the most consistent (gmean +1.4% irregular, +0.3% regular;");
     println!("Needleman-Wunsch up to +7.7%, 3dfd −1.8%).");

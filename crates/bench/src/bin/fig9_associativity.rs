@@ -6,7 +6,7 @@
 //!
 //! Usage: `fig9_associativity [--no-verify] [--set regular|irregular]`
 
-use warpweave_bench::harness::{gmean, run_matrix};
+use warpweave_bench::harness::{format_bandwidth_summary, gmean, run_matrix};
 use warpweave_core::{Associativity, SmConfig};
 
 fn main() {
@@ -57,6 +57,8 @@ fn main() {
         print!("{g:>18.3}");
     }
     println!();
+    println!();
+    print!("{}", format_bandwidth_summary(&m, &configs[0].dram, &rows));
     println!();
     println!("paper: even direct-mapped keeps ≥85% of fully-associative performance");
     println!("(≥96% on regular applications).");

@@ -2,6 +2,7 @@
 //! [`SweepRunner`].
 
 use warpweave_core::{SmConfig, Stats, SweepRunner};
+use warpweave_mem::DramConfig;
 use warpweave_workloads::{run_prepared, Scale, Workload};
 
 /// Seed used by every benchmark configuration (determinism across figures).
@@ -22,6 +23,17 @@ impl CellResult {
     /// Thread-instructions per cycle.
     pub fn ipc(&self) -> f64 {
         self.stats.ipc()
+    }
+
+    /// DRAM bandwidth saturation of the run: fraction of the channel's
+    /// byte budget actually moved (see [`Stats::dram_utilization`]).
+    pub fn dram_utilization(&self, dram: &DramConfig) -> f64 {
+        self.stats.dram_utilization(dram)
+    }
+
+    /// Mean cycles each DRAM load queued behind the channel.
+    pub fn avg_dram_queue_delay(&self) -> f64 {
+        self.stats.avg_dram_queue_delay()
     }
 }
 
@@ -53,6 +65,38 @@ impl MatrixResult {
     /// Row index of a workload by name.
     pub fn row(&self, workload: &str) -> Option<usize> {
         self.workloads.iter().position(|w| w == workload)
+    }
+
+    /// Mean DRAM bandwidth saturation per config over the given rows.
+    pub fn mean_dram_utilization(&self, rows: &[usize], dram: &DramConfig) -> Vec<f64> {
+        (0..self.configs.len())
+            .map(|c| {
+                if rows.is_empty() {
+                    0.0
+                } else {
+                    rows.iter()
+                        .map(|&w| self.cells[w][c].dram_utilization(dram))
+                        .sum::<f64>()
+                        / rows.len() as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Mean per-load DRAM queue delay per config over the given rows.
+    pub fn mean_dram_queue_delay(&self, rows: &[usize]) -> Vec<f64> {
+        (0..self.configs.len())
+            .map(|c| {
+                if rows.is_empty() {
+                    0.0
+                } else {
+                    rows.iter()
+                        .map(|&w| self.cells[w][c].avg_dram_queue_delay())
+                        .sum::<f64>()
+                        / rows.len() as f64
+                }
+            })
+            .collect()
     }
 }
 
@@ -209,6 +253,60 @@ pub fn format_ipc_table(m: &MatrixResult, mean_rows: &[usize], mean_label: &str)
         out.push_str(&format!("{g:>12.1}"));
     }
     out.push('\n');
+    out
+}
+
+/// Formats the bandwidth-saturation companion table: one row per workload,
+/// one column per config, each cell the run's DRAM utilization in percent,
+/// plus mean-utilization and mean-queue-delay summary rows over
+/// `mean_rows`. This is how every figure binary records how close its
+/// configurations run to the memory wall.
+pub fn format_bandwidth_table(m: &MatrixResult, dram: &DramConfig, mean_rows: &[usize]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<22}", "dram util %"));
+    for c in &m.configs {
+        out.push_str(&format!("{c:>12}"));
+    }
+    out.push('\n');
+    for (w, name) in m.workloads.iter().enumerate() {
+        out.push_str(&format!("{name:<22}"));
+        for c in 0..m.configs.len() {
+            out.push_str(&format!(
+                "{:>12.1}",
+                m.cells[w][c].dram_utilization(dram) * 100.0
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<22}", "Mean util %"));
+    for u in m.mean_dram_utilization(mean_rows, dram) {
+        out.push_str(&format!("{:>12.1}", u * 100.0));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<22}", "Queue delay (cy)"));
+    for d in m.mean_dram_queue_delay(mean_rows) {
+        out.push_str(&format!("{d:>12.1}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Formats the compact per-config bandwidth summary (mean DRAM
+/// saturation and queue delay over `rows`) the fig8/fig9 binaries append
+/// below their speedup tables.
+pub fn format_bandwidth_summary(m: &MatrixResult, dram: &DramConfig, rows: &[usize]) -> String {
+    let utils = m.mean_dram_utilization(rows, dram);
+    let delays = m.mean_dram_queue_delay(rows);
+    let width = m.configs.iter().map(String::len).max().unwrap_or(0).max(14);
+    let mut out = String::from("DRAM saturation (mean over shown rows):\n");
+    for (c, name) in m.configs.iter().enumerate() {
+        out.push_str(&format!(
+            "  {:<width$} {:5.1}% of bandwidth, {:6.1} cy avg queue delay\n",
+            name,
+            utils[c] * 100.0,
+            delays[c]
+        ));
+    }
     out
 }
 

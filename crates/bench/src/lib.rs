@@ -7,6 +7,7 @@
 pub mod harness;
 
 pub use harness::{
-    format_ipc_table, gmean, run_matrix, run_matrix_at, run_matrix_on, run_matrix_serial,
-    run_matrix_serial_at, run_one, run_one_at, CellResult, MatrixResult, BENCH_SEED,
+    format_bandwidth_summary, format_bandwidth_table, format_ipc_table, gmean, run_matrix,
+    run_matrix_at, run_matrix_on, run_matrix_serial, run_matrix_serial_at, run_one, run_one_at,
+    CellResult, MatrixResult, BENCH_SEED,
 };

@@ -102,6 +102,33 @@ impl Associativity {
     }
 }
 
+/// How off-chip DRAM bandwidth is provisioned across the SMs of a
+/// [`crate::Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemModel {
+    /// Every SM owns a private channel of [`SmConfig::dram`] bandwidth
+    /// (the pre-event-driven model, and the paper's single-SM methodology
+    /// where 10 GB/s *is* one SM's share). Grants are computed at issue.
+    PrivatePerSm,
+    /// All SMs share **one** channel of [`SmConfig::dram`] bandwidth,
+    /// arbitrated per epoch with rotating SM-id priority — the
+    /// whole-machine bandwidth pool of a real GPU. Requires a
+    /// [`crate::Machine`] to drive the epoch barriers; a standalone
+    /// [`crate::Sm`] under this model self-grants against a private
+    /// channel (identical to [`MemModel::PrivatePerSm`]).
+    SharedChannel,
+}
+
+impl MemModel {
+    /// The label used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemModel::PrivatePerSm => "private",
+            MemModel::SharedChannel => "shared",
+        }
+    }
+}
+
 /// One back-end SIMD group (paper fig. 1/3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GroupConfig {
@@ -161,6 +188,9 @@ pub struct SmConfig {
     pub l1: CacheConfig,
     /// Off-chip memory model.
     pub dram: DramConfig,
+    /// Whether [`SmConfig::dram`] bandwidth is private per SM or one
+    /// machine-shared pool (see [`MemModel`]).
+    pub mem_model: MemModel,
     /// Seed for the secondary scheduler's pseudo-random tie-breaking.
     pub seed: u64,
 }
@@ -202,6 +232,7 @@ impl SmConfig {
             ],
             l1: CacheConfig::paper_l1(),
             dram: DramConfig::paper(),
+            mem_model: MemModel::PrivatePerSm,
             seed: 0xb1e55ed,
         }
     }
@@ -324,6 +355,27 @@ impl SmConfig {
     pub fn with_fast_forward(mut self, on: bool) -> SmConfig {
         self.fast_forward = on;
         self
+    }
+
+    /// Selects the off-chip bandwidth model (builder style).
+    pub fn with_mem_model(mut self, m: MemModel) -> SmConfig {
+        self.mem_model = m;
+        self
+    }
+
+    /// Switches to the machine-shared bandwidth pool (builder style);
+    /// shorthand for `with_mem_model(MemModel::SharedChannel)`.
+    pub fn with_shared_dram(self) -> SmConfig {
+        self.with_mem_model(MemModel::SharedChannel)
+    }
+
+    /// The epoch length (in core cycles) a [`crate::Machine`] uses to
+    /// barrier SMs for shared-channel arbitration. Capped at the DRAM
+    /// latency so a transaction issued in epoch *k* can never complete
+    /// before the barrier that grants it — the property that makes the
+    /// epoch-parallel co-simulation exact.
+    pub fn mem_epoch_cycles(&self) -> u64 {
+        self.dram.latency.clamp(1, 256)
     }
 
     /// Derives the configuration for SM `sm_id` of a multi-SM machine:

@@ -40,6 +40,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod divergence;
 pub mod exec;
@@ -55,7 +57,9 @@ pub mod stats;
 pub mod sweep;
 pub mod trace;
 
-pub use config::{Associativity, DivergenceModel, Frontend, GroupConfig, ScoreboardMode, SmConfig};
+pub use config::{
+    Associativity, DivergenceModel, Frontend, GroupConfig, MemModel, ScoreboardMode, SmConfig,
+};
 pub use divergence::frontier::{FrontierHeap, HeapStats};
 pub use divergence::stack::PdomStack;
 pub use divergence::Transition;

@@ -1,46 +1,66 @@
-//! Load-store unit timing: coalesced global access through L1/DRAM and
+//! Load-store unit planning: coalesced global access through the L1 and
 //! shared-memory bank-conflict modelling.
+//!
+//! Since the event-driven memory rework the LSU no longer charges DRAM
+//! latency inline. [`plan_global`] walks an instruction's transactions
+//! through the L1 port and *classifies* them: hits (and stores) resolve to
+//! an inline ready cycle, misses become [`warpweave_mem::MemRequest`]
+//! issue slots the pipeline enqueues on the (private or machine-shared)
+//! DRAM channel. The warp then blocks on its scoreboard entry until every
+//! outstanding transaction's grant arrives.
 
-use warpweave_mem::{AccessKind, Cache, Dram, Transaction};
+use warpweave_mem::{AccessKind, Cache, Transaction};
 
-/// Timing of one memory instruction through the LSU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LsuTiming {
+/// The LSU's plan for one global-memory instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalPlan {
     /// Cycles the LSU's single 128-byte port is occupied (replay count).
     pub port_cycles: u64,
-    /// Cycle at which load data is available for writeback.
-    pub data_ready: u64,
+    /// Completion cycle of the inline part (L1 hits; the port-release
+    /// cycle for stores). For a hit-only load this is the writeback time;
+    /// otherwise it floors the eventual completion.
+    pub inline_ready: u64,
+    /// DRAM transactions to enqueue: `(issue_cycle, is_write)`, one per
+    /// L1 miss (loads) or per transaction (write-through stores/atomics),
+    /// in port order.
+    pub dram_requests: Vec<(u64, bool)>,
 }
 
-/// Times a list of global-memory transactions starting at `start`: one
-/// transaction per cycle through the L1 port; hits return after the L1
-/// latency, misses after the DRAM round trip. Stores are write-through
-/// (traffic accounted, completion immediate for the pipeline).
-pub fn time_global(
-    l1: &mut Cache,
-    dram: &mut Dram,
-    start: u64,
-    txs: &[Transaction],
-    is_store: bool,
-) -> LsuTiming {
-    let mut ready = start;
+impl GlobalPlan {
+    /// True when the instruction completes without waiting on a DRAM grant
+    /// (hit-only load, store, or atomic — write traffic never blocks).
+    pub fn resolves_inline(&self, is_store: bool) -> bool {
+        is_store || self.dram_requests.is_empty()
+    }
+}
+
+/// Plans a list of global-memory transactions starting at `start`: one
+/// transaction per cycle through the L1 port; hits complete after the L1
+/// latency, misses are handed back as DRAM requests. Stores are
+/// write-through (every transaction becomes a write request; completion is
+/// the port-release cycle — the pipeline does not wait).
+pub fn plan_global(l1: &mut Cache, start: u64, txs: &[Transaction], is_store: bool) -> GlobalPlan {
+    let mut inline_ready = start;
+    let mut dram_requests = Vec::new();
     for (i, tx) in txs.iter().enumerate() {
         let t_issue = start + i as u64;
-        let done = if is_store {
+        if is_store {
             l1.access_store(tx.block_addr);
-            dram.write(t_issue);
-            t_issue // write-through: pipeline does not wait
+            dram_requests.push((t_issue, true));
+            inline_ready = inline_ready.max(t_issue);
         } else {
             match l1.access_load(tx.block_addr) {
-                AccessKind::Hit => t_issue + l1.config().hit_latency as u64,
-                AccessKind::Miss => dram.read(t_issue),
+                AccessKind::Hit => {
+                    inline_ready = inline_ready.max(t_issue + l1.config().hit_latency as u64);
+                }
+                AccessKind::Miss => dram_requests.push((t_issue, false)),
             }
-        };
-        ready = ready.max(done);
+        }
     }
-    LsuTiming {
+    GlobalPlan {
         port_cycles: txs.len().max(1) as u64,
-        data_ready: ready,
+        inline_ready,
+        dram_requests,
     }
 }
 
@@ -83,12 +103,12 @@ pub fn shared_passes(accesses: &[(usize, u32)]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use warpweave_mem::{CacheConfig, DramConfig};
+    use warpweave_mem::{CacheConfig, DramConfig, MemRequest, SharedDramChannel};
 
-    fn setup() -> (Cache, Dram) {
+    fn setup() -> (Cache, SharedDramChannel) {
         (
             Cache::new(CacheConfig::paper_l1()),
-            Dram::new(DramConfig::paper()),
+            SharedDramChannel::new(DramConfig::paper()),
         )
     }
 
@@ -99,42 +119,76 @@ mod tests {
         }
     }
 
+    /// Drives a plan's requests through a channel the way the pipeline's
+    /// private-mode immediate-grant path does, returning the data-ready
+    /// cycle.
+    fn resolve(plan: &GlobalPlan, channel: &mut SharedDramChannel) -> u64 {
+        let mut ready = plan.inline_ready;
+        for (seq, &(issue_cycle, is_write)) in plan.dram_requests.iter().enumerate() {
+            let grant = channel.grant(&MemRequest {
+                issue_cycle,
+                sm_id: 0,
+                seq: seq as u64,
+                is_write,
+            });
+            if !is_write {
+                ready = ready.max(grant.ready_cycle);
+            }
+        }
+        ready
+    }
+
     #[test]
     fn single_hit_latency() {
-        let (mut l1, mut dram) = setup();
+        let (mut l1, _) = setup();
         l1.access_load(0); // warm
-        let t = time_global(&mut l1, &mut dram, 100, &[tx(0)], false);
-        assert_eq!(t.port_cycles, 1);
-        assert_eq!(t.data_ready, 103);
+        let plan = plan_global(&mut l1, 100, &[tx(0)], false);
+        assert_eq!(plan.port_cycles, 1);
+        assert_eq!(plan.inline_ready, 103);
+        assert!(plan.resolves_inline(false));
     }
 
     #[test]
     fn miss_goes_to_dram() {
-        let (mut l1, mut dram) = setup();
-        let t = time_global(&mut l1, &mut dram, 0, &[tx(0)], false);
-        assert_eq!(t.data_ready, 330);
-        assert_eq!(dram.stats().read_transfers, 1);
+        let (mut l1, mut ch) = setup();
+        let plan = plan_global(&mut l1, 0, &[tx(0)], false);
+        assert_eq!(plan.dram_requests, vec![(0, false)]);
+        assert!(!plan.resolves_inline(false));
+        assert_eq!(resolve(&plan, &mut ch), 330);
+        assert_eq!(ch.stats().read_transfers, 1);
     }
 
     #[test]
     fn replays_occupy_port_serially() {
-        let (mut l1, mut dram) = setup();
+        let (mut l1, _) = setup();
         for b in 0..4 {
             l1.access_load(b * 128);
         }
         let txs: Vec<Transaction> = (0..4).map(|b| tx(b * 128)).collect();
-        let t = time_global(&mut l1, &mut dram, 10, &txs, false);
-        assert_eq!(t.port_cycles, 4);
+        let plan = plan_global(&mut l1, 10, &txs, false);
+        assert_eq!(plan.port_cycles, 4);
         // Last hit issues at 13, ready at 16.
-        assert_eq!(t.data_ready, 16);
+        assert_eq!(plan.inline_ready, 16);
+    }
+
+    #[test]
+    fn mixed_hit_miss_takes_the_slower_path() {
+        let (mut l1, mut ch) = setup();
+        l1.access_load(0); // warm block 0 only
+        let plan = plan_global(&mut l1, 0, &[tx(0), tx(128)], false);
+        assert_eq!(plan.dram_requests, vec![(1, false)]);
+        assert_eq!(plan.inline_ready, 3, "hit part");
+        assert_eq!(resolve(&plan, &mut ch), 331, "miss dominates");
     }
 
     #[test]
     fn store_does_not_block() {
-        let (mut l1, mut dram) = setup();
-        let t = time_global(&mut l1, &mut dram, 5, &[tx(0)], true);
-        assert_eq!(t.data_ready, 5);
-        assert_eq!(dram.stats().write_transfers, 1);
+        let (mut l1, mut ch) = setup();
+        let plan = plan_global(&mut l1, 5, &[tx(0)], true);
+        assert_eq!(plan.inline_ready, 5);
+        assert!(plan.resolves_inline(true));
+        resolve(&plan, &mut ch);
+        assert_eq!(ch.stats().write_transfers, 1);
     }
 
     #[test]

@@ -32,14 +32,28 @@
 //! the benchmarked workloads use. A kernel that both plain-stores *and*
 //! atomically updates the same word in one launch is outside the model
 //! (the merge applies stores before deltas).
+//!
+//! # Bandwidth model
+//!
+//! Under [`MemModel::PrivatePerSm`] (default) each SM owns a channel of
+//! [`SmConfig::dram`] bandwidth and runs to completion independently.
+//! Under [`MemModel::SharedChannel`] all SMs share **one**
+//! [`SharedDramChannel`]: the machine advances SMs in parallel to epoch
+//! barriers (one DRAM latency wide), collects each epoch's
+//! [`warpweave_mem::MemRequest`]s in SM-id order, arbitrates them in the
+//! deterministic total order `(issue_cycle, rotating SM priority, seq)`
+//! and hands the grants back before the next epoch. Because the epoch is
+//! never longer than the DRAM latency, a transaction issued inside epoch
+//! *k* cannot complete before the barrier that grants it — the
+//! co-simulation is exact, and bit-identical across host thread counts.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use warpweave_isa::Program;
-use warpweave_mem::Memory;
+use warpweave_mem::{ChannelStats, Memory, SharedDramChannel};
 
-use crate::config::SmConfig;
+use crate::config::{MemModel, SmConfig};
 use crate::launch::Launch;
 use crate::pipeline::{SimError, Sm};
 use crate::stats::Stats;
@@ -118,12 +132,23 @@ pub struct MachineStats {
     /// Counters summed across SMs with `cycles` = the makespan
     /// (see [`Stats::merge_parallel`]).
     pub total: Stats,
+    /// Shared-channel traffic/contention counters. All-zero under
+    /// [`MemModel::PrivatePerSm`] (per-SM traffic still appears in each
+    /// [`Stats::dram`]).
+    pub channel: ChannelStats,
 }
 
 impl MachineStats {
     /// Whole-machine thread-instructions per makespan cycle.
     pub fn ipc(&self) -> f64 {
         self.total.ipc()
+    }
+
+    /// Shared-channel bandwidth saturation over the makespan: fraction of
+    /// the channel's byte budget actually moved (0 under
+    /// [`MemModel::PrivatePerSm`]).
+    pub fn channel_utilization(&self, bytes_per_cycle: f64) -> f64 {
+        self.channel.utilization(self.total.cycles, bytes_per_cycle)
     }
 
     /// Folds a subsequent launch's machine stats into this one (summing,
@@ -136,6 +161,7 @@ impl MachineStats {
             mine.accumulate(theirs);
         }
         self.total.accumulate(&other.total);
+        self.channel.accumulate(&other.channel);
     }
 }
 
@@ -255,15 +281,55 @@ impl Machine {
 
     /// Runs the launch to completion, simulating SMs in parallel, and
     /// merges per-SM statistics and memory effects deterministically.
+    /// Dispatches on [`SmConfig::mem_model`]: private channels run each
+    /// shard to completion independently; the shared channel co-simulates
+    /// the shards in epochs around one arbitrated bandwidth pool.
     ///
     /// # Errors
     /// The first (by SM id) [`SimError`] any SM hits.
     pub fn run(&mut self, max_cycles: u64) -> Result<&MachineStats, SimError> {
-        let shards: Vec<(usize, Vec<u32>)> = (0..self.num_sms)
+        match self.cfg.mem_model {
+            MemModel::PrivatePerSm => self.run_private(max_cycles),
+            MemModel::SharedChannel => self.run_shared(max_cycles),
+        }
+    }
+
+    /// The non-empty shards of the grid, in SM-id order.
+    fn nonempty_shards(&self) -> Vec<(usize, Vec<u32>)> {
+        (0..self.num_sms)
             .map(|sm| (sm, self.shard(sm)))
             .filter(|(_, blocks)| !blocks.is_empty())
-            .collect();
+            .collect()
+    }
 
+    /// Folds per-SM outcomes into `self.stats`/`self.mem` in SM-id order.
+    fn merge_shards(
+        &mut self,
+        outcomes: Vec<(usize, Stats, MemJournal)>,
+        channel: ChannelStats,
+    ) -> &MachineStats {
+        let mut per_sm = vec![Stats::default(); self.num_sms];
+        let mut journals: Vec<MemJournal> = Vec::with_capacity(outcomes.len());
+        for (sm_id, stats, journal) in outcomes {
+            per_sm[sm_id] = stats;
+            journals.push(journal);
+        }
+        MemJournal::commit_all(&journals, &mut self.mem);
+        let mut total = Stats::default();
+        for stats in &per_sm {
+            total.merge_parallel(stats);
+        }
+        self.stats = MachineStats {
+            per_sm,
+            total,
+            channel,
+        };
+        &self.stats
+    }
+
+    /// Private-channel mode: every shard runs to completion on its own.
+    fn run_private(&mut self, max_cycles: u64) -> Result<&MachineStats, SimError> {
+        let shards = self.nonempty_shards();
         let runner = match self.threads {
             Some(n) => SweepRunner::with_threads(n),
             None => SweepRunner::new(),
@@ -286,6 +352,7 @@ impl Machine {
                     cycle: 0,
                     detail: format!("SM {sm_id} setup: {e}"),
                 })?;
+                sm.set_sm_id(*sm_id as u32);
                 sm.set_memory(base_mem.clone());
                 sm.enable_mem_journal();
                 let stats = sm.run(max_cycles)?.clone();
@@ -300,21 +367,97 @@ impl Machine {
         let mut results = results;
         results.sort_by_key(|(sm_id, _)| *sm_id);
 
-        let mut per_sm = vec![Stats::default(); self.num_sms];
-        let mut journals: Vec<MemJournal> = Vec::with_capacity(results.len());
+        let mut outcomes = Vec::with_capacity(results.len());
         for (sm_id, outcome) in results {
             let (stats, journal) = outcome?;
-            per_sm[sm_id] = stats;
-            journals.push(journal);
+            outcomes.push((sm_id, stats, journal));
         }
-        MemJournal::commit_all(&journals, &mut self.mem);
+        Ok(self.merge_shards(outcomes, ChannelStats::default()))
+    }
 
-        let mut total = Stats::default();
-        for stats in &per_sm {
-            total.merge_parallel(stats);
+    /// Shared-channel mode: epoch-barriered co-simulation around one
+    /// arbitrated bandwidth pool (see the module docs for the contract).
+    fn run_shared(&mut self, max_cycles: u64) -> Result<&MachineStats, SimError> {
+        let mut ids: Vec<usize> = Vec::new();
+        let mut sms: Vec<Sm> = Vec::new();
+        for (sm_id, blocks) in self.nonempty_shards() {
+            let mut sm = Sm::for_blocks(
+                self.cfg.for_sm(sm_id),
+                Arc::clone(&self.program),
+                self.grid_blocks,
+                self.block_threads,
+                self.params.clone(),
+                blocks,
+            )
+            .map_err(|e| SimError::Deadlock {
+                cycle: 0,
+                detail: format!("SM {sm_id} setup: {e}"),
+            })?;
+            sm.set_sm_id(sm_id as u32);
+            sm.attach_shared_channel();
+            sm.set_memory(self.mem.clone());
+            sm.enable_mem_journal();
+            ids.push(sm_id);
+            sms.push(sm);
         }
-        self.stats = MachineStats { per_sm, total };
-        Ok(&self.stats)
+
+        let runner = match self.threads {
+            Some(n) => SweepRunner::with_threads(n),
+            None => SweepRunner::new(),
+        };
+        let mut channel = SharedDramChannel::new(self.cfg.dram);
+        let epoch_len = self.cfg.mem_epoch_cycles();
+        let num_sms = self.num_sms as u32;
+        let mut epoch = 0u64;
+        let mut epoch_end = epoch_len;
+        loop {
+            // Parallel phase: every SM advances to the barrier (or to
+            // completion) on its own worker thread.
+            let stepped = runner.run_mut(&mut sms, |sm| sm.run_until(epoch_end, max_cycles));
+            for outcome in stepped {
+                outcome?; // first error in SM-id order
+            }
+            // Serial phase: arbitrate this epoch's transactions in the
+            // deterministic total order and hand the grants back.
+            let mut batch = Vec::new();
+            for sm in &mut sms {
+                batch.extend(sm.drain_mem_requests());
+            }
+            if !batch.is_empty() {
+                for grant in channel.arbitrate_epoch(epoch, num_sms, batch) {
+                    let idx = ids
+                        .binary_search(&(grant.sm_id as usize))
+                        .expect("grant routed to a known SM");
+                    sms[idx].deliver_mem_grants(std::slice::from_ref(&grant));
+                }
+            }
+            if sms.iter().all(Sm::is_done) {
+                break;
+            }
+            epoch += 1;
+            // Machine-level idle fast-forward: when every active SM has
+            // already jumped past the next barrier (nothing in flight to
+            // arbitrate in between), move the barrier to the first cycle
+            // any of them can act again instead of ticking empty epochs.
+            let min_active = sms
+                .iter()
+                .filter(|sm| !sm.is_done())
+                .map(Sm::cycle)
+                .min()
+                .unwrap_or(epoch_end);
+            epoch_end = (epoch_end + epoch_len).max(min_active.saturating_add(1));
+        }
+
+        let outcomes = ids
+            .iter()
+            .zip(&mut sms)
+            .map(|(&sm_id, sm)| {
+                let stats = sm.stats().clone();
+                let journal = sm.take_mem_journal().expect("journal was enabled");
+                (sm_id, stats, journal)
+            })
+            .collect();
+        Ok(self.merge_shards(outcomes, channel.stats()))
     }
 }
 

@@ -19,7 +19,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use warpweave_isa::{Instruction, Op, Pc, Program, UnitClass};
-use warpweave_mem::{atomic_transactions, coalesce, Cache, Dram, Memory};
+use warpweave_mem::{
+    atomic_transactions, coalesce, Cache, MemEventQueue, MemGrant, MemRequest, Memory,
+    SharedDramChannel,
+};
 
 use crate::config::{Frontend, ScoreboardMode, SmConfig};
 use crate::divergence::frontier::FrontierHeap;
@@ -28,7 +31,7 @@ use crate::divergence::Transition;
 use crate::exec::{execute_thread, guard_passes, ThreadInfo, ThreadRegs};
 use crate::groups::ExecGroups;
 use crate::launch::Launch;
-use crate::lsu::{shared_passes, time_global};
+use crate::lsu::{plan_global, shared_passes};
 use crate::machine::MemJournal;
 use crate::mask::Mask;
 use crate::scoreboard::{SbToken, Scoreboard};
@@ -107,11 +110,44 @@ struct BlockSlot {
     barrier_arrived: u32,
 }
 
+/// Payload of a pending-writeback event: which warp's scoreboard entry
+/// retires when the event fires.
 #[derive(Debug, Clone, Copy)]
-struct WbEvent {
-    time: u64,
+struct WbSlot {
     warp: usize,
     token: SbToken,
+}
+
+/// A scoreboard entry blocked on outstanding DRAM transactions: the warp's
+/// dependants stay stalled until every grant in `first_seq..=last_seq`
+/// arrives, at which point the entry becomes a timed writeback at
+/// `max(floor, latest grant) + delivery`.
+#[derive(Debug, Clone, Copy)]
+struct PendingMemOp {
+    first_seq: u64,
+    last_seq: u64,
+    /// Grants still outstanding.
+    remaining: u32,
+    /// Completion floor from the instruction's L1-hit transactions.
+    floor: u64,
+    /// Latest grant completion seen so far.
+    max_done: u64,
+    warp: usize,
+    token: SbToken,
+}
+
+/// When a pick's scoreboard entry retires.
+#[derive(Debug, Clone, Copy)]
+enum WbTiming {
+    /// At a cycle known at issue (includes delivery latency).
+    At(u64),
+    /// When DRAM transactions `first_seq..first_seq+count` are granted
+    /// (`floor` = the inline L1-hit completion, before delivery latency).
+    Mem {
+        first_seq: u64,
+        count: u32,
+        floor: u64,
+    },
 }
 
 /// A scheduling candidate: a ready, decoded instruction in some warp's
@@ -165,7 +201,26 @@ pub struct Sm {
     mem: Memory,
     shared: Vec<Memory>,
     l1: Cache,
-    dram: Dram,
+    /// The SM's private DRAM channel. Grants transactions immediately at
+    /// issue unless a machine-shared channel is attached
+    /// ([`Sm::attach_shared_channel`]), in which case it is bypassed.
+    dram: SharedDramChannel,
+    /// This SM's id inside a [`crate::machine::Machine`] (0 standalone);
+    /// stamps outgoing [`MemRequest`]s for deterministic arbitration.
+    sm_id: u32,
+    /// Monotonic per-SM DRAM transaction counter.
+    mem_seq: u64,
+    /// Monotonic writeback-event counter (heap tie-break).
+    wb_seq: u64,
+    /// Transactions issued but not yet arbitrated; drained every epoch by
+    /// the machine (shared mode) or at the end of each issue event
+    /// (private mode).
+    mem_outbox: Vec<MemRequest>,
+    /// Scoreboard entries blocked on outstanding DRAM grants.
+    pending_mem: Vec<PendingMemOp>,
+    /// True when a machine owns arbitration (never self-grant).
+    external_mem: bool,
+    finalized: bool,
     cycle: u64,
     warps: Vec<Warp>,
     blocks: Vec<BlockSlot>,
@@ -181,7 +236,7 @@ pub struct Sm {
     journal: Option<MemJournal>,
     groups: ExecGroups,
     sideband_busy_until: u64,
-    pending_wb: Vec<WbEvent>,
+    pending_wb: MemEventQueue<WbSlot>,
     pending_primary: Option<PendingPrimary>,
     rng: SmallRng,
     stats: Stats,
@@ -269,7 +324,7 @@ impl Sm {
             })
             .collect();
         let l1 = Cache::new(cfg.l1);
-        let dram = Dram::new(cfg.dram);
+        let dram = SharedDramChannel::new(cfg.dram);
         let seed = cfg.seed;
         let mut sm = Sm {
             program,
@@ -278,6 +333,13 @@ impl Sm {
             shared: vec![Memory::new(); num_slots],
             l1,
             dram,
+            sm_id: 0,
+            mem_seq: 0,
+            wb_seq: 0,
+            mem_outbox: Vec::new(),
+            pending_mem: Vec::new(),
+            external_mem: false,
+            finalized: false,
             cycle: 0,
             warps,
             blocks,
@@ -288,7 +350,7 @@ impl Sm {
             journal: None,
             groups: ExecGroups::new(&cfg.groups),
             sideband_busy_until: 0,
-            pending_wb: Vec::new(),
+            pending_wb: MemEventQueue::new(),
             pending_primary: None,
             rng: SmallRng::seed_from_u64(seed),
             stats: Stats::default(),
@@ -361,6 +423,35 @@ impl Sm {
         self.journal.take()
     }
 
+    /// Sets this SM's machine-wide id: stamps outgoing [`MemRequest`]s so
+    /// the shared channel's arbitration order is well-defined across SMs.
+    pub fn set_sm_id(&mut self, sm_id: u32) {
+        self.sm_id = sm_id;
+    }
+
+    /// Hands DRAM arbitration to an external machine-shared channel: the
+    /// SM stops self-granting, leaves its transactions in the outbox for
+    /// [`Sm::drain_mem_requests`] and blocks the issuing warps until
+    /// [`Sm::deliver_mem_grants`] supplies the completion times.
+    pub fn attach_shared_channel(&mut self) {
+        self.external_mem = true;
+    }
+
+    /// Drains the transactions issued since the last drain (machine epoch
+    /// barrier). Empty unless [`Sm::attach_shared_channel`] was called.
+    pub fn drain_mem_requests(&mut self) -> Vec<MemRequest> {
+        std::mem::take(&mut self.mem_outbox)
+    }
+
+    /// Delivers arbitration grants from the machine-shared channel,
+    /// unblocking the scoreboard entries that were waiting on them.
+    pub fn deliver_mem_grants(&mut self, grants: &[MemGrant]) {
+        for grant in grants {
+            debug_assert_eq!(grant.sm_id, self.sm_id, "grant routed to wrong SM");
+            self.apply_grant(grant);
+        }
+    }
+
     /// True when every assigned block has completed.
     pub fn is_done(&self) -> bool {
         self.next_block as usize >= self.block_ids.len() && self.blocks.iter().all(|b| !b.active)
@@ -377,16 +468,42 @@ impl Sm {
             if self.cycle >= max_cycles {
                 return Err(SimError::CyclesExhausted { budget: max_cycles });
             }
-            self.step()?;
+            self.step_capped(None)?;
         }
         self.finalize_stats();
         Ok(&self.stats)
     }
 
+    /// Runs until the kernel finishes or the clock reaches `limit`
+    /// (an epoch barrier of the shared-channel machine), whichever comes
+    /// first; returns whether the SM is done. The idle fast-forward may
+    /// overshoot `limit` when the SM provably cannot issue memory traffic
+    /// before its next event — the machine's epoch merge stays exact
+    /// because an overshooting SM's request window is empty.
+    ///
+    /// # Errors
+    /// As [`Sm::run`], with `budget` as the cycle budget.
+    pub fn run_until(&mut self, limit: u64, budget: u64) -> Result<bool, SimError> {
+        while !self.is_done() && self.cycle < limit {
+            if self.cycle >= budget {
+                return Err(SimError::CyclesExhausted { budget });
+            }
+            self.step_capped(Some(limit))?;
+        }
+        let done = self.is_done();
+        if done {
+            self.finalize_stats();
+        }
+        Ok(done)
+    }
+
     fn finalize_stats(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
         self.stats.cycles = self.cycle;
         self.stats.l1 = self.l1.stats();
-        self.stats.dram = self.dram.stats();
         for w in &self.warps {
             match &w.div {
                 Divergence::Stack(s) => {
@@ -409,6 +526,12 @@ impl Sm {
     /// # Errors
     /// [`SimError::Deadlock`] from the watchdog.
     pub fn step(&mut self) -> Result<(), SimError> {
+        self.step_capped(None)
+    }
+
+    /// [`Sm::step`] with an optional fast-forward cap — the epoch barrier
+    /// a machine-driven SM must not jump past while it waits on grants.
+    fn step_capped(&mut self, cap: Option<u64>) -> Result<(), SimError> {
         self.cycle += 1;
         self.process_writebacks();
         self.validate_ibufs();
@@ -434,7 +557,7 @@ impl Sm {
             && self.last_progress < self.cycle
             && self.pending_primary.is_none()
         {
-            self.fast_forward_idle();
+            self.fast_forward_idle(cap);
         }
         if self.cycle - self.last_progress > WATCHDOG_CYCLES {
             return Err(SimError::Deadlock {
@@ -446,24 +569,32 @@ impl Sm {
     }
 
     /// Jumps the clock to one cycle before the next event that can unfreeze
-    /// the machine: the earliest pending writeback or issue-port release.
-    /// Exact with respect to cycle-by-cycle simulation — every skipped cycle
-    /// would have issued nothing, fetched nothing and retired nothing, so
-    /// only `cycle`, `idle_cycles` and the fetch round-robin pointers (which
-    /// rotate 1/cycle while no warp is fetchable) need advancing.
-    fn fast_forward_idle(&mut self) {
+    /// the machine: the earliest pending writeback, issue-port release or —
+    /// for a machine-driven SM with outstanding memory traffic — the epoch
+    /// barrier at which its grants arrive. Exact with respect to
+    /// cycle-by-cycle simulation — every skipped cycle would have issued
+    /// nothing, fetched nothing and retired nothing, so only `cycle`,
+    /// `idle_cycles` and the fetch round-robin pointers (which rotate
+    /// 1/cycle while no warp is fetchable) need advancing.
+    fn fast_forward_idle(&mut self, cap: Option<u64>) {
         let now = self.cycle;
-        let mut next_event = u64::MAX;
-        for ev in &self.pending_wb {
-            next_event = next_event.min(ev.time);
-        }
+        let mut next_event = self.pending_wb.next_ready_cycle().unwrap_or(u64::MAX);
         if let Some(t) = self.groups.next_release_after(now) {
             next_event = next_event.min(t);
         }
+        if let Some(limit) = cap {
+            // Waiting on an arbitration grant (or holding undelivered
+            // write traffic): the next relevant event is the barrier.
+            if !self.pending_mem.is_empty() || !self.mem_outbox.is_empty() {
+                next_event = next_event.min(limit);
+            }
+        }
         let target = if next_event == u64::MAX {
             // Nothing in flight at all: this is a deadlock — jump to where
-            // the watchdog fires so it is reported without 100k idle ticks.
-            self.last_progress + WATCHDOG_CYCLES + 1
+            // the watchdog fires so it is reported without 100k idle ticks
+            // (never past the machine's barrier, which may deliver work).
+            let watchdog = self.last_progress + WATCHDOG_CYCLES + 1;
+            cap.map_or(watchdog, |limit| watchdog.min(limit))
         } else {
             next_event
         };
@@ -568,18 +699,89 @@ impl Sm {
     fn process_writebacks(&mut self) {
         let now = self.cycle;
         let mut progressed = false;
-        let mut i = 0;
-        while i < self.pending_wb.len() {
-            if self.pending_wb[i].time <= now {
-                let ev = self.pending_wb.swap_remove(i);
-                self.warps[ev.warp].scoreboard.retire(ev.token);
-                progressed = true;
-            } else {
-                i += 1;
-            }
+        while let Some(ev) = self.pending_wb.pop_ready(now) {
+            self.warps[ev.payload.warp]
+                .scoreboard
+                .retire(ev.payload.token);
+            progressed = true;
         }
         if progressed {
             self.last_progress = now;
+        }
+    }
+
+    // --- event-driven memory system -------------------------------------------
+
+    /// Schedules a writeback at `time` retiring `token` of warp `warp`.
+    fn push_wb(&mut self, time: u64, warp: usize, token: SbToken) {
+        let seq = self.wb_seq;
+        self.wb_seq += 1;
+        self.pending_wb
+            .push(time, self.sm_id, seq, WbSlot { warp, token });
+    }
+
+    /// Enqueues the DRAM transactions of one instruction (`(issue_cycle,
+    /// is_write)` pairs, in port order) and returns the sequence number of
+    /// the first.
+    fn enqueue_dram(&mut self, requests: &[(u64, bool)]) -> u64 {
+        let first = self.mem_seq;
+        for &(issue_cycle, is_write) in requests {
+            let seq = self.mem_seq;
+            self.mem_seq += 1;
+            if is_write {
+                self.stats.dram.write_transfers += 1;
+            } else {
+                self.stats.dram.read_transfers += 1;
+            }
+            self.mem_outbox.push(MemRequest {
+                issue_cycle,
+                sm_id: self.sm_id,
+                seq,
+                is_write,
+            });
+        }
+        first
+    }
+
+    /// Grants every outbox transaction against the SM's private channel
+    /// (the non-machine-driven mode): arbitration degenerates to
+    /// issue-order service, reproducing the historical inline-latency
+    /// timings bit-for-bit.
+    fn drain_local_grants(&mut self) {
+        for req in std::mem::take(&mut self.mem_outbox) {
+            let grant = self.dram.grant(&req);
+            self.apply_grant(&grant);
+        }
+    }
+
+    /// Applies one arbitration grant: finds the pending scoreboard entry
+    /// waiting on the transaction, folds in the completion time and — once
+    /// the last outstanding transaction lands — converts the entry into a
+    /// timed writeback. Write grants only account bandwidth; they never
+    /// block a warp.
+    fn apply_grant(&mut self, grant: &MemGrant) {
+        if grant.is_write {
+            return;
+        }
+        let Some(i) = self
+            .pending_mem
+            .iter()
+            .position(|op| op.first_seq <= grant.seq && grant.seq <= op.last_seq)
+        else {
+            return;
+        };
+        let op = &mut self.pending_mem[i];
+        op.remaining -= 1;
+        op.max_done = op.max_done.max(grant.ready_cycle);
+        self.stats.dram_queue_delay += grant.queue_delay;
+        if grant.queue_delay > 0 {
+            self.stats.dram_queued_loads += 1;
+        }
+        self.stats.dram_max_queue_delay = self.stats.dram_max_queue_delay.max(grant.queue_delay);
+        if op.remaining == 0 {
+            let op = self.pending_mem.swap_remove(i);
+            let wb = op.floor.max(op.max_done) + self.cfg.delivery_latency as u64;
+            self.push_wb(wb, op.warp, op.token);
         }
     }
 
@@ -1074,7 +1276,7 @@ impl Sm {
         let before = self.slot_masks(w);
         let mut transitions: [Option<Transition>; 2] = [None, None];
         let mut sb_alloc: Vec<(usize, &Instruction, Mask)> = Vec::new();
-        let mut wb_times: Vec<(usize, u64)> = Vec::new(); // parallel to sb_alloc
+        let mut wb_times: Vec<(usize, WbTiming)> = Vec::new(); // parallel to sb_alloc
 
         for pick in &picks {
             let r = pick.ready;
@@ -1173,23 +1375,43 @@ impl Sm {
                 .allocate((first.1, first.2), i2)
                 .expect("ready_check guaranteed a free entry");
             new_entry = Some(tokens.0);
-            self.pending_wb.push(WbEvent {
-                time: wb_times[0].1,
-                warp: w,
-                token: tokens.0,
-            });
+            self.schedule_retire(w, tokens.0, wb_times[0].1);
             if let (Some(t2), Some(&(_, wb2))) = (tokens.1, wb_times.get(1)) {
-                self.pending_wb.push(WbEvent {
-                    time: wb2,
-                    warp: w,
-                    token: t2,
-                });
+                self.schedule_retire(w, t2, wb2);
             }
         }
         if self.cfg.scoreboard_mode == ScoreboardMode::Matrix {
             self.warps[w]
                 .scoreboard
                 .on_event(&before, &after, new_entry);
+        }
+        // Private-channel mode: arbitration degenerates to issue order, so
+        // grant this event's transactions on the spot (the historical
+        // inline-latency timing). Machine-driven SMs leave the outbox for
+        // the epoch barrier instead.
+        if !self.external_mem && !self.mem_outbox.is_empty() {
+            self.drain_local_grants();
+        }
+    }
+
+    /// Registers a scoreboard entry's retirement: either a timed writeback
+    /// or a pending-memory entry blocked on DRAM grants.
+    fn schedule_retire(&mut self, w: usize, token: SbToken, timing: WbTiming) {
+        match timing {
+            WbTiming::At(time) => self.push_wb(time, w, token),
+            WbTiming::Mem {
+                first_seq,
+                count,
+                floor,
+            } => self.pending_mem.push(PendingMemOp {
+                first_seq,
+                last_seq: first_seq + count as u64 - 1,
+                remaining: count,
+                floor,
+                max_done: 0,
+                warp: w,
+                token,
+            }),
         }
     }
 
@@ -1297,7 +1519,9 @@ impl Sm {
         }
     }
 
-    /// Back-end timing for one pick; returns the writeback cycle.
+    /// Back-end timing for one pick; returns when its scoreboard entry
+    /// retires — a known cycle, or a pending-memory marker for global loads
+    /// whose transactions await a DRAM grant.
     fn time_pick(
         &mut self,
         w: usize,
@@ -1305,37 +1529,40 @@ impl Sm {
         _mask: Mask,
         accesses: &[(usize, u32, u32)],
         dispatch: Dispatch,
-    ) -> u64 {
+    ) -> WbTiming {
         let now = self.cycle;
         let width = self.cfg.warp_width;
-        let lat = self.cfg.exec_latency as u64 + self.cfg.delivery_latency as u64;
+        let delivery = self.cfg.delivery_latency as u64;
+        let lat = self.cfg.exec_latency as u64 + delivery;
         match dispatch {
-            Dispatch::None => now + 1,
+            Dispatch::None => WbTiming::At(now + 1),
             Dispatch::Ride(g) => {
                 // Shares the primary's waves: same completion profile, no
                 // extra port occupancy.
                 let waves = self.groups.waves(g, width);
-                now + waves - 1 + lat
+                WbTiming::At(now + waves - 1 + lat)
             }
             Dispatch::Group(g) => match instr.op.unit() {
                 UnitClass::Mad | UnitClass::Sfu => {
                     let waves = self.groups.waves(g, width);
                     let last = self.groups.occupy(g, now, waves);
-                    last + lat
+                    WbTiming::At(last + lat)
                 }
                 UnitClass::Lsu => {
                     let addr_list: Vec<(usize, u32)> =
                         accesses.iter().map(|&(t, a, _)| (t, a & !3)).collect();
                     let waves = self.groups.waves(g, width);
-                    let (port, ready) = match (instr.space, instr.op) {
+                    let (port, timing) = match (instr.space, instr.op) {
                         (warpweave_isa::MemSpace::Global, Op::AtomAdd) => {
                             let txs = atomic_transactions(&addr_list);
                             self.stats.lsu_transactions += txs.len() as u64;
                             if txs.len() > 1 {
                                 self.stats.lsu_replays += 1;
                             }
-                            let t = time_global(&mut self.l1, &mut self.dram, now, &txs, true);
-                            (t.port_cycles, now + 1)
+                            // Atomics are fire-and-forget write traffic.
+                            let plan = plan_global(&mut self.l1, now, &txs, true);
+                            self.enqueue_dram(&plan.dram_requests);
+                            (plan.port_cycles, WbTiming::At(now + 1 + delivery))
                         }
                         (warpweave_isa::MemSpace::Global, op) => {
                             let txs = coalesce(&addr_list);
@@ -1343,16 +1570,35 @@ impl Sm {
                             if txs.len() > 1 {
                                 self.stats.lsu_replays += 1;
                             }
-                            let t =
-                                time_global(&mut self.l1, &mut self.dram, now, &txs, op == Op::St);
-                            (t.port_cycles, t.data_ready)
+                            let is_store = op == Op::St;
+                            let plan = plan_global(&mut self.l1, now, &txs, is_store);
+                            let first_seq = self.enqueue_dram(&plan.dram_requests);
+                            if plan.resolves_inline(is_store) {
+                                // Stores are write-through (the pipeline
+                                // releases at the port drain) and hit-only
+                                // loads complete at the L1 latency.
+                                (plan.port_cycles, WbTiming::At(plan.inline_ready + delivery))
+                            } else {
+                                // The warp blocks on a pending-transaction
+                                // scoreboard entry until every miss is
+                                // granted by the (private or machine-
+                                // shared) channel.
+                                (
+                                    plan.port_cycles,
+                                    WbTiming::Mem {
+                                        first_seq,
+                                        count: plan.dram_requests.len() as u32,
+                                        floor: plan.inline_ready,
+                                    },
+                                )
+                            }
                         }
                         (warpweave_isa::MemSpace::Shared, Op::AtomAdd) => {
                             let txs = atomic_transactions(&addr_list);
                             self.stats.lsu_transactions += txs.len() as u64;
                             (
                                 txs.len().max(1) as u64,
-                                now + self.cfg.shared_latency as u64,
+                                WbTiming::At(now + self.cfg.shared_latency as u64 + delivery),
                             )
                         }
                         (warpweave_isa::MemSpace::Shared, _) => {
@@ -1361,14 +1607,19 @@ impl Sm {
                             if passes > 1 {
                                 self.stats.lsu_replays += 1;
                             }
-                            (passes, now + passes - 1 + self.cfg.shared_latency as u64)
+                            (
+                                passes,
+                                WbTiming::At(
+                                    now + passes - 1 + self.cfg.shared_latency as u64 + delivery,
+                                ),
+                            )
                         }
                     };
                     self.groups.occupy(g, now, port.max(waves));
                     let _ = w;
-                    ready + self.cfg.delivery_latency as u64
+                    timing
                 }
-                UnitClass::Control => now + 1,
+                UnitClass::Control => WbTiming::At(now + 1),
             },
         }
     }

@@ -1,6 +1,6 @@
 //! Simulation statistics.
 
-use warpweave_mem::{CacheStats, DramStats};
+use warpweave_mem::{CacheStats, DramConfig, DramStats};
 
 use crate::divergence::frontier::HeapStats;
 
@@ -52,8 +52,16 @@ pub struct Stats {
     pub heap: HeapStats,
     /// L1 statistics (copied at teardown).
     pub l1: CacheStats,
-    /// DRAM statistics (copied at teardown).
+    /// DRAM traffic issued by this SM (counted at enqueue).
     pub dram: DramStats,
+    /// Load transactions that queued behind the DRAM channel (grant start
+    /// later than issue) — the per-SM face of bandwidth contention.
+    pub dram_queued_loads: u64,
+    /// Total cycles this SM's load transactions spent queued behind the
+    /// channel.
+    pub dram_queue_delay: u64,
+    /// Worst single-load queue delay observed.
+    pub dram_max_queue_delay: u64,
 }
 
 impl Stats {
@@ -81,6 +89,28 @@ impl Stats {
             0.0
         } else {
             self.secondary_issues as f64 / self.primary_issues as f64
+        }
+    }
+
+    /// Fraction of the DRAM byte budget (`bytes_per_cycle × cycles`) this
+    /// run actually moved — the bandwidth-saturation metric the benchmark
+    /// output records. 1.0 means the channel never idled.
+    pub fn dram_utilization(&self, dram: &DramConfig) -> f64 {
+        if self.cycles == 0 || dram.bytes_per_cycle <= 0.0 {
+            0.0
+        } else {
+            self.dram.total_bytes(dram.transfer_bytes) as f64
+                / (dram.bytes_per_cycle * self.cycles as f64)
+        }
+    }
+
+    /// Mean queue delay per DRAM load transaction, in cycles (0 when no
+    /// load ever waited on the channel).
+    pub fn avg_dram_queue_delay(&self) -> f64 {
+        if self.dram.read_transfers == 0 {
+            0.0
+        } else {
+            self.dram_queue_delay as f64 / self.dram.read_transfers as f64
         }
     }
 
@@ -115,6 +145,9 @@ impl Stats {
         self.l1.stores += other.l1.stores;
         self.dram.read_transfers += other.dram.read_transfers;
         self.dram.write_transfers += other.dram.write_transfers;
+        self.dram_queued_loads += other.dram_queued_loads;
+        self.dram_queue_delay += other.dram_queue_delay;
+        self.dram_max_queue_delay = self.dram_max_queue_delay.max(other.dram_max_queue_delay);
     }
 
     /// Folds the statistics of an SM that ran *concurrently* with this one

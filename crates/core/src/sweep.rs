@@ -67,6 +67,24 @@ impl SweepRunner {
             None => map(),
         }
     }
+
+    /// Maps `f` over `jobs` in parallel **in place**, returning results in
+    /// job order. This is the epoch-step primitive of the shared-channel
+    /// [`crate::Machine`]: each SM advances to the next barrier on its own
+    /// worker. Each job is touched by exactly one worker per call (the
+    /// per-job mutex only proves that to the borrow checker), so `f` sees
+    /// no contention and the same determinism contract as [`SweepRunner::run`]
+    /// applies.
+    pub fn run_mut<J, R, F>(&self, jobs: &mut [J], f: F) -> Vec<R>
+    where
+        J: Send,
+        R: Send,
+        F: Fn(&mut J) -> R + Sync + Send,
+    {
+        let cells: Vec<std::sync::Mutex<&mut J>> =
+            jobs.iter_mut().map(std::sync::Mutex::new).collect();
+        self.run(&cells, |cell| f(&mut cell.lock().expect("job mutex")))
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +110,17 @@ mod tests {
                 "{threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn run_mut_mutates_in_place_and_orders_results() {
+        let mut jobs: Vec<u64> = (0..40).collect();
+        let doubled = SweepRunner::with_threads(4).run_mut(&mut jobs, |j| {
+            *j *= 2;
+            *j
+        });
+        assert_eq!(jobs, (0..80).step_by(2).collect::<Vec<u64>>());
+        assert_eq!(doubled, jobs);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Invariants of the machine-shared bandwidth pool:
+//!
+//! * shared-channel machines are **bit-identical** across 1/2/8 host
+//!   simulation threads (stats, channel counters and memory);
+//! * a 1-SM machine on the shared channel reproduces the private-channel
+//!   (historical inline-latency) totals — exactly on a latency-only
+//!   configuration, and also at the paper's finite bandwidth where the
+//!   single LSU port makes transaction issue order monotonic;
+//! * ≥2 SMs contending on one channel run strictly slower in aggregate
+//!   than the same SMs with private channels on a memory-bound workload;
+//! * contention statistics (queue delays, channel utilization) are
+//!   populated and consistent.
+
+use warpweave_core::{Launch, Machine, MachineStats, SmConfig};
+use warpweave_isa::{p, r, CmpOp, KernelBuilder, Operand, Program, SpecialReg};
+use warpweave_mem::DramConfig;
+
+const IN: u32 = 0x10_0000;
+const OUT: u32 = 0x80_0000;
+
+/// A bandwidth-bound streaming kernel: every thread reads `ITERS` words
+/// spaced one L1 block apart (each lane touches its own 128-byte line, so
+/// every warp load coalesces into one transaction per lane and every
+/// transaction is a cold miss), sums them and stores the result.
+fn streaming_program(total_threads: u32, iters: u32) -> Program {
+    let mut k = KernelBuilder::new("stream");
+    k.mov(r(0), SpecialReg::CtaId);
+    k.imad(r(0), r(0), SpecialReg::NTid, SpecialReg::Tid);
+    k.shl(r(1), r(0), 7i32); // gtid * 128 B: one block per lane
+    k.iadd(r(1), Operand::Param(0), r(1));
+    k.mov(r(3), 0i32);
+    for i in 0..iters {
+        k.ld(r(2), r(1), 0);
+        k.iadd(r(3), r(3), r(2));
+        if i + 1 < iters {
+            // Advance a full grid-stride of blocks: never a reuse.
+            k.iadd(r(1), r(1), (total_threads * 128) as i32);
+        }
+    }
+    k.shl(r(4), r(0), 2i32);
+    k.iadd(r(4), Operand::Param(1), r(4));
+    k.st(r(4), 0, r(3));
+    k.exit();
+    k.build().expect("streaming kernel assembles")
+}
+
+/// A divergent kernel (data-dependent Collatz trip counts) — the
+/// scheduler-heavy complement to the streaming kernel.
+fn collatz_program() -> Program {
+    let mut k = KernelBuilder::new("collatz");
+    k.mov(r(0), SpecialReg::CtaId);
+    k.imad(r(0), r(0), SpecialReg::NTid, SpecialReg::Tid);
+    k.mov(r(1), r(0));
+    k.label("mod");
+    k.isetp(p(0), CmpOp::Ge, r(1), 37i32);
+    k.guard_t(p(0)).isub(r(1), r(1), 37i32);
+    k.bra_if(p(0), "mod");
+    k.iadd(r(1), r(1), 1i32);
+    k.mov(r(2), 0i32);
+    k.label("loop");
+    k.isetp(p(1), CmpOp::Le, r(1), 1i32);
+    k.bra_if(p(1), "done");
+    k.and_(r(3), r(1), 1i32);
+    k.isetp(p(2), CmpOp::Eq, r(3), 0i32);
+    k.bra_if(p(2), "even");
+    k.imad(r(1), r(1), 3i32, 1i32);
+    k.bra("next");
+    k.label("even");
+    k.shr(r(1), r(1), 1i32);
+    k.label("next");
+    k.iadd(r(2), r(2), 1i32);
+    k.bra("loop");
+    k.label("done");
+    k.shl(r(4), r(0), 2i32);
+    k.iadd(r(4), Operand::Param(1), r(4));
+    k.st(r(4), 0, r(2));
+    k.exit();
+    k.build().expect("collatz assembles")
+}
+
+const GRID: u32 = 4;
+const BLOCK: u32 = 128;
+const ITERS: u32 = 6;
+
+fn streaming_launch() -> Launch {
+    Launch::new(streaming_program(GRID * BLOCK, ITERS), GRID, BLOCK).with_params(vec![IN, OUT])
+}
+
+/// Runs `launch` on a machine and returns its stats plus the OUT region.
+fn run_machine(
+    cfg: &SmConfig,
+    num_sms: usize,
+    threads: usize,
+    launch: Launch,
+) -> (MachineStats, Vec<u32>) {
+    let n = (launch.grid_blocks * launch.block_threads) as usize;
+    let mut machine = Machine::new(cfg.clone(), num_sms, launch)
+        .expect("machine builds")
+        .with_threads(threads);
+    // Seed the input region so load values are observable.
+    for i in 0..(GRID * BLOCK * ITERS * 32) {
+        machine.memory_mut().write_u32(IN + 4 * i, i % 97);
+    }
+    let stats = machine.run(100_000_000).expect("machine runs").clone();
+    let out = machine.memory().read_words(OUT, n);
+    (stats, out)
+}
+
+#[test]
+fn shared_channel_bit_identical_across_host_threads() {
+    for (name, launch) in [
+        ("stream", streaming_launch()),
+        (
+            "collatz",
+            Launch::new(collatz_program(), GRID, BLOCK).with_params(vec![IN, OUT]),
+        ),
+    ] {
+        for cfg in [
+            SmConfig::baseline().with_shared_dram(),
+            SmConfig::sbi_swi().with_shared_dram(),
+        ] {
+            let (reference, ref_mem) = run_machine(&cfg, 4, 1, launch.clone());
+            for threads in [2, 8] {
+                let (stats, mem) = run_machine(&cfg, 4, threads, launch.clone());
+                assert_eq!(
+                    stats, reference,
+                    "{name}/{}: shared-channel stats diverged at {threads} threads",
+                    cfg.name
+                );
+                assert_eq!(mem, ref_mem, "{name}/{}: memory diverged", cfg.name);
+            }
+            assert_eq!(reference.per_sm.len(), 4);
+        }
+    }
+}
+
+#[test]
+fn one_sm_shared_matches_private_on_latency_only_config() {
+    // Infinite bandwidth: the channel never queues, completion is pure
+    // latency — the shared channel must reproduce the inline model to the
+    // cycle (the regression guard for the event-driven rework).
+    let mut cfg = SmConfig::baseline();
+    cfg.dram = DramConfig {
+        bytes_per_cycle: 1e12,
+        latency: 330,
+        transfer_bytes: 128,
+    };
+    let (private, mem_p) = run_machine(&cfg, 1, 2, streaming_launch());
+    let (shared, mem_s) = run_machine(&cfg.clone().with_shared_dram(), 1, 2, streaming_launch());
+    assert_eq!(shared.per_sm, private.per_sm, "latency-only totals differ");
+    assert_eq!(shared.total, private.total);
+    assert_eq!(mem_s, mem_p);
+    assert_eq!(shared.total.dram_queue_delay, 0, "nothing can queue");
+}
+
+#[test]
+fn one_sm_shared_matches_private_at_paper_bandwidth() {
+    // With one SM the single LSU port keeps transaction issue cycles
+    // monotonic, so epoch arbitration degenerates to issue order and the
+    // shared channel reproduces the private schedule even when queueing.
+    for cfg in [SmConfig::baseline(), SmConfig::sbi()] {
+        let (private, mem_p) = run_machine(&cfg, 1, 2, streaming_launch());
+        let (shared, mem_s) =
+            run_machine(&cfg.clone().with_shared_dram(), 1, 2, streaming_launch());
+        assert_eq!(shared.per_sm, private.per_sm, "{}", cfg.name);
+        assert_eq!(shared.total, private.total, "{}", cfg.name);
+        assert_eq!(mem_s, mem_p, "{}", cfg.name);
+        assert!(
+            shared.channel.queued_requests > 0,
+            "{}: a bandwidth-bound kernel must queue on the channel",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn contention_on_one_channel_lowers_aggregate_ipc() {
+    let cfg = SmConfig::baseline();
+    let (private, _) = run_machine(&cfg, 2, 2, streaming_launch());
+    let (shared, _) = run_machine(&cfg.clone().with_shared_dram(), 2, 2, streaming_launch());
+    // Same work either way…
+    assert_eq!(
+        shared.total.thread_instructions,
+        private.total.thread_instructions
+    );
+    // …but the shared channel halves the bandwidth: strictly longer
+    // makespan, strictly lower whole-machine IPC.
+    assert!(
+        shared.total.cycles > private.total.cycles,
+        "shared makespan {} vs private {}",
+        shared.total.cycles,
+        private.total.cycles
+    );
+    assert!(
+        shared.ipc() < private.ipc(),
+        "shared IPC {:.3} vs private {:.3}",
+        shared.ipc(),
+        private.ipc()
+    );
+    // Contention is visible in the stats: SMs queued behind each other
+    // beyond any self-queueing the private channels see.
+    assert!(shared.total.dram_queue_delay > private.total.dram_queue_delay);
+    assert!(shared.channel.queued_requests > 0);
+    let util = shared.channel_utilization(cfg.dram.bytes_per_cycle);
+    assert!(
+        util > 0.5 && util <= 1.0,
+        "a memory-bound 2-SM run should saturate the channel (got {util:.3})"
+    );
+    // Channel counters agree with the per-SM traffic sums.
+    assert_eq!(
+        shared.channel.read_transfers,
+        shared.total.dram.read_transfers
+    );
+    assert_eq!(
+        shared.channel.write_transfers,
+        shared.total.dram.write_transfers
+    );
+}
+
+#[test]
+fn functional_results_survive_shared_arbitration() {
+    let (_, out) = run_machine(
+        &SmConfig::sbi_swi().with_shared_dram(),
+        4,
+        4,
+        streaming_launch(),
+    );
+    let total = GRID * BLOCK;
+    for gtid in 0..total {
+        let expected: u32 = (0..ITERS)
+            .map(|i| {
+                let word = (gtid + i * total) * 32; // 128 B stride in words
+                word % 97
+            })
+            .sum();
+        assert_eq!(out[gtid as usize], expected, "thread {gtid}");
+    }
+}

@@ -10,7 +10,7 @@
 //! * a compact SASS-like ISA ([`Op`], [`Instruction`], [`Reg`], [`Pred`],
 //!   [`SpecialReg`]) with MAD / SFU / LSU / control unit classes,
 //! * a fluent assembler ([`KernelBuilder`]) with symbolic labels,
-//! * control-flow analysis ([`cfg`]) that annotates divergent branches with
+//! * control-flow analysis ([`mod@cfg`]) that annotates divergent branches with
 //!   their immediate-post-dominator reconvergence points (used by the
 //!   baseline PDOM stack) and inserts the paper's `SYNC` markers carrying
 //!   `PCdiv` payloads (used by SBI reconvergence constraints, §3.3).

@@ -1,0 +1,301 @@
+//! The machine-shared DRAM channel with deterministic epoch arbitration.
+//!
+//! A [`SharedDramChannel`] replaces per-SM [`crate::Dram`] instances with
+//! one bandwidth pool: every SM's off-chip transactions pass through a
+//! single serialising channel, so whole-GPU IPC saturates at the configured
+//! bandwidth the way the paper's multi-SM platform does, instead of scaling
+//! each SM's private 10 GB/s.
+//!
+//! # Arbitration
+//!
+//! Transactions are granted in **epochs** (fixed windows of core cycles).
+//! Within one epoch the channel serves requests in the total order
+//! `(issue_cycle, epoch-rotated SM priority, per-SM sequence number)`:
+//! earlier requests first; ties at the same cycle go to the SM whose id is
+//! closest (mod `num_sms`) to the epoch's priority holder, which rotates
+//! every epoch so no SM is structurally starved; the per-SM sequence number
+//! makes the order total. Because the order is total, the grant schedule is
+//! a pure function of the *set* of requests — independent of the order SMs
+//! were polled in, of host thread count and of scheduling jitter. This is
+//! the channel-level half of the machine's determinism contract
+//! (`crates/core/tests/shared_channel.rs` pins the other half).
+//!
+//! # Timing
+//!
+//! A granted request starts at `max(channel_free, issue_cycle)`, occupies
+//! the channel for `transfer_bytes / bytes_per_cycle` cycles and completes
+//! a fixed `latency` after its start — the same arithmetic as the private
+//! [`crate::Dram`] model, so a single-SM machine on the shared channel
+//! reproduces the inline-latency timings exactly.
+
+use crate::dram::DramConfig;
+use crate::event::MemEventQueue;
+
+/// One off-chip transaction awaiting a grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Cycle the requesting SM's LSU put the transaction on the wire.
+    pub issue_cycle: u64,
+    /// Requesting SM.
+    pub sm_id: u32,
+    /// Per-SM monotonic transaction number (total-order tie-break).
+    pub seq: u64,
+    /// Write-through store / atomic (true) or load fill (false).
+    pub is_write: bool,
+}
+
+/// The channel's answer to one [`MemRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemGrant {
+    /// SM the grant belongs to.
+    pub sm_id: u32,
+    /// The request's per-SM sequence number.
+    pub seq: u64,
+    /// Cycle the transferred data is available (start + latency).
+    pub ready_cycle: u64,
+    /// Cycles the request waited behind earlier transfers (start − issue).
+    pub queue_delay: u64,
+    /// Copied from the request: write traffic never blocks a warp.
+    pub is_write: bool,
+}
+
+/// Traffic and contention counters of one channel.
+///
+/// All fields are integers so aggregate [`ChannelStats`] stay `Eq`-comparable
+/// in the determinism tests; derived ratios ([`ChannelStats::utilization`],
+/// [`ChannelStats::avg_queue_delay`]) are computed on demand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Load (fill) transfers granted.
+    pub read_transfers: u64,
+    /// Write-through transfers granted.
+    pub write_transfers: u64,
+    /// Total bytes moved.
+    pub bytes_transferred: u64,
+    /// Requests that found the channel busy (queue_delay > 0).
+    pub queued_requests: u64,
+    /// Total cycles requests spent queued behind earlier transfers.
+    pub queue_delay_cycles: u64,
+    /// Worst single-request queue delay.
+    pub max_queue_delay: u64,
+}
+
+impl ChannelStats {
+    /// Total transfers granted.
+    pub fn total_transfers(&self) -> u64 {
+        self.read_transfers + self.write_transfers
+    }
+
+    /// Fraction of the theoretical byte budget (`bytes_per_cycle × cycles`)
+    /// actually moved — 1.0 means the channel is saturated.
+    pub fn utilization(&self, cycles: u64, bytes_per_cycle: f64) -> f64 {
+        if cycles == 0 || bytes_per_cycle <= 0.0 {
+            0.0
+        } else {
+            self.bytes_transferred as f64 / (bytes_per_cycle * cycles as f64)
+        }
+    }
+
+    /// Mean queue delay per granted request, in cycles.
+    pub fn avg_queue_delay(&self) -> f64 {
+        let n = self.total_transfers();
+        if n == 0 {
+            0.0
+        } else {
+            self.queue_delay_cycles as f64 / n as f64
+        }
+    }
+
+    /// Folds another channel's counters into this one (sums counters, takes
+    /// the maximum of high-water marks) — used when launches accumulate.
+    pub fn accumulate(&mut self, other: &ChannelStats) {
+        self.read_transfers += other.read_transfers;
+        self.write_transfers += other.write_transfers;
+        self.bytes_transferred += other.bytes_transferred;
+        self.queued_requests += other.queued_requests;
+        self.queue_delay_cycles += other.queue_delay_cycles;
+        self.max_queue_delay = self.max_queue_delay.max(other.max_queue_delay);
+    }
+}
+
+/// A single DRAM channel shared by every SM of a machine.
+///
+/// # Examples
+/// ```
+/// use warpweave_mem::{DramConfig, MemRequest, SharedDramChannel};
+///
+/// let mut ch = SharedDramChannel::new(DramConfig::paper());
+/// let reqs = vec![
+///     MemRequest { issue_cycle: 0, sm_id: 1, seq: 0, is_write: false },
+///     MemRequest { issue_cycle: 0, sm_id: 0, seq: 0, is_write: false },
+/// ];
+/// let grants = ch.arbitrate_epoch(0, 2, reqs);
+/// // Epoch 0 gives SM 0 priority: it goes first, SM 1 queues behind it.
+/// assert_eq!(grants[0].sm_id, 0);
+/// assert_eq!(grants[0].ready_cycle, 330);
+/// assert_eq!(grants[1].queue_delay, 12); // 128 B / 10 B-per-cycle
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedDramChannel {
+    cfg: DramConfig,
+    /// Fractional cycle at which the channel next becomes free.
+    free: f64,
+    stats: ChannelStats,
+    /// Completions granted but not yet in the past — the machine queries
+    /// this to fast-forward idle epochs to the next memory event.
+    inflight: MemEventQueue<()>,
+}
+
+impl SharedDramChannel {
+    /// Creates an idle channel.
+    pub fn new(cfg: DramConfig) -> Self {
+        SharedDramChannel {
+            cfg,
+            free: 0.0,
+            stats: ChannelStats::default(),
+            inflight: MemEventQueue::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Accumulated traffic/contention statistics.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Grants one request immediately (single-SM / private-channel mode):
+    /// identical arithmetic to [`crate::Dram::read`] / [`crate::Dram::write`].
+    pub fn grant(&mut self, req: &MemRequest) -> MemGrant {
+        // Issue cycles are non-decreasing across epochs, so completions
+        // before this request's issue can never be queried again — drain
+        // them to keep the in-flight heap bounded by true outstanding work.
+        while self
+            .inflight
+            .pop_ready(req.issue_cycle.saturating_sub(1))
+            .is_some()
+        {}
+        let start = self.free.max(req.issue_cycle as f64);
+        self.free = start + self.cfg.transfer_bytes as f64 / self.cfg.bytes_per_cycle;
+        let start_cycle = start as u64;
+        let ready_cycle = start_cycle + self.cfg.latency;
+        let queue_delay = start_cycle - req.issue_cycle;
+        if req.is_write {
+            self.stats.write_transfers += 1;
+        } else {
+            self.stats.read_transfers += 1;
+        }
+        self.stats.bytes_transferred += self.cfg.transfer_bytes as u64;
+        if queue_delay > 0 {
+            self.stats.queued_requests += 1;
+        }
+        self.stats.queue_delay_cycles += queue_delay;
+        self.stats.max_queue_delay = self.stats.max_queue_delay.max(queue_delay);
+        self.inflight.push(ready_cycle, req.sm_id, req.seq, ());
+        MemGrant {
+            sm_id: req.sm_id,
+            seq: req.seq,
+            ready_cycle,
+            queue_delay,
+            is_write: req.is_write,
+        }
+    }
+
+    /// Grants every request of one epoch in the deterministic total order
+    /// `(issue_cycle, rotated SM priority, seq)`; see the module docs. The
+    /// result is invariant under any permutation of `requests` — the
+    /// polling-order property `crates/mem/tests/channel_properties.rs`
+    /// pins — and is returned in grant order.
+    pub fn arbitrate_epoch(
+        &mut self,
+        epoch: u64,
+        num_sms: u32,
+        mut requests: Vec<MemRequest>,
+    ) -> Vec<MemGrant> {
+        let n = num_sms.max(1);
+        let holder = (epoch % n as u64) as u32;
+        let rank = |sm: u32| (sm % n).wrapping_sub(holder).wrapping_add(n) % n;
+        requests.sort_unstable_by_key(|r| (r.issue_cycle, rank(r.sm_id), r.sm_id, r.seq));
+        requests.iter().map(|r| self.grant(r)).collect()
+    }
+
+    /// The earliest granted completion still at or after `now` — lets a
+    /// driver fast-forward idle stretches to the next memory event.
+    /// Completions in the past are discarded as a side effect (they are
+    /// also pruned lazily on every [`SharedDramChannel::grant`]).
+    pub fn next_completion_at_or_after(&mut self, now: u64) -> Option<u64> {
+        while self.inflight.pop_ready(now.saturating_sub(1)).is_some() {}
+        self.inflight.next_ready_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(issue_cycle: u64, sm_id: u32, seq: u64) -> MemRequest {
+        MemRequest {
+            issue_cycle,
+            sm_id,
+            seq,
+            is_write: false,
+        }
+    }
+
+    #[test]
+    fn matches_private_dram_arithmetic() {
+        // The shared channel serving one SM must reproduce Dram exactly.
+        let mut shared = SharedDramChannel::new(DramConfig::paper());
+        let mut private = crate::Dram::new(DramConfig::paper());
+        for (i, issue) in [0u64, 0, 0, 100, 10_000].into_iter().enumerate() {
+            let grant = shared.grant(&read(issue, 0, i as u64));
+            assert_eq!(grant.ready_cycle, private.read(issue), "request {i}");
+        }
+    }
+
+    #[test]
+    fn epoch_priority_rotates() {
+        let cfg = DramConfig::paper();
+        // Epoch 0: SM 0 first; epoch 1: SM 1 first.
+        let mut ch = SharedDramChannel::new(cfg);
+        let g0 = ch.arbitrate_epoch(0, 2, vec![read(0, 1, 0), read(0, 0, 0)]);
+        assert_eq!((g0[0].sm_id, g0[1].sm_id), (0, 1));
+        let mut ch = SharedDramChannel::new(cfg);
+        let g1 = ch.arbitrate_epoch(1, 2, vec![read(0, 1, 0), read(0, 0, 0)]);
+        assert_eq!((g1[0].sm_id, g1[1].sm_id), (1, 0));
+    }
+
+    #[test]
+    fn earlier_issue_beats_priority() {
+        let mut ch = SharedDramChannel::new(DramConfig::paper());
+        let g = ch.arbitrate_epoch(0, 2, vec![read(5, 0, 0), read(3, 1, 0)]);
+        assert_eq!(g[0].sm_id, 1, "issue cycle dominates SM priority");
+    }
+
+    #[test]
+    fn contention_stats_accumulate() {
+        let mut ch = SharedDramChannel::new(DramConfig::paper());
+        let grants = ch.arbitrate_epoch(0, 4, (0..4).map(|s| read(0, s, 0)).collect());
+        let st = ch.stats();
+        assert_eq!(st.read_transfers, 4);
+        assert_eq!(st.bytes_transferred, 4 * 128);
+        assert_eq!(st.queued_requests, 3, "all but the first wait");
+        assert_eq!(st.max_queue_delay, grants[3].queue_delay);
+        assert!(st.utilization(52, 10.0) > 0.98, "back-to-back saturates");
+        assert!(st.avg_queue_delay() > 0.0);
+    }
+
+    #[test]
+    fn next_completion_tracks_inflight() {
+        let mut ch = SharedDramChannel::new(DramConfig::paper());
+        assert_eq!(ch.next_completion_at_or_after(0), None);
+        ch.grant(&read(0, 0, 0));
+        ch.grant(&read(0, 0, 1));
+        assert_eq!(ch.next_completion_at_or_after(0), Some(330));
+        assert_eq!(ch.next_completion_at_or_after(331), Some(342));
+        assert_eq!(ch.next_completion_at_or_after(400), None);
+    }
+}

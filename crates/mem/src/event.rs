@@ -1,0 +1,165 @@
+//! A deterministic min-heap of timed memory events.
+//!
+//! Every queue in the event-driven memory system — in-flight DRAM
+//! completions inside [`crate::SharedDramChannel`], the SM pipeline's
+//! pending-writeback queue — keys its events on the total order
+//! `(ready_cycle, sm_id, seq)`. Because the key is total (the `seq`
+//! component is unique per `sm_id`), pop order is a pure function of the
+//! *set* of queued events, never of insertion order, host threading or
+//! hash-map iteration — the property the machine's bit-identical-across-
+//! thread-counts contract is built on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One timed event: a payload that becomes relevant at `ready_cycle`.
+///
+/// Ordering is `(ready_cycle, sm_id, seq)` ascending; the payload does not
+/// participate in the order.
+#[derive(Debug, Clone, Copy)]
+pub struct MemEvent<T> {
+    /// Cycle at which the event fires.
+    pub ready_cycle: u64,
+    /// Originating SM (tie-break between SMs at the same cycle).
+    pub sm_id: u32,
+    /// Per-SM monotonic sequence number (final, unique tie-break).
+    pub seq: u64,
+    /// The event's payload (ignored by the ordering).
+    pub payload: T,
+}
+
+impl<T> MemEvent<T> {
+    fn key(&self) -> (u64, u32, u64) {
+        (self.ready_cycle, self.sm_id, self.seq)
+    }
+}
+
+impl<T> PartialEq for MemEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<T> Eq for MemEvent<T> {}
+
+impl<T> PartialOrd for MemEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for MemEvent<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A deterministic binary min-heap of [`MemEvent`]s.
+///
+/// # Examples
+/// ```
+/// use warpweave_mem::MemEventQueue;
+///
+/// let mut q = MemEventQueue::new();
+/// q.push(340, 1, 7, "late");
+/// q.push(330, 0, 3, "early");
+/// assert_eq!(q.next_ready_cycle(), Some(330));
+/// assert_eq!(q.pop_ready(330).map(|e| e.payload), Some("early"));
+/// assert_eq!(q.pop_ready(330), None); // 340 not ready yet
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemEventQueue<T> {
+    heap: BinaryHeap<Reverse<MemEvent<T>>>,
+}
+
+impl<T> MemEventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        MemEventQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Enqueues an event firing at `ready_cycle`.
+    pub fn push(&mut self, ready_cycle: u64, sm_id: u32, seq: u64, payload: T) {
+        self.heap.push(Reverse(MemEvent {
+            ready_cycle,
+            sm_id,
+            seq,
+            payload,
+        }));
+    }
+
+    /// The earliest queued fire cycle, if any.
+    pub fn next_ready_cycle(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.ready_cycle)
+    }
+
+    /// Pops the minimum event if it fires at or before `now`.
+    pub fn pop_ready(&mut self, now: u64) -> Option<MemEvent<T>> {
+        if self.next_ready_cycle()? <= now {
+            self.heap.pop().map(|Reverse(e)| e)
+        } else {
+            None
+        }
+    }
+
+    /// Pops the minimum event unconditionally.
+    pub fn pop(&mut self) -> Option<MemEvent<T>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order_regardless_of_insertion() {
+        let keys = [(500u64, 2u32, 0u64), (330, 0, 4), (330, 0, 1), (330, 1, 0)];
+        // Two insertion orders, same pop order.
+        let mut a = MemEventQueue::new();
+        for &(c, s, q) in &keys {
+            a.push(c, s, q, ());
+        }
+        let mut b = MemEventQueue::new();
+        for &(c, s, q) in keys.iter().rev() {
+            b.push(c, s, q, ());
+        }
+        let drain = |mut q: MemEventQueue<()>| {
+            let mut out = Vec::new();
+            while let Some(e) = q.pop() {
+                out.push((e.ready_cycle, e.sm_id, e.seq));
+            }
+            out
+        };
+        let order = drain(a);
+        assert_eq!(order, drain(b));
+        assert_eq!(
+            order,
+            vec![(330, 0, 1), (330, 0, 4), (330, 1, 0), (500, 2, 0)]
+        );
+    }
+
+    #[test]
+    fn pop_ready_respects_now() {
+        let mut q = MemEventQueue::new();
+        q.push(100, 0, 0, 'a');
+        q.push(200, 0, 1, 'b');
+        assert!(q.pop_ready(99).is_none());
+        assert_eq!(q.pop_ready(100).map(|e| e.payload), Some('a'));
+        assert_eq!(q.next_ready_cycle(), Some(200));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

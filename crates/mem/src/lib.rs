@@ -1,12 +1,24 @@
 //! # warpweave-mem
 //!
 //! The memory hierarchy for the warpweave SIMT simulator: a sparse flat
-//! [`Memory`] backing store, the 128-byte [`coalesce`]r with atomic replay
-//! scheduling, a set-associative tag-only L1 [`Cache`] and a
-//! throughput/latency-limited [`Dram`] channel.
+//! [`Memory`] backing store, the 128-byte [`coalesce()`]r with atomic replay
+//! scheduling, a set-associative tag-only L1 [`Cache`], a
+//! throughput/latency-limited private [`Dram`] channel, and the
+//! event-driven shared-bandwidth subsystem — a deterministic
+//! [`MemEventQueue`] and the [`SharedDramChannel`] that arbitrates one
+//! bandwidth pool across all SMs of a machine per epoch.
 //!
 //! Parameters default to the paper's table 2: 48 K 6-way 128 B L1 at 3
 //! cycles; 10 GB/s, 330 ns memory for one SM.
+//!
+//! Two off-chip models coexist:
+//!
+//! * [`Dram`] — the original inline model: one private channel per SM,
+//!   completion time computed at the moment of the request.
+//! * [`SharedDramChannel`] — the machine-level model: SMs enqueue
+//!   [`MemRequest`]s and receive [`MemGrant`]s from a deterministic
+//!   per-epoch arbitration ordered by `(issue_cycle, rotating SM priority,
+//!   sequence number)`; see [`channel`] for the contract.
 //!
 //! # Examples
 //! ```
@@ -28,12 +40,18 @@
 //! assert_eq!(done_at, 330); // cold miss
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
+pub mod channel;
 pub mod coalesce;
 pub mod dram;
+pub mod event;
 pub mod space;
 
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
+pub use channel::{ChannelStats, MemGrant, MemRequest, SharedDramChannel};
 pub use coalesce::{atomic_transactions, coalesce, Transaction, BLOCK_BYTES};
 pub use dram::{Dram, DramConfig, DramStats};
+pub use event::{MemEvent, MemEventQueue};
 pub use space::Memory;

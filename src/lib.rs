@@ -12,7 +12,7 @@
 //!   SBI+SWI front-ends (the paper's contribution).
 //! * [`workloads`] — the 21 benchmark kernels of the paper's evaluation.
 //! * [`hwcost`] — storage and area models (tables 3 and 4).
-//! * [`bench`] — the experiment harness regenerating every figure.
+//! * [`mod@bench`] — the experiment harness regenerating every figure.
 //!
 //! # Examples
 //! ```
