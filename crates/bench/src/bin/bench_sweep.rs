@@ -1,23 +1,52 @@
-//! Measures the serial vs. parallel sweep wall-clock and emits a
-//! machine-readable `BENCH_sweep.json` baseline for the performance
-//! trajectory.
+//! The sweep engine's CLI: runs the `workload × frontend` grid, emits the
+//! deterministic `BENCH_sweep.json` payload, checkpoints per-cell progress,
+//! and records/checks the golden IPC baseline.
 //!
-//! Usage: `bench_sweep [--full] [--out PATH]`
+//! Usage:
+//! `bench_sweep [--full] [--out PATH] [--checkpoint PATH] [--no-checkpoint]
+//!              [--cell-budget N] [--threads N]
+//!              [--record-golden] [--check-golden] [--golden PATH]`
 //!
 //! * default — a quick test-scale sweep (2 workloads × 5 front-ends) plus
-//!   a 4-SM machine scaling probe; finishes in seconds.
+//!   the 4 machine probes; also cross-checks the serial vs. parallel path
+//!   for bit-identical statistics (the determinism audit).
 //! * `--full` — the fig. 7 sweep (all 21 workloads × 5 front-ends) at
-//!   bench scale, the acceptance workload for the parallel engine.
+//!   bench scale. Minutes of work, which is why it checkpoints: every
+//!   completed cell is flushed to `--checkpoint` (default
+//!   `BENCH_sweep.checkpoint`), and a re-run resumes from the last cell
+//!   instead of restarting. The resumed JSON is **byte-identical** to an
+//!   uninterrupted run's.
+//! * `--cell-budget N` — stop after N newly simulated cells (exit code 3);
+//!   combined with the checkpoint this splits a long sweep across runs.
+//! * `--record-golden` — run the golden grid (test scale: full matrix +
+//!   machine probes under both bandwidth models) and write the baseline
+//!   (default `BENCH_golden.json`).
+//! * `--check-golden` — re-run the golden grid and diff against the
+//!   committed baseline with **zero tolerance**; any drift writes
+//!   `BENCH_golden.json.diff` and exits 1.
 //!
-//! Besides timing, the binary cross-checks that the serial and parallel
-//! paths produce **bit-identical statistics** for every cell, so the JSON
-//! doubles as a determinism audit.
+//! All wall-clock timing goes to stderr; the JSON artifacts carry only
+//! deterministic simulation results.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
-use warpweave_bench::harness::{run_matrix_at, run_matrix_serial_at, MatrixResult};
-use warpweave_core::{SmConfig, SweepRunner};
-use warpweave_workloads::{all_workloads, by_name, run_prepared_multi_sm, Scale, Workload};
+use warpweave_bench::grid;
+use warpweave_bench::harness::{run_matrix_at, run_matrix_checkpointed, run_matrix_serial_at};
+use warpweave_bench::report::{
+    check_golden, render_golden_json, render_sweep_json, run_machine_probes,
+};
+use warpweave_bench::MatrixResult;
+use warpweave_core::checkpoint::SweepCheckpoint;
+use warpweave_core::SweepRunner;
+use warpweave_workloads::Scale;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn cells_identical(a: &MatrixResult, b: &MatrixResult) -> bool {
     a.workloads == b.workloads
@@ -29,160 +58,165 @@ fn cells_identical(a: &MatrixResult, b: &MatrixResult) -> bool {
             .all(|(ra, rb)| ra.iter().zip(rb).all(|(ca, cb)| ca.stats == cb.stats))
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// Runs the golden grid (full workload matrix + machine probes at test
+/// scale) and renders the baseline JSON.
+fn render_golden(runner: &SweepRunner) -> String {
+    let configs = grid::figure7_configs();
+    let workloads = grid::sweep_workloads(true);
+    let scale = Scale::Test;
+    let id = grid::grid_id(&configs, &workloads, scale);
+    let t = Instant::now();
+    let m = run_matrix_at(runner, &configs, &workloads, scale, false);
+    let probes = run_machine_probes(scale, None).expect("probes without a store cannot fail");
+    eprintln!(
+        "golden grid: {} cells + {} probes in {:.1} s",
+        configs.len() * workloads.len(),
+        probes.len(),
+        t.elapsed().as_secs_f64()
+    );
+    render_golden_json("test", id, &m, &probes)
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("BENCH_sweep.json")
-        .to_string();
-
-    let configs = SmConfig::figure7_set();
-    let workloads: Vec<Box<dyn Workload>> = if full {
-        all_workloads()
-    } else {
-        ["MatrixMul", "SortingNetworks"]
-            .iter()
-            .map(|n| by_name(n).expect("registered workload"))
-            .collect()
+    let record_golden = args.iter().any(|a| a == "--record-golden");
+    let do_check_golden = args.iter().any(|a| a == "--check-golden");
+    let no_checkpoint = args.iter().any(|a| a == "--no-checkpoint");
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".into());
+    let golden_path = arg_value(&args, "--golden").unwrap_or_else(|| "BENCH_golden.json".into());
+    let checkpoint_path =
+        arg_value(&args, "--checkpoint").unwrap_or_else(|| "BENCH_sweep.checkpoint".into());
+    let cell_budget: Option<usize> = arg_value(&args, "--cell-budget")
+        .map(|v| v.parse().expect("--cell-budget takes a cell count"));
+    let runner = match arg_value(&args, "--threads") {
+        Some(n) => SweepRunner::with_threads(n.parse().expect("--threads takes a count")),
+        None => SweepRunner::new(),
     };
-    // Keep the timing comparison pure simulation (verification is covered
-    // by the test suite).
-    let verify = false;
-    let scale = if full { Scale::Bench } else { Scale::Test };
 
+    if record_golden {
+        let json = render_golden(&runner);
+        std::fs::write(&golden_path, &json).expect("write golden baseline");
+        eprintln!("recorded golden baseline: {golden_path}");
+        return ExitCode::SUCCESS;
+    }
+    if do_check_golden {
+        let committed = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!("read {golden_path}: {e} (record one with --record-golden)")
+        });
+        let current = render_golden(&runner);
+        return match check_golden(&committed, &current) {
+            Ok(()) => {
+                eprintln!("golden baseline {golden_path}: OK (bit-exact)");
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                let diff_path = format!("{golden_path}.diff");
+                std::fs::write(&diff_path, &report).expect("write golden diff report");
+                eprint!("{report}");
+                eprintln!("golden baseline {golden_path}: DRIFT — report written to {diff_path}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Sweep mode.
+    let configs = grid::figure7_configs();
+    let workloads = grid::sweep_workloads(full);
+    let scale = if full { Scale::Bench } else { Scale::Test };
+    let scale_label = if full { "bench" } else { "test" };
+    let verify = false; // timing/baseline runs stay pure simulation
+    let jobs = configs.len() * workloads.len();
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let jobs = configs.len() * workloads.len();
     eprintln!(
-        "sweep: {} workloads x {} configs = {jobs} jobs on {host_threads} host threads ({})",
+        "sweep: {} workloads x {} configs = {jobs} jobs on {host_threads} host threads \
+         ({} worker threads, {scale_label} scale)",
         workloads.len(),
         configs.len(),
-        if full { "bench scale" } else { "test scale" },
+        runner.threads(),
     );
 
-    let t0 = Instant::now();
-    let serial = run_matrix_serial_at(&configs, &workloads, scale, verify);
-    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
-    eprintln!("serial:   {serial_ms:9.1} ms");
-
-    let runner = SweepRunner::new();
-    let t1 = Instant::now();
-    let parallel = run_matrix_at(&runner, &configs, &workloads, scale, verify);
-    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
-    eprintln!(
-        "parallel: {parallel_ms:9.1} ms ({} worker threads)",
-        runner.threads()
-    );
-
-    let identical = cells_identical(&serial, &parallel);
-    assert!(
-        identical,
-        "serial and parallel sweeps must produce bit-identical statistics"
-    );
-    let speedup = serial_ms / parallel_ms.max(1e-9);
-    eprintln!("speedup:  {speedup:9.2}x (stats bit-identical: {identical})");
-
-    // Multi-SM machine probe on one irregular workload, under both
-    // bandwidth models: private channels (the historical upper bound) and
-    // the machine-shared pool (the realistic, contended one).
-    let probe = by_name("Mandelbrot").expect("registered workload");
-    let mut machine_lines = Vec::new();
-    let mut shared_4sm = None;
-    for (num_sms, cfg) in [
-        (1usize, SmConfig::sbi_swi()),
-        (4, SmConfig::sbi_swi()),
-        (1, SmConfig::sbi_swi().with_shared_dram()),
-        (4, SmConfig::sbi_swi().with_shared_dram()),
-    ] {
-        let model = cfg.mem_model.name();
-        let t = Instant::now();
-        let stats = run_prepared_multi_sm(&cfg, num_sms, probe.prepare(scale), false)
-            .expect("machine runs");
-        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        let util = stats.channel_utilization(cfg.dram.bytes_per_cycle);
-        eprintln!(
-            "machine {num_sms}sm/{model}: {wall_ms:7.1} ms, makespan {} cycles, ipc {:.1}, channel util {:.1}%",
-            stats.total.cycles,
-            stats.ipc(),
-            util * 100.0
+    // `--full` checkpoints by default (it is minutes of work); the quick
+    // sweep stays checkpoint-free — it doubles as the serial-vs-parallel
+    // determinism audit — unless `--checkpoint` is passed explicitly.
+    let use_checkpoint = !no_checkpoint && (full || args.iter().any(|a| a == "--checkpoint"));
+    let (matrix, probes) = if !use_checkpoint {
+        // Checkpoint-free path: also the serial-vs-parallel determinism
+        // audit (only meaningful when both paths actually run).
+        let t0 = Instant::now();
+        let serial = run_matrix_serial_at(&configs, &workloads, scale, verify);
+        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let parallel = run_matrix_at(&runner, &configs, &workloads, scale, verify);
+        let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            cells_identical(&serial, &parallel),
+            "serial and parallel sweeps must produce bit-identical statistics"
         );
-        machine_lines.push(format!(
-            "    {{\"num_sms\": {num_sms}, \"mem_model\": \"{model}\", \"wall_ms\": {wall_ms:.3}, \"makespan_cycles\": {}, \"ipc\": {:.4}, \"channel_utilization\": {util:.4}}}",
-            stats.total.cycles,
-            stats.ipc()
-        ));
-        if num_sms == 4 && model == "shared" {
-            shared_4sm = Some((stats, cfg));
+        eprintln!(
+            "serial: {serial_ms:9.1} ms  parallel: {parallel_ms:9.1} ms  \
+             speedup {:.2}x  (stats bit-identical: true)",
+            serial_ms / parallel_ms.max(1e-9)
+        );
+        let probes = run_machine_probes(scale, None).expect("probes without a store cannot fail");
+        (parallel, probes)
+    } else {
+        let id = grid::grid_id(&configs, &workloads, scale);
+        let mut store = SweepCheckpoint::resume(&checkpoint_path, id)
+            .unwrap_or_else(|e| panic!("checkpoint {checkpoint_path}: {e}"));
+        let done_before = store.len();
+        if done_before > 0 {
+            eprintln!(
+                "checkpoint {checkpoint_path}: resuming with {done_before} completed cell(s)"
+            );
         }
+        let t0 = Instant::now();
+        let matrix = run_matrix_checkpointed(
+            &runner,
+            &configs,
+            &workloads,
+            scale,
+            verify,
+            &mut store,
+            cell_budget,
+        )
+        .unwrap_or_else(|e| panic!("checkpointed sweep: {e}"));
+        let Some(matrix) = matrix else {
+            eprintln!(
+                "cell budget exhausted after {} of {jobs} matrix cells ({:.1} s); \
+                 re-run to resume from {checkpoint_path}",
+                store.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            return ExitCode::from(3);
+        };
+        let probes = run_machine_probes(scale, Some(&mut store))
+            .unwrap_or_else(|e| panic!("checkpointed probes: {e}"));
+        eprintln!(
+            "sweep complete: {} cells ({} resumed) + {} probes in {:.1} s",
+            jobs,
+            done_before,
+            probes.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        (matrix, probes)
+    };
+
+    for p in &probes {
+        eprintln!(
+            "machine {}sm/{}: makespan {} cycles, ipc {:.1}, channel util {:.1}%",
+            p.probe.num_sms,
+            p.probe.cfg.mem_model.name(),
+            p.total.cycles,
+            p.ipc(),
+            p.channel_utilization() * 100.0
+        );
     }
-    let (shared_stats, shared_cfg) = shared_4sm.expect("shared probe ran");
-    let ch = &shared_stats.channel;
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"schema\": \"warpweave-bench-sweep-v2\",\n");
-    json.push_str(&format!(
-        "  \"scale\": \"{}\",\n",
-        if full { "bench" } else { "test" }
-    ));
-    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
-    json.push_str(&format!("  \"worker_threads\": {},\n", runner.threads()));
-    json.push_str(&format!("  \"jobs\": {jobs},\n"));
-    json.push_str(&format!("  \"serial_ms\": {serial_ms:.3},\n"));
-    json.push_str(&format!("  \"parallel_ms\": {parallel_ms:.3},\n"));
-    json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
-    json.push_str(&format!("  \"stats_bit_identical\": {identical},\n"));
-    json.push_str("  \"machine_probe\": [\n");
-    json.push_str(&machine_lines.join(",\n"));
-    json.push_str("\n  ],\n");
-    // Contention profile of the 4-SM shared-bandwidth probe: how saturated
-    // the single channel ran and how long loads queued behind it.
-    json.push_str("  \"shared_channel\": {\n");
-    json.push_str(&format!(
-        "    \"utilization\": {:.4},\n",
-        shared_stats.channel_utilization(shared_cfg.dram.bytes_per_cycle)
-    ));
-    json.push_str(&format!(
-        "    \"avg_queue_delay_cycles\": {:.4},\n",
-        ch.avg_queue_delay()
-    ));
-    json.push_str(&format!(
-        "    \"max_queue_delay_cycles\": {},\n",
-        ch.max_queue_delay
-    ));
-    json.push_str(&format!(
-        "    \"queued_requests\": {},\n",
-        ch.queued_requests
-    ));
-    json.push_str(&format!("    \"read_transfers\": {},\n", ch.read_transfers));
-    json.push_str(&format!(
-        "    \"write_transfers\": {}\n",
-        ch.write_transfers
-    ));
-    json.push_str("  },\n");
-    json.push_str("  \"gmean_ipc_per_config\": {\n");
-    let rows: Vec<usize> = (0..parallel.workloads.len())
-        .filter(|&w| !parallel.workloads[w].starts_with("TMD"))
-        .collect();
-    let gmeans = parallel.gmean_ipc(&rows);
-    let entries: Vec<String> = parallel
-        .configs
-        .iter()
-        .zip(&gmeans)
-        .map(|(c, g)| format!("    \"{}\": {g:.4}", json_escape(c)))
-        .collect();
-    json.push_str(&entries.join(",\n"));
-    json.push_str("\n  }\n}\n");
-
+    let json = render_sweep_json(scale_label, &matrix, &probes);
     std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
     eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
 }

@@ -9,8 +9,8 @@
 //! reconvergence rather than SBI and SWI, we do not take it into account
 //! when computing the performance means", §5.1).
 
+use warpweave_bench::grid;
 use warpweave_bench::harness::{format_bandwidth_table, format_ipc_table, run_matrix};
-use warpweave_core::SmConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,7 +22,7 @@ fn main() {
         .unwrap_or("all")
         .to_string();
     let verify = !args.iter().any(|a| a == "--no-verify");
-    let configs = SmConfig::figure7_set();
+    let configs = grid::figure7_configs();
 
     if set == "regular" || set == "all" {
         let workloads = warpweave_workloads::regular();

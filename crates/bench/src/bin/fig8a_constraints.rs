@@ -5,19 +5,12 @@
 //!
 //! Usage: `fig8a_constraints [--no-verify]`
 
+use warpweave_bench::grid;
 use warpweave_bench::harness::{format_bandwidth_summary, run_matrix};
-use warpweave_core::SmConfig;
 
 fn main() {
     let verify = !std::env::args().any(|a| a == "--no-verify");
-    let configs = vec![
-        SmConfig::sbi().with_constraints(false).named("SBI/off"),
-        SmConfig::sbi().with_constraints(true).named("SBI/on"),
-        SmConfig::sbi_swi()
-            .with_constraints(false)
-            .named("Both/off"),
-        SmConfig::sbi_swi().with_constraints(true).named("Both/on"),
-    ];
+    let configs = grid::constraint_configs();
     let workloads = warpweave_workloads::irregular();
     let m = run_matrix(&configs, &workloads, verify);
     println!("== Figure 8(a): speedup of reconvergence constraints (irregular) ==");

@@ -4,8 +4,8 @@
 //!
 //! Usage: `fig8b_lane_shuffle [--no-verify] [--set regular|irregular]`
 
+use warpweave_bench::grid;
 use warpweave_bench::harness::{format_bandwidth_summary, gmean, run_matrix};
-use warpweave_core::{LaneShuffle, SmConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -17,10 +17,7 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("irregular")
         .to_string();
-    let configs: Vec<SmConfig> = LaneShuffle::ALL
-        .iter()
-        .map(|&s| SmConfig::swi().with_lane_shuffle(s).named(s.name()))
-        .collect();
+    let configs = grid::lane_shuffle_configs();
     let workloads = if set == "regular" {
         warpweave_workloads::regular()
     } else {

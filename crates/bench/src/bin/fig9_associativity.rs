@@ -6,8 +6,8 @@
 //!
 //! Usage: `fig9_associativity [--no-verify] [--set regular|irregular]`
 
+use warpweave_bench::grid;
 use warpweave_bench::harness::{format_bandwidth_summary, gmean, run_matrix};
-use warpweave_core::{Associativity, SmConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,16 +19,7 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("irregular")
         .to_string();
-    let points = [
-        Associativity::Full,
-        Associativity::Ways(11),
-        Associativity::Ways(3),
-        Associativity::Ways(1),
-    ];
-    let configs: Vec<SmConfig> = points
-        .iter()
-        .map(|&a| SmConfig::swi().with_warps(24).with_assoc(a).named(a.name()))
-        .collect();
+    let configs = grid::associativity_configs();
     let workloads = if set == "regular" {
         warpweave_workloads::regular()
     } else {

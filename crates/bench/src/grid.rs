@@ -1,0 +1,196 @@
+//! The canonical sweep grids: every configuration set the figures, the
+//! golden baseline and the cross-cutting tests run on, defined **once**.
+//!
+//! Before this module each figure binary and each integration test derived
+//! its own config list, so the committed golden baseline and the test
+//! matrix could silently diverge (a renamed config or a tweaked preset
+//! would update one but not the other). Everything that enumerates
+//! `workload × config` cells — `bench_sweep`, the four figure binaries,
+//! `tests/workload_matrix.rs`, `tests/differential.rs`, the golden checker
+//! — now pulls its grid from here, and [`grid_id`] digests the grid into
+//! the identity a [`SweepCheckpoint`](warpweave_core::SweepCheckpoint)
+//! binds to.
+
+use warpweave_core::checkpoint::{fnv1a, CHECKPOINT_VERSION};
+use warpweave_core::{Associativity, LaneShuffle, SmConfig};
+use warpweave_workloads::{all_workloads, by_name, Scale, Workload};
+
+/// The fig. 7 front-end set — the columns of the sweep and of the golden
+/// baseline's single-SM grid.
+pub fn figure7_configs() -> Vec<SmConfig> {
+    SmConfig::figure7_set()
+}
+
+/// The fig. 8(a) constraint study: SBI and SBI+SWI, constraints off/on.
+pub fn constraint_configs() -> Vec<SmConfig> {
+    vec![
+        SmConfig::sbi().with_constraints(false).named("SBI/off"),
+        SmConfig::sbi().with_constraints(true).named("SBI/on"),
+        SmConfig::sbi_swi()
+            .with_constraints(false)
+            .named("Both/off"),
+        SmConfig::sbi_swi().with_constraints(true).named("Both/on"),
+    ]
+}
+
+/// The fig. 8(b) lane-shuffling study: SWI under every table-1 policy.
+pub fn lane_shuffle_configs() -> Vec<SmConfig> {
+    LaneShuffle::ALL
+        .iter()
+        .map(|&s| SmConfig::swi().with_lane_shuffle(s).named(s.name()))
+        .collect()
+}
+
+/// The fig. 9 associativity study: SWI lookup points on a 24-warp pool.
+pub fn associativity_configs() -> Vec<SmConfig> {
+    [
+        Associativity::Full,
+        Associativity::Ways(11),
+        Associativity::Ways(3),
+        Associativity::Ways(1),
+    ]
+    .iter()
+    .map(|&a| SmConfig::swi().with_warps(24).with_assoc(a).named(a.name()))
+    .collect()
+}
+
+/// The non-baseline front-ends the differential fuzzer must prove
+/// bit-identical to the baseline (every fig. 7 column plus the
+/// constraints-off SBI variant that exercises desynchronised scheduling).
+pub fn differential_configs() -> Vec<SmConfig> {
+    vec![
+        SmConfig::warp64(),
+        SmConfig::sbi(),
+        SmConfig::sbi()
+            .with_constraints(false)
+            .named("SBI/unconstrained"),
+        SmConfig::swi(),
+        SmConfig::sbi_swi(),
+    ]
+}
+
+/// The quick-mode sweep workloads (one regular, one irregular).
+pub fn quick_workloads() -> Vec<Box<dyn Workload>> {
+    ["MatrixMul", "SortingNetworks"]
+        .iter()
+        .map(|n| by_name(n).expect("registered workload"))
+        .collect()
+}
+
+/// The sweep's workload rows: all 21 under `--full`, the quick pair
+/// otherwise.
+pub fn sweep_workloads(full: bool) -> Vec<Box<dyn Workload>> {
+    if full {
+        all_workloads()
+    } else {
+        quick_workloads()
+    }
+}
+
+/// One multi-SM machine probe of the sweep: a workload simulated on a
+/// [`Machine`](warpweave_core::Machine) under a bandwidth model.
+#[derive(Debug, Clone)]
+pub struct MachineProbe {
+    /// Workload label (resolved through the registry).
+    pub workload: &'static str,
+    /// SM count of the machine.
+    pub num_sms: usize,
+    /// Full SM configuration (carries the [`warpweave_core::MemModel`]).
+    pub cfg: SmConfig,
+}
+
+impl MachineProbe {
+    /// The probe's checkpoint/golden cell key, e.g.
+    /// `machine/Mandelbrot/4sm/shared`.
+    pub fn key(&self) -> String {
+        format!(
+            "machine/{}/{}sm/{}",
+            self.workload,
+            self.num_sms,
+            self.cfg.mem_model.name()
+        )
+    }
+}
+
+/// The machine probes of the sweep (and of the golden baseline): one
+/// irregular workload at 1 and 4 SMs under **both** bandwidth models, so
+/// the baseline pins private-channel and shared-channel behaviour alike.
+pub fn machine_probes() -> Vec<MachineProbe> {
+    [
+        (1usize, SmConfig::sbi_swi()),
+        (4, SmConfig::sbi_swi()),
+        (1, SmConfig::sbi_swi().with_shared_dram()),
+        (4, SmConfig::sbi_swi().with_shared_dram()),
+    ]
+    .into_iter()
+    .map(|(num_sms, cfg)| MachineProbe {
+        workload: "Mandelbrot",
+        num_sms,
+        cfg,
+    })
+    .collect()
+}
+
+/// Digests a grid — config labels, workload labels, machine probes, scale
+/// and the checkpoint format version — into the 64-bit identity a
+/// checkpoint binds to. Any change to the grid definition changes the id,
+/// so a stale checkpoint can never be resumed against a different sweep.
+pub fn grid_id(configs: &[SmConfig], workloads: &[Box<dyn Workload>], scale: Scale) -> u64 {
+    let mut text = format!("ckpt-v{CHECKPOINT_VERSION};scale={scale:?};");
+    for c in configs {
+        text.push_str(&c.name);
+        text.push(';');
+    }
+    for w in workloads {
+        text.push_str(w.name());
+        text.push(';');
+    }
+    for p in machine_probes() {
+        text.push_str(&p.key());
+        text.push(';');
+    }
+    fnv1a(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_sets_validate() {
+        for cfg in figure7_configs()
+            .iter()
+            .chain(&constraint_configs())
+            .chain(&lane_shuffle_configs())
+            .chain(&associativity_configs())
+            .chain(&differential_configs())
+        {
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+        for p in machine_probes() {
+            p.cfg.validate().unwrap();
+            assert!(by_name(p.workload).is_some(), "{} unregistered", p.workload);
+        }
+    }
+
+    #[test]
+    fn grid_id_tracks_every_dimension() {
+        let configs = figure7_configs();
+        let quick = quick_workloads();
+        let base = grid_id(&configs, &quick, Scale::Test);
+        assert_ne!(base, grid_id(&configs, &quick, Scale::Bench), "scale");
+        assert_ne!(
+            base,
+            grid_id(&configs[..4], &quick, Scale::Test),
+            "config set"
+        );
+        assert_ne!(
+            base,
+            grid_id(&configs, &sweep_workloads(true), Scale::Test),
+            "workload set"
+        );
+        // Stable across calls (pure function of the definition).
+        assert_eq!(base, grid_id(&configs, &quick, Scale::Test));
+    }
+}

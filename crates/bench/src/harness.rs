@@ -1,6 +1,10 @@
 //! Workload × configuration run matrix, fanned out across host cores via
-//! [`SweepRunner`].
+//! [`SweepRunner`], with optional per-cell checkpointing through
+//! [`SweepCheckpoint`].
 
+use std::sync::Mutex;
+
+use warpweave_core::checkpoint::{CellRecord, CheckpointError, SweepCheckpoint};
 use warpweave_core::{SmConfig, Stats, SweepRunner};
 use warpweave_mem::DramConfig;
 use warpweave_workloads::{run_prepared, Scale, Workload};
@@ -183,6 +187,90 @@ pub fn run_matrix_at(
         run_one_at(&configs[c], workloads[w].as_ref(), scale, verify)
     });
     collect_matrix(configs, workloads, flat)
+}
+
+/// The checkpoint key of one sweep cell: `workload/config`. Workload and
+/// config labels never contain `|`, `#` or newlines (the characters the
+/// checkpoint line format reserves), so the key is always recordable.
+pub fn cell_key(workload: &str, config: &str) -> String {
+    format!("{workload}/{config}")
+}
+
+/// [`run_matrix_at`] with per-cell checkpointing: cells already present in
+/// `store` are **not** re-simulated; every freshly completed cell is
+/// appended to `store` (and flushed to its file) the moment it finishes,
+/// from whichever worker thread ran it.
+///
+/// `cell_budget` caps how many *new* cells this call may run — `None`
+/// means "run to completion". With a budget the call can return
+/// `Ok(None)`: the grid is still incomplete (resume later). When every
+/// cell of the grid is present, the assembled [`MatrixResult`] is built
+/// **from the store**, so a resumed sweep is bit-identical to an
+/// uninterrupted one — each cell is a pure function of `(workload,
+/// config, scale)` and it does not matter which run computed it.
+///
+/// # Errors
+/// The first [`CheckpointError`] hit while recording (simulation failures
+/// panic, as in [`run_one_at`] — a half-measured benchmark is useless).
+pub fn run_matrix_checkpointed(
+    runner: &SweepRunner,
+    configs: &[SmConfig],
+    workloads: &[Box<dyn Workload>],
+    scale: Scale,
+    verify: bool,
+    store: &mut SweepCheckpoint,
+    cell_budget: Option<usize>,
+) -> Result<Option<MatrixResult>, CheckpointError> {
+    let all: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let key_of = |&(w, c): &(usize, usize)| cell_key(workloads[w].name(), &configs[c].name);
+    let remaining: Vec<(usize, usize)> = all
+        .iter()
+        .filter(|pair| !store.contains(&key_of(pair)))
+        .take(cell_budget.unwrap_or(usize::MAX))
+        .copied()
+        .collect();
+
+    // The store is appended to from worker threads in completion order;
+    // the mutex serialises the appends, the Option records the first
+    // failure (later cells still simulate, they just stop persisting).
+    let recorder: Mutex<(&mut SweepCheckpoint, Option<CheckpointError>)> =
+        Mutex::new((store, None));
+    runner.run_reporting(
+        &remaining,
+        |&(w, c)| run_one_at(&configs[c], workloads[w].as_ref(), scale, verify),
+        |i, cell| {
+            let key = key_of(&remaining[i]);
+            let mut guard = recorder.lock().expect("checkpoint recorder");
+            if guard.1.is_none() {
+                if let Err(e) = guard.0.record(&key, CellRecord::new(cell.stats.clone())) {
+                    guard.1 = Some(e);
+                }
+            }
+        },
+    );
+    let (store, error) = recorder.into_inner().expect("checkpoint recorder");
+    if let Some(e) = error {
+        return Err(e);
+    }
+
+    if !all.iter().all(|pair| store.contains(&key_of(pair))) {
+        return Ok(None);
+    }
+    let flat: Vec<CellResult> = all
+        .iter()
+        .map(|&(w, c)| CellResult {
+            workload: workloads[w].name().to_string(),
+            config: configs[c].name.clone(),
+            stats: store
+                .get(&key_of(&(w, c)))
+                .expect("cell completeness checked above")
+                .stats
+                .clone(),
+        })
+        .collect();
+    Ok(Some(collect_matrix(configs, workloads, flat)))
 }
 
 /// The pre-parallelism reference path: every cell run back-to-back on the

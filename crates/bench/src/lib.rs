@@ -4,10 +4,16 @@
 //! evaluation (§5). One binary per figure/table (see `src/bin/`), all built
 //! on the [`harness`] run matrix.
 
+pub mod grid;
 pub mod harness;
+pub mod report;
 
 pub use harness::{
-    format_bandwidth_summary, format_bandwidth_table, format_ipc_table, gmean, run_matrix,
-    run_matrix_at, run_matrix_on, run_matrix_serial, run_matrix_serial_at, run_one, run_one_at,
-    CellResult, MatrixResult, BENCH_SEED,
+    cell_key, format_bandwidth_summary, format_bandwidth_table, format_ipc_table, gmean,
+    run_matrix, run_matrix_at, run_matrix_checkpointed, run_matrix_on, run_matrix_serial,
+    run_matrix_serial_at, run_one, run_one_at, CellResult, MatrixResult, BENCH_SEED,
+};
+pub use report::{
+    check_golden, render_golden_json, render_sweep_json, run_machine_probes, ProbeResult,
+    GOLDEN_SCHEMA, SWEEP_SCHEMA,
 };

@@ -1,0 +1,340 @@
+//! Deterministic sweep reports: the `BENCH_sweep.json` payload, the
+//! machine-probe runner, and the golden-baseline record/check machinery.
+//!
+//! # Determinism contract
+//!
+//! Everything rendered here is a pure function of simulation results —
+//! **no wall-clock timings, host thread counts or absolute paths** ever
+//! enter the JSON (they go to stderr instead). That is what lets the
+//! acceptance tests demand *byte identity*: an interrupted-and-resumed
+//! sweep must render exactly the bytes an uninterrupted run renders, and
+//! the golden checker diffs rendered baselines **with a tolerance of
+//! exactly zero**. The engine is bit-deterministic, so any drift — a
+//! single IPC digit, one stall cycle — is a real behaviour change that
+//! must be acknowledged by re-recording the baseline.
+
+use warpweave_core::checkpoint::{CellRecord, CheckpointError, SweepCheckpoint};
+use warpweave_core::Stats;
+use warpweave_mem::ChannelStats;
+use warpweave_workloads::{by_name, run_prepared_multi_sm, Scale};
+
+use crate::grid::{machine_probes, MachineProbe};
+use crate::harness::MatrixResult;
+
+/// Schema tag of the sweep payload.
+pub const SWEEP_SCHEMA: &str = "warpweave-bench-sweep-v3";
+/// Schema tag of the golden baseline.
+pub const GOLDEN_SCHEMA: &str = "warpweave-bench-golden-v1";
+
+/// Escapes a string for a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The measured outcome of one [`MachineProbe`].
+#[derive(Debug, Clone)]
+pub struct ProbeResult {
+    /// The probe definition this result belongs to.
+    pub probe: MachineProbe,
+    /// Machine-total counters (`cycles` = makespan).
+    pub total: Stats,
+    /// Shared-channel counters (all-zero under the private model).
+    pub channel: ChannelStats,
+}
+
+impl ProbeResult {
+    /// Whole-machine IPC over the makespan.
+    pub fn ipc(&self) -> f64 {
+        self.total.ipc()
+    }
+
+    /// Shared-channel bandwidth saturation over the makespan.
+    pub fn channel_utilization(&self) -> f64 {
+        self.channel
+            .utilization(self.total.cycles, self.probe.cfg.dram.bytes_per_cycle)
+    }
+}
+
+/// Runs (or resumes from `store`) every machine probe of the sweep grid at
+/// `scale`. Completed probes are appended to the checkpoint like matrix
+/// cells, so an interrupted `--full` sweep does not redo them either.
+///
+/// # Errors
+/// Checkpoint recording failures.
+///
+/// # Panics
+/// Simulation failures — a sweep with a broken probe has no value.
+pub fn run_machine_probes(
+    scale: Scale,
+    mut store: Option<&mut SweepCheckpoint>,
+) -> Result<Vec<ProbeResult>, CheckpointError> {
+    let mut results = Vec::new();
+    for probe in machine_probes() {
+        let key = probe.key();
+        if let Some(record) = store.as_ref().and_then(|s| s.get(&key)) {
+            results.push(ProbeResult {
+                probe,
+                total: record.stats.clone(),
+                channel: record.channel.unwrap_or_default(),
+            });
+            continue;
+        }
+        let workload = by_name(probe.workload).expect("registered workload");
+        let stats =
+            run_prepared_multi_sm(&probe.cfg, probe.num_sms, workload.prepare(scale), false)
+                .unwrap_or_else(|e| panic!("machine probe {key}: {e}"));
+        if let Some(s) = store.as_deref_mut() {
+            s.record(
+                &key,
+                CellRecord::with_channel(stats.total.clone(), stats.channel),
+            )?;
+        }
+        results.push(ProbeResult {
+            probe,
+            total: stats.total.clone(),
+            channel: stats.channel,
+        });
+    }
+    Ok(results)
+}
+
+/// Renders the deterministic `BENCH_sweep.json` payload: schema, per-cell
+/// IPC grid, machine probes, the shared-channel contention block and the
+/// per-config geometric means. Byte-for-byte reproducible for a given
+/// grid — see the module docs.
+pub fn render_sweep_json(scale: &str, m: &MatrixResult, probes: &[ProbeResult]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"schema\": \"{SWEEP_SCHEMA}\",\n"));
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str(&format!(
+        "  \"jobs\": {},\n",
+        m.configs.len() * m.workloads.len()
+    ));
+
+    // Per-cell IPC grid: one line per cell, workload-major.
+    json.push_str("  \"cells\": [\n");
+    let mut cell_lines = Vec::new();
+    for (w, workload) in m.workloads.iter().enumerate() {
+        for (c, config) in m.configs.iter().enumerate() {
+            let stats = &m.cells[w][c].stats;
+            cell_lines.push(format!(
+                "    {{\"workload\": \"{}\", \"config\": \"{}\", \"ipc\": {:.4}, \
+                 \"cycles\": {}, \"thread_instructions\": {}}}",
+                json_escape(workload),
+                json_escape(config),
+                stats.ipc(),
+                stats.cycles,
+                stats.thread_instructions
+            ));
+        }
+    }
+    json.push_str(&cell_lines.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    json.push_str("  \"machine_probe\": [\n");
+    let probe_lines: Vec<String> = probes
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"num_sms\": {}, \"mem_model\": \"{}\", \"makespan_cycles\": {}, \
+                 \"ipc\": {:.4}, \"channel_utilization\": {:.4}}}",
+                p.probe.num_sms,
+                p.probe.cfg.mem_model.name(),
+                p.total.cycles,
+                p.ipc(),
+                p.channel_utilization()
+            )
+        })
+        .collect();
+    json.push_str(&probe_lines.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    // Contention profile of the widest shared-bandwidth probe.
+    if let Some(shared) = probes
+        .iter()
+        .filter(|p| p.probe.cfg.mem_model.name() == "shared")
+        .max_by_key(|p| p.probe.num_sms)
+    {
+        let ch = &shared.channel;
+        json.push_str("  \"shared_channel\": {\n");
+        json.push_str(&format!(
+            "    \"utilization\": {:.4},\n",
+            shared.channel_utilization()
+        ));
+        json.push_str(&format!(
+            "    \"avg_queue_delay_cycles\": {:.4},\n",
+            ch.avg_queue_delay()
+        ));
+        json.push_str(&format!(
+            "    \"max_queue_delay_cycles\": {},\n",
+            ch.max_queue_delay
+        ));
+        json.push_str(&format!(
+            "    \"queued_requests\": {},\n",
+            ch.queued_requests
+        ));
+        json.push_str(&format!("    \"read_transfers\": {},\n", ch.read_transfers));
+        json.push_str(&format!(
+            "    \"write_transfers\": {}\n",
+            ch.write_transfers
+        ));
+        json.push_str("  },\n");
+    }
+
+    json.push_str("  \"gmean_ipc_per_config\": {\n");
+    let rows: Vec<usize> = (0..m.workloads.len())
+        .filter(|&w| !m.workloads[w].starts_with("TMD"))
+        .collect();
+    let gmeans = m.gmean_ipc(&rows);
+    let entries: Vec<String> = m
+        .configs
+        .iter()
+        .zip(&gmeans)
+        .map(|(c, g)| format!("    \"{}\": {g:.4}", json_escape(c)))
+        .collect();
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    json
+}
+
+/// Renders one golden cell line: the key, the headline IPC and **every**
+/// integer counter of the cell (the full stall breakdown, cache, DRAM and
+/// — for probes — channel counters). One cell per line, so a golden diff
+/// names the drifted cell precisely.
+fn render_golden_cell(key: &str, stats: &Stats, channel: Option<&ChannelStats>) -> String {
+    let counters: Vec<String> = stats
+        .to_fields()
+        .iter()
+        .map(|(name, value)| format!("\"{name}\": {value}"))
+        .collect();
+    let mut line = format!(
+        "    {{\"key\": \"{}\", \"ipc\": {:.4}, \"counters\": {{{}}}",
+        json_escape(key),
+        stats.ipc(),
+        counters.join(", ")
+    );
+    if let Some(ch) = channel {
+        let fields: Vec<String> = ch
+            .to_fields()
+            .iter()
+            .map(|(name, value)| format!("\"{name}\": {value}"))
+            .collect();
+        line.push_str(&format!(", \"channel\": {{{}}}", fields.join(", ")));
+    }
+    line.push('}');
+    line
+}
+
+/// Renders the golden baseline: every matrix cell and machine probe with
+/// its full counter set, one cell per line. Committed as
+/// `BENCH_golden.json` and diffed byte-for-byte by [`check_golden`].
+pub fn render_golden_json(
+    scale: &str,
+    grid_id: u64,
+    m: &MatrixResult,
+    probes: &[ProbeResult],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"schema\": \"{GOLDEN_SCHEMA}\",\n"));
+    json.push_str(&format!(
+        "  \"checkpoint_version\": {},\n",
+        warpweave_core::CHECKPOINT_VERSION
+    ));
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str(&format!("  \"grid\": \"{grid_id:016x}\",\n"));
+    json.push_str("  \"cells\": [\n");
+    let mut lines = Vec::new();
+    for (w, workload) in m.workloads.iter().enumerate() {
+        for (c, config) in m.configs.iter().enumerate() {
+            let key = crate::harness::cell_key(workload, config);
+            lines.push(render_golden_cell(&key, &m.cells[w][c].stats, None));
+        }
+    }
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"machine_probes\": [\n");
+    let lines: Vec<String> = probes
+        .iter()
+        .map(|p| render_golden_cell(&p.probe.key(), &p.total, Some(&p.channel)))
+        .collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
+/// Diffs a freshly rendered golden baseline against the committed one,
+/// line by line, with a tolerance of exactly zero. Returns `Ok(())` on
+/// byte identity; otherwise a human-readable report naming every drifted
+/// line (`- committed` / `+ current`), which the CI job uploads as its
+/// failure artifact.
+///
+/// # Errors
+/// The diff report.
+pub fn check_golden(committed: &str, current: &str) -> Result<(), String> {
+    if committed == current {
+        return Ok(());
+    }
+    let a: Vec<&str> = committed.lines().collect();
+    let b: Vec<&str> = current.lines().collect();
+    let mut report = String::from(
+        "golden baseline drift (zero tolerance: the engine is bit-deterministic,\n\
+         so any drift is a real behaviour change; re-record with --record-golden\n\
+         if it is intentional):\n",
+    );
+    let mut drifted = 0usize;
+    for i in 0..a.len().max(b.len()) {
+        match (a.get(i), b.get(i)) {
+            (Some(x), Some(y)) if x == y => {}
+            (x, y) => {
+                drifted += 1;
+                if drifted <= 64 {
+                    report.push_str(&format!("line {}:\n", i + 1));
+                    if let Some(x) = x {
+                        report.push_str(&format!("- {x}\n"));
+                    }
+                    if let Some(y) = y {
+                        report.push_str(&format!("+ {y}\n"));
+                    }
+                }
+            }
+        }
+    }
+    if drifted > 64 {
+        report.push_str(&format!("... and {} more drifted lines\n", drifted - 64));
+    }
+    report.push_str(&format!("{drifted} drifted line(s) in total\n"));
+    Err(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_diff_names_the_drifted_line() {
+        let a = "l1\nl2\nl3\n";
+        assert!(check_golden(a, a).is_ok());
+        let report = check_golden(a, "l1\nl2 drifted\nl3\n").unwrap_err();
+        assert!(report.contains("line 2"), "{report}");
+        assert!(report.contains("- l2"), "{report}");
+        assert!(report.contains("+ l2 drifted"), "{report}");
+        assert!(report.contains("1 drifted line(s)"), "{report}");
+    }
+
+    #[test]
+    fn golden_diff_handles_length_mismatch() {
+        let report = check_golden("a\nb\n", "a\n").unwrap_err();
+        assert!(report.contains("- b"), "{report}");
+    }
+
+    #[test]
+    fn golden_cell_lines_are_single_lines() {
+        let line = render_golden_cell("w/c", &Stats::default(), Some(&ChannelStats::default()));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"key\": \"w/c\""));
+        assert!(line.contains("\"cycles\": 0"));
+        assert!(line.contains("\"channel\""));
+    }
+}

@@ -1,0 +1,575 @@
+//! Versioned, deterministic serialization of sweep results.
+//!
+//! A sweep at bench scale is minutes of simulation; losing it to a Ctrl-C
+//! at cell 97 of 105 is unacceptable, and trusting it requires diffing it
+//! against a pinned baseline. This module provides the storage layer for
+//! both: a [`SweepCheckpoint`] is an append-only, checksummed, versioned
+//! record of completed sweep cells that
+//!
+//! * the bench harness appends to **incrementally, per completed cell**, so
+//!   an interrupted sweep resumes from the last finished cell;
+//! * binds to a **grid id** (a digest of the sweep's workloads, configs and
+//!   scale), so a checkpoint can never be resumed against a different grid;
+//! * refuses to load anything it cannot prove intact — wrong version,
+//!   unknown grid, torn or bit-flipped lines all fail with a
+//!   [`CheckpointError`] instead of silently resuming with partial cells.
+//!
+//! # File format (`CHECKPOINT_VERSION` 1)
+//!
+//! Line-oriented UTF-8. The first line is the header:
+//!
+//! ```text
+//! warpweave-sweep-checkpoint v1 grid=<16 hex digits>
+//! ```
+//!
+//! Every subsequent line is one completed cell:
+//!
+//! ```text
+//! cell|<key>|s:<name>=<value>,...|c:<name>=<value>,...|#<16 hex digits>
+//! ```
+//!
+//! where `s:` carries the canonical [`Stats::to_fields`] list, the optional
+//! `c:` section carries [`ChannelStats::to_fields`] (machine probes), and
+//! the trailer is the FNV-1a 64 checksum of everything before the `|#`.
+//! A crash mid-append leaves a torn final line; the checksum catches it.
+//!
+//! **Versioning rule:** any change to the field lists, the line grammar or
+//! the checksum must bump [`CHECKPOINT_VERSION`] — old files then fail the
+//! header check cleanly instead of decoding garbage. The exhaustive
+//! destructuring inside `to_fields` makes forgetting this a compile error.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use warpweave_mem::ChannelStats;
+
+use crate::stats::Stats;
+
+/// Current checkpoint file-format version (see the module docs for the
+/// rules that force a bump).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The header magic of a checkpoint file.
+const MAGIC: &str = "warpweave-sweep-checkpoint";
+
+/// Why a checkpoint could not be loaded, written or recorded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file's header names a different format version (or no valid
+    /// header at all).
+    Version {
+        /// The offending header line.
+        header: String,
+    },
+    /// The file belongs to a different sweep grid.
+    GridMismatch {
+        /// Grid id in the file.
+        found: u64,
+        /// Grid id of the sweep being resumed.
+        expected: u64,
+    },
+    /// A cell line is torn, bit-flipped or malformed.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What failed to parse.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Version { header } => write!(
+                f,
+                "not a v{CHECKPOINT_VERSION} checkpoint (header `{header}`); \
+                 delete the file to start fresh"
+            ),
+            CheckpointError::GridMismatch { found, expected } => write!(
+                f,
+                "checkpoint belongs to grid {found:016x}, this sweep is grid \
+                 {expected:016x}; delete the file to start fresh"
+            ),
+            CheckpointError::Corrupt { line, detail } => write!(
+                f,
+                "checkpoint line {line} is corrupt ({detail}); refusing to \
+                 resume from a damaged file — delete it to start fresh"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over a byte string — the line checksum and the grid-id hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The result of one completed sweep cell: the SM (or machine-total)
+/// statistics, plus the shared-channel counters when the cell simulated a
+/// shared-bandwidth machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Simulation counters of the cell.
+    pub stats: Stats,
+    /// Shared-channel counters (machine probes only).
+    pub channel: Option<ChannelStats>,
+}
+
+impl CellRecord {
+    /// A record carrying only SM statistics.
+    pub fn new(stats: Stats) -> CellRecord {
+        CellRecord {
+            stats,
+            channel: None,
+        }
+    }
+
+    /// A record carrying SM statistics plus shared-channel counters.
+    pub fn with_channel(stats: Stats, channel: ChannelStats) -> CellRecord {
+        CellRecord {
+            stats,
+            channel: Some(channel),
+        }
+    }
+}
+
+/// Renders a field list as `name=value,...`.
+fn render_fields(fields: &[(&'static str, u64)]) -> String {
+    fields
+        .iter()
+        .map(|(name, value)| format!("{name}={value}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a `name=value,...` section back into a field list.
+fn parse_fields(section: &str) -> Result<Vec<(&str, u64)>, String> {
+    if section.is_empty() {
+        return Ok(Vec::new());
+    }
+    section
+        .split(',')
+        .map(|pair| {
+            let (name, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("field `{pair}` has no `=`"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|e| format!("field `{name}` value `{value}`: {e}"))?;
+            Ok((name, value))
+        })
+        .collect()
+}
+
+/// Renders one cell line *without* its checksum trailer.
+fn render_cell_body(key: &str, record: &CellRecord) -> String {
+    let mut line = format!("cell|{key}|s:{}", render_fields(&record.stats.to_fields()));
+    if let Some(channel) = &record.channel {
+        line.push_str(&format!("|c:{}", render_fields(&channel.to_fields())));
+    }
+    line
+}
+
+/// Encodes one complete cell line, checksum trailer included — the exact
+/// bytes [`SweepCheckpoint::record`] appends.
+pub fn encode_cell(key: &str, record: &CellRecord) -> String {
+    let body = render_cell_body(key, record);
+    let checksum = fnv1a(body.as_bytes());
+    format!("{body}|#{checksum:016x}")
+}
+
+/// Decodes one cell line (checksum verified) back into `(key, record)`.
+///
+/// # Errors
+/// A description of the first defect: torn trailer, checksum mismatch,
+/// bad grammar, or a field-list drift.
+pub fn decode_cell(line: &str) -> Result<(String, CellRecord), String> {
+    let (body, checksum) = line
+        .rsplit_once("|#")
+        .ok_or("missing checksum trailer (torn write?)")?;
+    let stored =
+        u64::from_str_radix(checksum, 16).map_err(|_| format!("bad checksum `{checksum}`"))?;
+    let computed = fnv1a(body.as_bytes());
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+        ));
+    }
+    let mut sections = body.split('|');
+    match sections.next() {
+        Some("cell") => {}
+        other => return Err(format!("unexpected record tag {other:?}")),
+    }
+    let key = sections.next().ok_or("missing cell key")?.to_string();
+    let stats_section = sections
+        .next()
+        .and_then(|s| s.strip_prefix("s:"))
+        .ok_or("missing `s:` stats section")?;
+    let stats = Stats::from_fields(&parse_fields(stats_section)?)?;
+    let channel = match sections.next() {
+        None => None,
+        Some(section) => {
+            let fields = section
+                .strip_prefix("c:")
+                .ok_or_else(|| format!("unexpected section `{section}`"))?;
+            Some(ChannelStats::from_fields(&parse_fields(fields)?)?)
+        }
+    };
+    if let Some(extra) = sections.next() {
+        return Err(format!("trailing section `{extra}`"));
+    }
+    Ok((key, CellRecord { stats, channel }))
+}
+
+/// An on-disk, append-only store of completed sweep cells.
+///
+/// Open with [`SweepCheckpoint::resume`] (load-or-create against a grid id)
+/// and append with [`SweepCheckpoint::record`]; each record is flushed
+/// before `record` returns, so every completed cell survives a kill at any
+/// later point.
+///
+/// # Examples
+/// ```no_run
+/// use warpweave_core::checkpoint::{CellRecord, SweepCheckpoint};
+/// use warpweave_core::Stats;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut store = SweepCheckpoint::resume("sweep.checkpoint", 0xfeed)?;
+/// if !store.contains("MatrixMul/SBI") {
+///     let stats = Stats::default(); // ... actually simulate the cell ...
+///     store.record("MatrixMul/SBI", CellRecord::new(stats))?;
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SweepCheckpoint {
+    path: PathBuf,
+    grid_id: u64,
+    cells: BTreeMap<String, CellRecord>,
+    /// Open append handle; `None` for in-memory stores.
+    file: Option<File>,
+}
+
+impl SweepCheckpoint {
+    /// Creates a fresh checkpoint file at `path` for `grid_id`,
+    /// truncating anything already there.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] on filesystem failures.
+    pub fn create(
+        path: impl AsRef<Path>,
+        grid_id: u64,
+    ) -> Result<SweepCheckpoint, CheckpointError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::create(&path)?;
+        writeln!(file, "{MAGIC} v{CHECKPOINT_VERSION} grid={grid_id:016x}")?;
+        file.flush()?;
+        Ok(SweepCheckpoint {
+            path,
+            grid_id,
+            cells: BTreeMap::new(),
+            file: Some(file),
+        })
+    }
+
+    /// Loads the checkpoint at `path` if it exists (validating version and
+    /// grid id), or creates a fresh one bound to `grid_id`.
+    ///
+    /// # Errors
+    /// Any [`CheckpointError`]: I/O, version/grid mismatch, or a corrupt
+    /// cell line. A damaged file is **never** partially loaded.
+    pub fn resume(
+        path: impl AsRef<Path>,
+        grid_id: u64,
+    ) -> Result<SweepCheckpoint, CheckpointError> {
+        let path = path.as_ref();
+        if path.exists() {
+            let mut store = Self::load(path)?;
+            if store.grid_id != grid_id {
+                return Err(CheckpointError::GridMismatch {
+                    found: store.grid_id,
+                    expected: grid_id,
+                });
+            }
+            let mut file = OpenOptions::new().append(true).open(path)?;
+            // A kill between a record's bytes and its newline leaves a
+            // checksum-valid but unterminated final line, which `load`
+            // accepts. Terminate it before appending anything, or the next
+            // record would concatenate onto it and corrupt the file.
+            if std::fs::read(path)?.last().is_some_and(|&b| b != b'\n') {
+                file.write_all(b"\n")?;
+                file.flush()?;
+            }
+            store.file = Some(file);
+            Ok(store)
+        } else {
+            Self::create(path, grid_id)
+        }
+    }
+
+    /// Loads an existing checkpoint read-only (no append handle); useful
+    /// for inspection and for the resume integration tests.
+    ///
+    /// # Errors
+    /// As [`SweepCheckpoint::resume`], minus grid binding.
+    pub fn load(path: impl AsRef<Path>) -> Result<SweepCheckpoint, CheckpointError> {
+        let path = path.as_ref().to_path_buf();
+        let text = std::fs::read_to_string(&path)?;
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(CheckpointError::Version {
+            header: String::from("<empty file>"),
+        })?;
+        let grid_id = Self::parse_header(header)?;
+        let mut cells = BTreeMap::new();
+        for (idx, line) in lines {
+            if line.is_empty() {
+                // A single trailing newline is normal; emptiness anywhere
+                // else means the file was edited or torn.
+                return Err(CheckpointError::Corrupt {
+                    line: idx + 1,
+                    detail: "empty line inside checkpoint".into(),
+                });
+            }
+            let (key, record) = decode_cell(line).map_err(|detail| CheckpointError::Corrupt {
+                line: idx + 1,
+                detail,
+            })?;
+            if cells.insert(key.clone(), record).is_some() {
+                return Err(CheckpointError::Corrupt {
+                    line: idx + 1,
+                    detail: format!("duplicate cell `{key}`"),
+                });
+            }
+        }
+        Ok(SweepCheckpoint {
+            path,
+            grid_id,
+            cells,
+            file: None,
+        })
+    }
+
+    /// An in-memory store (no file) — for tests and dry runs.
+    pub fn in_memory(grid_id: u64) -> SweepCheckpoint {
+        SweepCheckpoint {
+            path: PathBuf::new(),
+            grid_id,
+            cells: BTreeMap::new(),
+            file: None,
+        }
+    }
+
+    fn parse_header(header: &str) -> Result<u64, CheckpointError> {
+        let bad = || CheckpointError::Version {
+            header: header.to_string(),
+        };
+        let rest = header.strip_prefix(MAGIC).ok_or_else(bad)?;
+        let rest = rest
+            .strip_prefix(&format!(" v{CHECKPOINT_VERSION} grid="))
+            .ok_or_else(bad)?;
+        if rest.len() != 16 {
+            return Err(bad());
+        }
+        u64::from_str_radix(rest, 16).map_err(|_| bad())
+    }
+
+    /// The grid id this checkpoint is bound to.
+    pub fn grid_id(&self) -> u64 {
+        self.grid_id
+    }
+
+    /// The file backing this store (empty for in-memory stores).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of completed cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cell has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// True when `key` has already completed.
+    pub fn contains(&self, key: &str) -> bool {
+        self.cells.contains_key(key)
+    }
+
+    /// The record of a completed cell.
+    pub fn get(&self, key: &str) -> Option<&CellRecord> {
+        self.cells.get(key)
+    }
+
+    /// Completed cell keys in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.cells.keys().map(String::as_str)
+    }
+
+    /// Appends one completed cell and flushes it to disk before returning,
+    /// so the cell survives any subsequent kill.
+    ///
+    /// # Errors
+    /// A key containing the reserved characters `|`, `#` or a newline, a
+    /// duplicate key, or an I/O failure.
+    pub fn record(&mut self, key: &str, record: CellRecord) -> Result<(), CheckpointError> {
+        if key.is_empty() || key.contains(['|', '#', '\n', '\r']) {
+            return Err(CheckpointError::Corrupt {
+                line: 0,
+                detail: format!("cell key `{key}` is empty or contains reserved characters"),
+            });
+        }
+        if self.cells.contains_key(key) {
+            return Err(CheckpointError::Corrupt {
+                line: 0,
+                detail: format!("cell `{key}` recorded twice"),
+            });
+        }
+        if let Some(file) = &mut self.file {
+            writeln!(file, "{}", encode_cell(key, &record))?;
+            file.flush()?;
+        }
+        self.cells.insert(key.to_string(), record);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats(bias: u64) -> Stats {
+        let mut fields = Stats::default().to_fields();
+        for (i, field) in fields.iter_mut().enumerate() {
+            field.1 = bias + i as u64;
+        }
+        Stats::from_fields(&fields).unwrap()
+    }
+
+    #[test]
+    fn cell_line_round_trips() {
+        let record = CellRecord::with_channel(
+            sample_stats(7),
+            ChannelStats {
+                read_transfers: 1,
+                write_transfers: 2,
+                bytes_transferred: 384,
+                queued_requests: 1,
+                queue_delay_cycles: 13,
+                max_queue_delay: 13,
+            },
+        );
+        let line = encode_cell("MatrixMul/SBI+SWI", &record);
+        let (key, parsed) = decode_cell(&line).unwrap();
+        assert_eq!(key, "MatrixMul/SBI+SWI");
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let line = encode_cell("k", &CellRecord::new(sample_stats(3)));
+        let flipped = line.replacen('3', "4", 1);
+        assert!(decode_cell(&flipped).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_and_resume() {
+        let dir = std::env::temp_dir().join("warpweave-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = SweepCheckpoint::resume(&path, 0xabcd).unwrap();
+        store.record("a", CellRecord::new(sample_stats(1))).unwrap();
+        store.record("b", CellRecord::new(sample_stats(2))).unwrap();
+        drop(store);
+
+        // Resume finds both cells.
+        let store = SweepCheckpoint::resume(&path, 0xabcd).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("a").unwrap().stats, sample_stats(1));
+
+        // A different grid id refuses to resume.
+        assert!(matches!(
+            SweepCheckpoint::resume(&path, 0x1234),
+            Err(CheckpointError::GridMismatch { .. })
+        ));
+
+        // Truncating the last line (torn write) fails the load cleanly.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 10]).unwrap();
+        assert!(matches!(
+            SweepCheckpoint::load(&path),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_after_missing_final_newline_stays_appendable() {
+        // A kill can land between the last record's bytes and its
+        // newline: the final line is checksum-valid but unterminated.
+        // Resuming must terminate it before appending, or the next record
+        // would merge onto it and corrupt the file.
+        let dir = std::env::temp_dir().join("warpweave-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-newline.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = SweepCheckpoint::resume(&path, 0x77).unwrap();
+        store.record("a", CellRecord::new(sample_stats(1))).unwrap();
+        drop(store);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+
+        let mut store = SweepCheckpoint::resume(&path, 0x77).unwrap();
+        assert_eq!(store.len(), 1, "unterminated final line still loads");
+        store.record("b", CellRecord::new(sample_stats(2))).unwrap();
+        drop(store);
+
+        let store = SweepCheckpoint::resume(&path, 0x77).unwrap();
+        assert_eq!(store.len(), 2, "both cells survive the torn newline");
+        assert_eq!(store.get("a").unwrap().stats, sample_stats(1));
+        assert_eq!(store.get("b").unwrap().stats, sample_stats(2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reserved_key_characters_rejected() {
+        let mut store = SweepCheckpoint::in_memory(0);
+        for key in ["a|b", "a#b", "a\nb", ""] {
+            assert!(store
+                .record(key, CellRecord::new(Stats::default()))
+                .is_err());
+        }
+        store
+            .record("ok", CellRecord::new(Stats::default()))
+            .unwrap();
+        assert!(store
+            .record("ok", CellRecord::new(Stats::default()))
+            .is_err());
+    }
+}

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod divergence;
 pub mod exec;
@@ -57,6 +58,7 @@ pub mod stats;
 pub mod sweep;
 pub mod trace;
 
+pub use checkpoint::{CellRecord, CheckpointError, SweepCheckpoint, CHECKPOINT_VERSION};
 pub use config::{
     Associativity, DivergenceModel, Frontend, GroupConfig, MemModel, ScoreboardMode, SmConfig,
 };

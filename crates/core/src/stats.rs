@@ -114,6 +114,160 @@ impl Stats {
         }
     }
 
+    /// The canonical `(field name, value)` enumeration of every counter, in
+    /// a fixed order — the single source of truth the checkpoint codec
+    /// ([`crate::checkpoint`]) serializes. `usize` high-water marks are
+    /// widened to `u64` (lossless on every supported host).
+    ///
+    /// The exhaustive destructuring below is deliberate: adding a field to
+    /// [`Stats`] (or any nested stats struct) breaks this function's
+    /// compilation, forcing the author to extend the codec and bump
+    /// [`crate::checkpoint::CHECKPOINT_VERSION`] in the same change.
+    pub fn to_fields(&self) -> Vec<(&'static str, u64)> {
+        let Stats {
+            cycles,
+            thread_instructions,
+            warp_instructions,
+            primary_issues,
+            secondary_issues,
+            same_group_coissues,
+            other_group_coissues,
+            fetch_squashes,
+            scheduler_conflicts,
+            constraint_suspensions,
+            lookup_probes,
+            lookup_hits,
+            lsu_transactions,
+            lsu_replays,
+            idle_cycles,
+            barrier_releases,
+            blocks_completed,
+            max_stack_depth,
+            heap:
+                HeapStats {
+                    max_live_splits,
+                    spills,
+                    degraded_inserts,
+                    merges,
+                },
+            l1:
+                CacheStats {
+                    load_hits,
+                    load_misses,
+                    stores,
+                },
+            dram:
+                DramStats {
+                    read_transfers,
+                    write_transfers,
+                },
+            dram_queued_loads,
+            dram_queue_delay,
+            dram_max_queue_delay,
+        } = self.clone();
+        vec![
+            ("cycles", cycles),
+            ("thread_instructions", thread_instructions),
+            ("warp_instructions", warp_instructions),
+            ("primary_issues", primary_issues),
+            ("secondary_issues", secondary_issues),
+            ("same_group_coissues", same_group_coissues),
+            ("other_group_coissues", other_group_coissues),
+            ("fetch_squashes", fetch_squashes),
+            ("scheduler_conflicts", scheduler_conflicts),
+            ("constraint_suspensions", constraint_suspensions),
+            ("lookup_probes", lookup_probes),
+            ("lookup_hits", lookup_hits),
+            ("lsu_transactions", lsu_transactions),
+            ("lsu_replays", lsu_replays),
+            ("idle_cycles", idle_cycles),
+            ("barrier_releases", barrier_releases),
+            ("blocks_completed", blocks_completed),
+            ("max_stack_depth", max_stack_depth as u64),
+            ("heap_max_live_splits", max_live_splits as u64),
+            ("heap_spills", spills),
+            ("heap_degraded_inserts", degraded_inserts),
+            ("heap_merges", merges),
+            ("l1_load_hits", load_hits),
+            ("l1_load_misses", load_misses),
+            ("l1_stores", stores),
+            ("dram_read_transfers", read_transfers),
+            ("dram_write_transfers", write_transfers),
+            ("dram_queued_loads", dram_queued_loads),
+            ("dram_queue_delay", dram_queue_delay),
+            ("dram_max_queue_delay", dram_max_queue_delay),
+        ]
+    }
+
+    /// Rebuilds a [`Stats`] from the field list [`Stats::to_fields`]
+    /// produced. Strict by design: the fields must appear in exactly the
+    /// canonical order with no extras and no omissions, so a checkpoint
+    /// written by a different struct layout is rejected instead of being
+    /// half-applied.
+    ///
+    /// # Errors
+    /// A description of the first mismatch (wrong count, wrong name in a
+    /// slot, or a value that does not fit the target field's width).
+    pub fn from_fields(fields: &[(&str, u64)]) -> Result<Stats, String> {
+        let mut stats = Stats::default();
+        let expected = stats.to_fields();
+        if fields.len() != expected.len() {
+            return Err(format!(
+                "expected {} stats fields, got {}",
+                expected.len(),
+                fields.len()
+            ));
+        }
+        for (&(name, value), &(want, _)) in fields.iter().zip(&expected) {
+            if name != want {
+                return Err(format!("expected stats field `{want}`, found `{name}`"));
+            }
+            stats.set_field(name, value)?;
+        }
+        Ok(stats)
+    }
+
+    /// Assigns one canonical field by name (the write half of the codec).
+    fn set_field(&mut self, name: &str, value: u64) -> Result<(), String> {
+        let narrow = |v: u64| {
+            usize::try_from(v).map_err(|_| format!("stats field `{name}` value {v} exceeds usize"))
+        };
+        match name {
+            "cycles" => self.cycles = value,
+            "thread_instructions" => self.thread_instructions = value,
+            "warp_instructions" => self.warp_instructions = value,
+            "primary_issues" => self.primary_issues = value,
+            "secondary_issues" => self.secondary_issues = value,
+            "same_group_coissues" => self.same_group_coissues = value,
+            "other_group_coissues" => self.other_group_coissues = value,
+            "fetch_squashes" => self.fetch_squashes = value,
+            "scheduler_conflicts" => self.scheduler_conflicts = value,
+            "constraint_suspensions" => self.constraint_suspensions = value,
+            "lookup_probes" => self.lookup_probes = value,
+            "lookup_hits" => self.lookup_hits = value,
+            "lsu_transactions" => self.lsu_transactions = value,
+            "lsu_replays" => self.lsu_replays = value,
+            "idle_cycles" => self.idle_cycles = value,
+            "barrier_releases" => self.barrier_releases = value,
+            "blocks_completed" => self.blocks_completed = value,
+            "max_stack_depth" => self.max_stack_depth = narrow(value)?,
+            "heap_max_live_splits" => self.heap.max_live_splits = narrow(value)?,
+            "heap_spills" => self.heap.spills = value,
+            "heap_degraded_inserts" => self.heap.degraded_inserts = value,
+            "heap_merges" => self.heap.merges = value,
+            "l1_load_hits" => self.l1.load_hits = value,
+            "l1_load_misses" => self.l1.load_misses = value,
+            "l1_stores" => self.l1.stores = value,
+            "dram_read_transfers" => self.dram.read_transfers = value,
+            "dram_write_transfers" => self.dram.write_transfers = value,
+            "dram_queued_loads" => self.dram_queued_loads = value,
+            "dram_queue_delay" => self.dram_queue_delay = value,
+            "dram_max_queue_delay" => self.dram_max_queue_delay = value,
+            other => return Err(format!("unknown stats field `{other}`")),
+        }
+        Ok(())
+    }
+
     /// Folds the statistics of a subsequent launch into this one (summing
     /// counters, taking the maximum of high-water marks) — used by
     /// multi-launch workloads such as BFS.
@@ -175,6 +329,32 @@ mod tests {
         };
         assert_eq!(s.ipc(), 32.0);
         assert_eq!(s.simd_efficiency(32), 0.5);
+    }
+
+    #[test]
+    fn field_codec_round_trips() {
+        let mut s = Stats::default();
+        // Give every field a distinct value so a swapped assignment shows.
+        for (i, (name, _)) in Stats::default().to_fields().into_iter().enumerate() {
+            s.set_field(name, 1000 + i as u64).unwrap();
+        }
+        let fields = s.to_fields();
+        assert_eq!(Stats::from_fields(&fields).unwrap(), s);
+    }
+
+    #[test]
+    fn field_codec_rejects_drift() {
+        let good = Stats::default().to_fields();
+        // Truncated list.
+        assert!(Stats::from_fields(&good[..good.len() - 1]).is_err());
+        // Renamed field in place.
+        let mut renamed = good.clone();
+        renamed[0].0 = "cycels";
+        assert!(Stats::from_fields(&renamed).is_err());
+        // Reordered fields (same set, wrong slots).
+        let mut swapped = good;
+        swapped.swap(0, 1);
+        assert!(Stats::from_fields(&swapped).is_err());
     }
 
     #[test]

@@ -68,6 +68,32 @@ impl SweepRunner {
         }
     }
 
+    /// [`SweepRunner::run`] with a completion callback: `on_done(index,
+    /// &result)` fires on the worker thread the moment job `index`
+    /// finishes, **in completion order** (nondeterministic), while the
+    /// returned vector stays in job order as always.
+    ///
+    /// This is the incremental-persistence hook of the checkpointed sweep:
+    /// the bench harness appends each finished cell to its
+    /// [`crate::checkpoint::SweepCheckpoint`] from `on_done`, so an
+    /// interrupted sweep loses at most the cells still in flight.
+    /// `on_done` runs concurrently from many workers — synchronise any
+    /// shared state it touches (a mutex around the checkpoint store).
+    pub fn run_reporting<J, R, F, P>(&self, jobs: &[J], f: F, on_done: P) -> Vec<R>
+    where
+        J: Sync + Send,
+        R: Send,
+        F: Fn(&J) -> R + Sync + Send,
+        P: Fn(usize, &R) + Sync + Send,
+    {
+        let indexed: Vec<(usize, &J)> = jobs.iter().enumerate().collect();
+        self.run(&indexed, |&(i, job)| {
+            let result = f(job);
+            on_done(i, &result);
+            result
+        })
+    }
+
     /// Maps `f` over `jobs` in parallel **in place**, returning results in
     /// job order. This is the epoch-step primitive of the shared-channel
     /// [`crate::Machine`]: each SM advances to the next barrier on its own
@@ -110,6 +136,25 @@ mod tests {
                 "{threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn run_reporting_sees_every_completion_once() {
+        use std::sync::Mutex;
+        let jobs: Vec<u64> = (0..37).collect();
+        let seen = Mutex::new(Vec::new());
+        let out = SweepRunner::with_threads(4).run_reporting(
+            &jobs,
+            |&j| j + 1,
+            |i, &r| seen.lock().unwrap().push((i, r)),
+        );
+        assert_eq!(out, (1..38).collect::<Vec<u64>>());
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..37).map(|i| (i as usize, i + 1)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

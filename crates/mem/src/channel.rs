@@ -106,6 +106,62 @@ impl ChannelStats {
         }
     }
 
+    /// The canonical `(field name, value)` enumeration of every counter, in
+    /// a fixed order — what the checkpoint codec in `warpweave-core`
+    /// serializes. The exhaustive destructuring makes adding a field here a
+    /// compile error until the codec (and its format version) follow.
+    pub fn to_fields(&self) -> Vec<(&'static str, u64)> {
+        let ChannelStats {
+            read_transfers,
+            write_transfers,
+            bytes_transferred,
+            queued_requests,
+            queue_delay_cycles,
+            max_queue_delay,
+        } = *self;
+        vec![
+            ("read_transfers", read_transfers),
+            ("write_transfers", write_transfers),
+            ("bytes_transferred", bytes_transferred),
+            ("queued_requests", queued_requests),
+            ("queue_delay_cycles", queue_delay_cycles),
+            ("max_queue_delay", max_queue_delay),
+        ]
+    }
+
+    /// Rebuilds a [`ChannelStats`] from a [`ChannelStats::to_fields`] list.
+    /// Strict: fields must appear in exactly the canonical order, with no
+    /// extras and no omissions.
+    ///
+    /// # Errors
+    /// A description of the first mismatch (wrong count or wrong name).
+    pub fn from_fields(fields: &[(&str, u64)]) -> Result<ChannelStats, String> {
+        let mut stats = ChannelStats::default();
+        let expected = stats.to_fields();
+        if fields.len() != expected.len() {
+            return Err(format!(
+                "expected {} channel fields, got {}",
+                expected.len(),
+                fields.len()
+            ));
+        }
+        for (&(name, value), &(want, _)) in fields.iter().zip(&expected) {
+            if name != want {
+                return Err(format!("expected channel field `{want}`, found `{name}`"));
+            }
+            match name {
+                "read_transfers" => stats.read_transfers = value,
+                "write_transfers" => stats.write_transfers = value,
+                "bytes_transferred" => stats.bytes_transferred = value,
+                "queued_requests" => stats.queued_requests = value,
+                "queue_delay_cycles" => stats.queue_delay_cycles = value,
+                "max_queue_delay" => stats.max_queue_delay = value,
+                other => return Err(format!("unknown channel field `{other}`")),
+            }
+        }
+        Ok(stats)
+    }
+
     /// Folds another channel's counters into this one (sums counters, takes
     /// the maximum of high-water marks) — used when launches accumulate.
     pub fn accumulate(&mut self, other: &ChannelStats) {
@@ -235,6 +291,26 @@ impl SharedDramChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn channel_field_codec_round_trips() {
+        let stats = ChannelStats {
+            read_transfers: 1,
+            write_transfers: 2,
+            bytes_transferred: 3,
+            queued_requests: 4,
+            queue_delay_cycles: 5,
+            max_queue_delay: 6,
+        };
+        assert_eq!(
+            ChannelStats::from_fields(&stats.to_fields()).unwrap(),
+            stats
+        );
+        let mut bad = stats.to_fields();
+        bad.swap(0, 1);
+        assert!(ChannelStats::from_fields(&bad).is_err());
+        assert!(ChannelStats::from_fields(&bad[..2]).is_err());
+    }
 
     fn read(issue_cycle: u64, sm_id: u32, seq: u64) -> MemRequest {
         MemRequest {

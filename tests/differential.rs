@@ -101,17 +101,14 @@ fn run_on(cfg: SmConfig, prog: Program, n: u32) -> Vec<u32> {
 
 #[test]
 fn random_kernels_agree_across_architectures() {
+    // The config set comes from the shared grid module — the same
+    // front-end list the sweep and the golden baseline exercise — so the
+    // fuzzer's coverage tracks the canonical grid by construction.
     for seed in 0..12u64 {
         let prog = random_program(seed);
         let n = 1024;
         let reference = run_on(SmConfig::baseline(), prog.clone(), n);
-        for cfg in [
-            SmConfig::warp64(),
-            SmConfig::sbi(),
-            SmConfig::sbi().with_constraints(false),
-            SmConfig::swi(),
-            SmConfig::sbi_swi(),
-        ] {
+        for cfg in warpweave::bench::grid::differential_configs() {
             let name = cfg.name.clone();
             let got = run_on(cfg, prog.clone(), n);
             assert_eq!(

@@ -1,12 +1,17 @@
 //! Every registered workload, verified against its host reference on every
 //! architecture (test-scale inputs).
+//!
+//! All configuration sets come from `warpweave::bench::grid` — the same
+//! canonical grid the golden baseline pins — so the test matrix and the
+//! committed `BENCH_golden.json` can never silently diverge.
 
+use warpweave::bench::grid;
 use warpweave::core::SmConfig;
 use warpweave::workloads::{all_workloads, run_prepared, Scale};
 
 #[test]
 fn all_workloads_verify_on_all_architectures() {
-    let configs = SmConfig::figure7_set();
+    let configs = grid::figure7_configs();
     for w in all_workloads() {
         for cfg in &configs {
             run_prepared(cfg, w.prepare(Scale::Test), true).unwrap_or_else(|e| {
@@ -18,22 +23,26 @@ fn all_workloads_verify_on_all_architectures() {
 
 #[test]
 fn lane_shuffles_and_associativity_preserve_results() {
-    use warpweave::core::{Associativity, LaneShuffle};
+    // The fig. 8(b) and fig. 9 columns, exactly as the figure binaries
+    // run them.
     let w = warpweave::by_name("SortingNetworks").expect("registered");
-    for shuffle in LaneShuffle::ALL {
-        let cfg = SmConfig::swi().with_lane_shuffle(shuffle);
-        run_prepared(&cfg, w.prepare(Scale::Test), true)
-            .unwrap_or_else(|e| panic!("{shuffle:?}: {e}"));
+    for cfg in grid::lane_shuffle_configs()
+        .iter()
+        .chain(&grid::associativity_configs())
+    {
+        run_prepared(cfg, w.prepare(Scale::Test), true)
+            .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
     }
-    for assoc in [
-        Associativity::Full,
-        Associativity::Ways(11),
-        Associativity::Ways(3),
-        Associativity::Ways(1),
-    ] {
-        let cfg = SmConfig::swi().with_warps(24).with_assoc(assoc);
-        run_prepared(&cfg, w.prepare(Scale::Test), true)
-            .unwrap_or_else(|e| panic!("{assoc:?}: {e}"));
+}
+
+#[test]
+fn constraint_study_configs_preserve_results() {
+    // The fig. 8(a) columns (constraints off/on) on one loop-carried
+    // irregular workload.
+    let w = warpweave::by_name("BFS").expect("registered");
+    for cfg in &grid::constraint_configs() {
+        run_prepared(cfg, w.prepare(Scale::Test), true)
+            .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
     }
 }
 
