@@ -1,0 +1,219 @@
+//! Host wall-clock throughput of the simulator's hottest path: functional
+//! execution at issue. Times a compute-dense workload (MatrixMul — long
+//! full-mask ALU stretches, the register-file bandwidth case) and a
+//! divergent one (SortingNetworks — partial masks and guard churn) and
+//! reports **simulated thread-instructions per host second**.
+//!
+//! Unlike `BENCH_sweep.json`, this artifact intentionally carries host
+//! timings: it is the perf-trajectory series for the execute path (AoS
+//! per-thread loop → SoA warp-level `execute_warp`), not a determinism
+//! baseline. Simulated counters in it remain bit-deterministic; only the
+//! `wall_seconds` / `*_per_second` fields vary by host.
+//!
+//! Usage: `bench_hotpath [--small] [--reps N] [--out PATH]
+//!                       [--baseline PATH] [--label NAME]`
+//!
+//! * `--small` — test-scale inputs and fewer reps (the CI preset).
+//! * `--baseline PATH` — a previously written `BENCH_hotpath.json` to embed
+//!   as the `baseline` block, with per-workload speedups computed against
+//!   it (how the AoS→SoA before/after series is recorded).
+//! * `--label NAME` — tags the measured runs (e.g. `aos-exec-loop`,
+//!   `soa-execute-warp`).
+
+use std::time::Instant;
+
+use warpweave_bench::arg_value;
+use warpweave_bench::report::json_escape;
+use warpweave_core::SmConfig;
+use warpweave_workloads::{by_name, run_prepared, Scale};
+
+/// Schema tag of the hotpath payload.
+const HOTPATH_SCHEMA: &str = "warpweave-bench-hotpath-v1";
+
+/// The measured workloads: `(name, kind)`. MatrixMul is the compute-dense
+/// target of the ≥1.3× goal; SortingNetworks exercises divergent masks.
+const WORKLOADS: [(&str, &str); 2] = [
+    ("MatrixMul", "compute-dense"),
+    ("SortingNetworks", "divergent"),
+];
+
+struct RunResult {
+    workload: &'static str,
+    kind: &'static str,
+    config: String,
+    reps: u32,
+    thread_instructions: u64,
+    warp_instructions: u64,
+    best_wall_seconds: f64,
+    thread_instructions_per_second: f64,
+}
+
+/// Times `reps` runs of one workload under `cfg`, keeping the best
+/// (minimum) wall time — the least-disturbed measurement on a noisy host.
+fn measure(
+    cfg: &SmConfig,
+    workload: &'static str,
+    kind: &'static str,
+    scale: Scale,
+    reps: u32,
+) -> RunResult {
+    let w = by_name(workload).expect("registered workload");
+    let mut best = f64::INFINITY;
+    let mut thread_instructions = 0u64;
+    let mut warp_instructions = 0u64;
+    for _ in 0..reps {
+        let prepared = w.prepare(scale);
+        let t = Instant::now();
+        let stats = run_prepared(cfg, prepared, false)
+            .unwrap_or_else(|e| panic!("{workload} on {}: {e}", cfg.name));
+        let secs = t.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        thread_instructions = stats.thread_instructions;
+        warp_instructions = stats.warp_instructions;
+    }
+    RunResult {
+        workload,
+        kind,
+        config: cfg.name.clone(),
+        reps,
+        thread_instructions,
+        warp_instructions,
+        best_wall_seconds: best,
+        thread_instructions_per_second: thread_instructions as f64 / best.max(1e-12),
+    }
+}
+
+fn render_runs(runs: &[RunResult], indent: &str) -> String {
+    let lines: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{indent}{{\"workload\": \"{}\", \"kind\": \"{}\", \"config\": \"{}\", \
+                 \"reps\": {}, \"thread_instructions\": {}, \"warp_instructions\": {}, \
+                 \"wall_seconds\": {:.6}, \"thread_instructions_per_second\": {:.1}}}",
+                json_escape(r.workload),
+                r.kind,
+                json_escape(&r.config),
+                r.reps,
+                r.thread_instructions,
+                r.warp_instructions,
+                r.best_wall_seconds,
+                r.thread_instructions_per_second
+            )
+        })
+        .collect();
+    lines.join(",\n")
+}
+
+/// Pulls `(workload, thread_instructions_per_second)` pairs out of a
+/// previously written payload. The renderer puts one run per line with the
+/// fields in a fixed order, so a line scan is exact for our own output.
+fn parse_baseline_ips(text: &str) -> Vec<(String, f64)> {
+    const WKEY: &str = "\"workload\": \"";
+    const IKEY: &str = "\"thread_instructions_per_second\": ";
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(wstart) = line.find(WKEY) else {
+            continue;
+        };
+        let rest = &line[wstart + WKEY.len()..];
+        let Some(wend) = rest.find('"') else { continue };
+        let workload = rest[..wend].to_string();
+        let Some(istart) = line.find(IKEY) else {
+            continue;
+        };
+        let tail = &line[istart + IKEY.len()..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            // First occurrence wins: the baseline block of an already-merged
+            // payload repeats workload names further down.
+            if !out.iter().any(|(w, _)| *w == workload) {
+                out.push((workload, v));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let label = arg_value(&args, "--label").unwrap_or_else(|| "current".into());
+    let baseline_path = arg_value(&args, "--baseline");
+    let scale = if small { Scale::Test } else { Scale::Bench };
+    let reps: u32 = arg_value(&args, "--reps")
+        .map(|v| match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("--reps takes a count of at least 1"),
+        })
+        .unwrap_or(if small { 2 } else { 3 });
+
+    let cfg = SmConfig::baseline();
+    let mut runs = Vec::new();
+    for (workload, kind) in WORKLOADS {
+        let r = measure(&cfg, workload, kind, scale, reps);
+        eprintln!(
+            "{:<16} {:<14} {:>12} thread-insns in {:>8.3} s  ({:>12.0} insns/s)",
+            r.workload,
+            r.kind,
+            r.thread_instructions,
+            r.best_wall_seconds,
+            r.thread_instructions_per_second
+        );
+        runs.push(r);
+    }
+
+    let baseline = baseline_path.map(|p| {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}"));
+        (parse_baseline_ips(&text), text)
+    });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"schema\": \"{HOTPATH_SCHEMA}\",\n"));
+    json.push_str(&format!(
+        "  \"preset\": \"{}\",\n",
+        if small { "small" } else { "full" }
+    ));
+    json.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&label)));
+    json.push_str("  \"runs\": [\n");
+    json.push_str(&render_runs(&runs, "    "));
+    json.push_str("\n  ]");
+    if let Some((base_ips, _)) = &baseline {
+        json.push_str(",\n  \"speedup_vs_baseline\": {");
+        let mut first = true;
+        for r in &runs {
+            let Some((_, base)) = base_ips.iter().find(|(w, _)| w == r.workload) else {
+                continue;
+            };
+            if !first {
+                json.push_str(", ");
+            }
+            first = false;
+            let speedup = r.thread_instructions_per_second / base.max(1e-12);
+            json.push_str(&format!("\"{}\": {:.3}", json_escape(r.workload), speedup));
+            eprintln!("{:<16} speedup vs baseline: {speedup:.3}x", r.workload);
+        }
+        json.push_str("},\n  \"baseline\": [\n");
+        let base_lines: Vec<String> = base_ips
+            .iter()
+            .map(|(w, ips)| {
+                format!(
+                    "    {{\"workload\": \"{}\", \"thread_instructions_per_second\": {ips:.1}}}",
+                    json_escape(w)
+                )
+            })
+            .collect();
+        json.push_str(&base_lines.join(",\n"));
+        json.push_str("\n  ]");
+    }
+    json.push_str("\n}\n");
+    std::fs::write(&out_path, &json).expect("write hotpath payload");
+    eprintln!("wrote {out_path}");
+}

@@ -36,17 +36,10 @@ use warpweave_bench::harness::{run_matrix_at, run_matrix_checkpointed, run_matri
 use warpweave_bench::report::{
     check_golden, render_golden_json, render_sweep_json, run_machine_probes,
 };
-use warpweave_bench::MatrixResult;
+use warpweave_bench::{arg_value, MatrixResult};
 use warpweave_core::checkpoint::SweepCheckpoint;
 use warpweave_core::SweepRunner;
 use warpweave_workloads::Scale;
-
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 fn cells_identical(a: &MatrixResult, b: &MatrixResult) -> bool {
     a.workloads == b.workloads

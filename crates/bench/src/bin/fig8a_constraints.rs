@@ -3,16 +3,31 @@
 //! constraints-off for SBI and SBI+SWI, plus the issued-instruction
 //! reduction the paper quotes (−1.3 % regular / −5.5 % irregular).
 //!
-//! Usage: `fig8a_constraints [--no-verify]`
+//! Usage: `fig8a_constraints [--no-verify] [--checkpoint PATH]`
+//!
+//! With `--checkpoint`, every completed cell is flushed to `PATH` and an
+//! interrupted run resumes from the last cell (bit-identical results).
 
+use warpweave_bench::arg_value;
 use warpweave_bench::grid;
-use warpweave_bench::harness::{format_bandwidth_summary, run_matrix};
+use warpweave_bench::harness::{format_bandwidth_summary, run_matrix_figure};
+use warpweave_core::SweepRunner;
+use warpweave_workloads::Scale;
 
 fn main() {
-    let verify = !std::env::args().any(|a| a == "--no-verify");
+    let args: Vec<String> = std::env::args().collect();
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let checkpoint = arg_value(&args, "--checkpoint");
     let configs = grid::constraint_configs();
     let workloads = warpweave_workloads::irregular();
-    let m = run_matrix(&configs, &workloads, verify);
+    let m = run_matrix_figure(
+        &SweepRunner::new(),
+        &configs,
+        &workloads,
+        Scale::Bench,
+        verify,
+        checkpoint.as_deref(),
+    );
     println!("== Figure 8(a): speedup of reconvergence constraints (irregular) ==");
     println!(
         "{:<22}{:>12}{:>12}{:>14}{:>14}",

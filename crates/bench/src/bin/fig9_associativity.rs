@@ -4,28 +4,38 @@
 //! Uses a 24-warp pool (the table-3 provisioning) so the paper's
 //! {full, 11-way, 3-way, direct-mapped} points partition evenly.
 //!
-//! Usage: `fig9_associativity [--no-verify] [--set regular|irregular]`
+//! Usage: `fig9_associativity [--no-verify] [--set regular|irregular]
+//!                            [--checkpoint PATH]`
+//!
+//! With `--checkpoint`, every completed cell is flushed to `PATH` and an
+//! interrupted run resumes from the last cell (bit-identical results; the
+//! checkpoint is bound to the chosen `--set`'s grid identity).
 
+use warpweave_bench::arg_value;
 use warpweave_bench::grid;
-use warpweave_bench::harness::{format_bandwidth_summary, gmean, run_matrix};
+use warpweave_bench::harness::{format_bandwidth_summary, gmean, run_matrix_figure};
+use warpweave_core::SweepRunner;
+use warpweave_workloads::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let verify = !args.iter().any(|a| a == "--no-verify");
-    let set = args
-        .iter()
-        .position(|a| a == "--set")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("irregular")
-        .to_string();
+    let set = arg_value(&args, "--set").unwrap_or_else(|| "irregular".into());
+    let checkpoint = arg_value(&args, "--checkpoint");
     let configs = grid::associativity_configs();
     let workloads = if set == "regular" {
         warpweave_workloads::regular()
     } else {
         warpweave_workloads::irregular()
     };
-    let m = run_matrix(&configs, &workloads, verify);
+    let m = run_matrix_figure(
+        &SweepRunner::new(),
+        &configs,
+        &workloads,
+        Scale::Bench,
+        verify,
+        checkpoint.as_deref(),
+    );
     println!("== Figure 9: SWI lookup associativity, slowdown vs fully-associative ({set}) ==");
     print!("{:<22}", "benchmark");
     for c in &m.configs {

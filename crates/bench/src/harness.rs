@@ -273,6 +273,42 @@ pub fn run_matrix_checkpointed(
     Ok(Some(collect_matrix(configs, workloads, flat)))
 }
 
+/// Runs a figure grid with optional per-cell checkpointing, the entry
+/// point the fig8a/fig8b/fig9 binaries share. With a `checkpoint` path the
+/// grid resumes from (and records into) that file — bound via
+/// [`crate::grid::grid_id`] to this exact config/workload set, so a stale
+/// file from a different figure can never be resumed against it; without
+/// one it runs purely in memory. A resumed grid is bit-identical to an
+/// uninterrupted one (each cell is a pure function of its coordinates).
+///
+/// # Panics
+/// Simulation or checkpoint failures — as in [`run_one_at`], a partial
+/// figure is useless.
+pub fn run_matrix_figure(
+    runner: &SweepRunner,
+    configs: &[SmConfig],
+    workloads: &[Box<dyn Workload>],
+    scale: Scale,
+    verify: bool,
+    checkpoint: Option<&str>,
+) -> MatrixResult {
+    let Some(path) = checkpoint else {
+        return run_matrix_at(runner, configs, workloads, scale, verify);
+    };
+    let id = crate::grid::grid_id(configs, workloads, scale);
+    let mut store =
+        SweepCheckpoint::resume(path, id).unwrap_or_else(|e| panic!("checkpoint {path}: {e}"));
+    if !store.is_empty() {
+        eprintln!(
+            "checkpoint {path}: resuming with {} completed cell(s)",
+            store.len()
+        );
+    }
+    run_matrix_checkpointed(runner, configs, workloads, scale, verify, &mut store, None)
+        .unwrap_or_else(|e| panic!("checkpointed figure grid: {e}"))
+        .expect("no cell budget, so the grid must complete")
+}
+
 /// The pre-parallelism reference path: every cell run back-to-back on the
 /// calling thread. Kept as the baseline the sweep-scaling benchmark and
 /// `BENCH_sweep.json` measure against.

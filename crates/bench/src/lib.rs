@@ -10,10 +10,21 @@ pub mod report;
 
 pub use harness::{
     cell_key, format_bandwidth_summary, format_bandwidth_table, format_ipc_table, gmean,
-    run_matrix, run_matrix_at, run_matrix_checkpointed, run_matrix_on, run_matrix_serial,
-    run_matrix_serial_at, run_one, run_one_at, CellResult, MatrixResult, BENCH_SEED,
+    run_matrix, run_matrix_at, run_matrix_checkpointed, run_matrix_figure, run_matrix_on,
+    run_matrix_serial, run_matrix_serial_at, run_one, run_one_at, CellResult, MatrixResult,
+    BENCH_SEED,
 };
 pub use report::{
     check_golden, render_golden_json, render_sweep_json, run_machine_probes, ProbeResult,
     GOLDEN_SCHEMA, SWEEP_SCHEMA,
 };
+
+/// Returns the value following `flag` in an argument list — the one
+/// CLI-parsing helper every bench binary shares (`--flag VALUE` style).
+/// `None` when the flag is absent or is the last argument.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

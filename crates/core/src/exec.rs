@@ -1,9 +1,24 @@
 //! Functional (architectural) execution of single instructions.
 //!
 //! The pipeline executes instructions functionally at issue time and models
-//! timing separately; this module holds the per-thread semantics.
+//! timing separately. Two implementations of the same architectural
+//! semantics live here:
+//!
+//! * [`execute_warp`] — the **hot path**: matches the opcode once per warp,
+//!   hoists operand resolution (immediates, params, warp-uniform specials)
+//!   out of the lane loop, evaluates guards as one mask AND/ANDN against
+//!   the [`WarpRegFile`] predicate bitmasks,
+//!   and runs tight per-op lane loops over contiguous register rows.
+//! * [`execute_thread`] (with [`ThreadRegs`], [`operand_value`],
+//!   [`guard_passes`]) — the **scalar reference path**, retained only so
+//!   the differential test suite can check `execute_warp` lane-by-lane
+//!   against an independent, obviously-sequential implementation.
 
 use warpweave_isa::{CmpOp, Instruction, Op, Operand, SpecialReg, NUM_PREDS, NUM_REGS};
+
+use crate::launch::WarpInfo;
+use crate::mask::Mask;
+use crate::regfile::WarpRegFile;
 
 /// Architectural state of one thread: general registers and predicates.
 #[derive(Debug, Clone)]
@@ -79,7 +94,11 @@ impl ThreadInfo {
     }
 }
 
-/// Resolves an operand to its 32-bit value.
+/// Resolves an operand to its 32-bit value for one thread.
+///
+/// Scalar reference path — the pipeline resolves operands warp-wide inside
+/// [`execute_warp`]; this survives only for the differential tests.
+#[doc(hidden)]
 pub fn operand_value(op: Operand, regs: &ThreadRegs, info: &ThreadInfo, params: &[u32]) -> u32 {
     match op {
         Operand::Reg(r) => regs.reg(r.index()),
@@ -105,7 +124,12 @@ pub struct ThreadOutcome {
     pub mem_data: Option<u32>,
 }
 
-/// Evaluates whether the guard passes for this thread.
+/// Evaluates whether the guard passes for one thread.
+///
+/// Scalar reference path — the pipeline evaluates guards as a single mask
+/// operation ([`WarpRegFile::guard_mask`]); this survives only for the
+/// differential tests.
+#[doc(hidden)]
 pub fn guard_passes(instr: &Instruction, regs: &ThreadRegs) -> bool {
     match instr.guard {
         None => true,
@@ -121,6 +145,10 @@ pub fn guard_passes(instr: &Instruction, regs: &ThreadRegs) -> bool {
 /// The guard must already have been checked with [`guard_passes`]; a failed
 /// guard means the instruction has no architectural effect for the thread
 /// (except that an unguarded-path `Bra` thread simply falls through).
+///
+/// Scalar reference path — the pipeline executes whole warps through
+/// [`execute_warp`]; this survives only for the differential tests that
+/// prove the two implementations bit-identical.
 pub fn execute_thread(
     instr: &Instruction,
     regs: &ThreadRegs,
@@ -206,6 +234,281 @@ pub fn execute_thread(
         Op::Sync | Op::Bar | Op::Exit | Op::Nop => {}
     }
     out
+}
+
+// --- warp-level execute path ------------------------------------------------
+
+/// Per-operand scratch row: one resolved 32-bit value per lane. Sized for
+/// the widest warp so resolution never allocates.
+type LaneBuf = [u32; 64];
+
+/// Resolves one operand for every lane of the warp into `buf[..width]`:
+/// register operands copy a contiguous [`WarpRegFile`] row, immediates and
+/// params splat one value, and of the specials only `tid` (affine:
+/// `base_tid + t`) and `laneid` (the shuffle row) need per-lane values.
+#[inline]
+fn resolve_operand(
+    op: Operand,
+    rf: &WarpRegFile,
+    info: &WarpInfo,
+    params: &[u32],
+    buf: &mut LaneBuf,
+) {
+    let width = rf.width();
+    match op {
+        Operand::Reg(r) => buf[..width].copy_from_slice(rf.row(r.index())),
+        Operand::Imm(v) => buf[..width].fill(v),
+        Operand::Param(i) => buf[..width].fill(params.get(i as usize).copied().unwrap_or(0)),
+        Operand::Special(s) => match info.splat(s) {
+            Some(v) => buf[..width].fill(v),
+            None if s == SpecialReg::Tid => {
+                for (t, b) in buf[..width].iter_mut().enumerate() {
+                    *b = info.base_tid + t as u32;
+                }
+            }
+            None => buf[..width].copy_from_slice(info.lanes()),
+        },
+    }
+}
+
+/// Writes `f(a[t])` into register row `d` for every executing lane. The
+/// sources were snapshotted into scratch rows, so the destination row may
+/// alias a source register without hazard, and the full-mask fast path is
+/// a straight slice loop the compiler can autovectorise.
+#[inline]
+fn apply1(
+    rf: &mut WarpRegFile,
+    d: usize,
+    a: &LaneBuf,
+    exec: Mask,
+    full: bool,
+    f: impl Fn(u32) -> u32,
+) {
+    let row = rf.row_mut(d);
+    if full {
+        for (o, &x) in row.iter_mut().zip(a.iter()) {
+            *o = f(x);
+        }
+    } else {
+        for t in exec.iter() {
+            row[t] = f(a[t]);
+        }
+    }
+}
+
+/// Two-source variant of [`apply1`].
+#[inline]
+fn apply2(
+    rf: &mut WarpRegFile,
+    d: usize,
+    a: &LaneBuf,
+    b: &LaneBuf,
+    exec: Mask,
+    full: bool,
+    f: impl Fn(u32, u32) -> u32,
+) {
+    let row = rf.row_mut(d);
+    if full {
+        for ((o, &x), &y) in row.iter_mut().zip(a.iter()).zip(b.iter()) {
+            *o = f(x, y);
+        }
+    } else {
+        for t in exec.iter() {
+            row[t] = f(a[t], b[t]);
+        }
+    }
+}
+
+/// Three-source variant of [`apply1`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn apply3(
+    rf: &mut WarpRegFile,
+    d: usize,
+    a: &LaneBuf,
+    b: &LaneBuf,
+    c: &LaneBuf,
+    exec: Mask,
+    full: bool,
+    f: impl Fn(u32, u32, u32) -> u32,
+) {
+    let row = rf.row_mut(d);
+    if full {
+        for (((o, &x), &y), &z) in row.iter_mut().zip(a.iter()).zip(b.iter()).zip(c.iter()) {
+            *o = f(x, y, z);
+        }
+    } else {
+        for t in exec.iter() {
+            row[t] = f(a[t], b[t], c[t]);
+        }
+    }
+}
+
+/// Merges a freshly computed predicate bitmask into predicate `p`:
+/// executing lanes take `res`, all others keep their old bit.
+#[inline]
+fn commit_pred(rf: &mut WarpRegFile, p: usize, exec: Mask, res: u64) {
+    debug_assert_eq!(res & !exec.bits(), 0);
+    let bits = (rf.pred_bits(p) & !exec.bits()) | res;
+    rf.set_pred_bits(p, bits);
+}
+
+/// Bit-casting adapters for the f32 op families.
+#[inline]
+fn f1(f: impl Fn(f32) -> f32) -> impl Fn(u32) -> u32 {
+    move |x| f(f32::from_bits(x)).to_bits()
+}
+#[inline]
+fn f2(f: impl Fn(f32, f32) -> f32) -> impl Fn(u32, u32) -> u32 {
+    move |x, y| f(f32::from_bits(x), f32::from_bits(y)).to_bits()
+}
+#[inline]
+fn f3(f: impl Fn(f32, f32, f32) -> f32) -> impl Fn(u32, u32, u32) -> u32 {
+    move |x, y, z| f(f32::from_bits(x), f32::from_bits(y), f32::from_bits(z)).to_bits()
+}
+
+/// Executes `instr` for every thread of a warp in one pass over the SoA
+/// register file, committing register/predicate writes in place.
+///
+/// `active` is the issue mask already restricted to populated threads; the
+/// guard is folded in here as a single bitmask operation. Memory
+/// operations do **not** touch memory: each executing lane appends its
+/// `(thread, effective address, store data)` triple to `accesses` in
+/// ascending thread order — exactly the order the scalar loop produced —
+/// and the caller (the LSU/pipeline) applies the effects. `accesses` is a
+/// caller-owned scratch buffer (cleared here) so the hot path never
+/// allocates. Returns the taken mask: the executing lanes for `Bra`,
+/// empty otherwise.
+///
+/// Architecturally equivalent to running [`guard_passes`] +
+/// [`execute_thread`] per lane and committing each outcome — the property
+/// the `exec_differential` proptest suite pins down bit-for-bit.
+pub fn execute_warp(
+    instr: &Instruction,
+    rf: &mut WarpRegFile,
+    info: &WarpInfo,
+    params: &[u32],
+    active: Mask,
+    accesses: &mut Vec<(usize, u32, u32)>,
+) -> Mask {
+    accesses.clear();
+    let width = rf.width();
+    // Guard evaluation: one AND (`@p`) or ANDN (`@!p`) against the
+    // predicate bitmask, instead of `width` boolean loads.
+    let exec = active & rf.guard_mask(instr.guard);
+    if exec.is_empty() {
+        return Mask::EMPTY;
+    }
+    let full = exec == Mask::full(width);
+
+    // Operand resolution, hoisted out of the lane loop: every present
+    // source becomes one contiguous scratch row (register rows are
+    // snapshots, so a destination aliasing a source is hazard-free and all
+    // lanes read pre-instruction state).
+    let mut bufs = [[0u32; 64]; 3];
+    for (s, buf) in instr.srcs.iter().zip(bufs.iter_mut()) {
+        if let Some(op) = s {
+            resolve_operand(*op, rf, info, params, buf);
+        }
+    }
+    let [a, b, c] = &bufs;
+    let d = || instr.dst.expect("validated dst").index();
+
+    match instr.op {
+        Op::Mov => apply1(rf, d(), a, exec, full, |x| x),
+        Op::IAdd => apply2(rf, d(), a, b, exec, full, |x, y| {
+            (x as i32).wrapping_add(y as i32) as u32
+        }),
+        Op::ISub => apply2(rf, d(), a, b, exec, full, |x, y| {
+            (x as i32).wrapping_sub(y as i32) as u32
+        }),
+        Op::IMul => apply2(rf, d(), a, b, exec, full, |x, y| {
+            (x as i32).wrapping_mul(y as i32) as u32
+        }),
+        Op::IMad => apply3(rf, d(), a, b, c, exec, full, |x, y, z| {
+            (x as i32).wrapping_mul(y as i32).wrapping_add(z as i32) as u32
+        }),
+        Op::IMin => apply2(rf, d(), a, b, exec, full, |x, y| {
+            (x as i32).min(y as i32) as u32
+        }),
+        Op::IMax => apply2(rf, d(), a, b, exec, full, |x, y| {
+            (x as i32).max(y as i32) as u32
+        }),
+        Op::And => apply2(rf, d(), a, b, exec, full, |x, y| x & y),
+        Op::Or => apply2(rf, d(), a, b, exec, full, |x, y| x | y),
+        Op::Xor => apply2(rf, d(), a, b, exec, full, |x, y| x ^ y),
+        Op::Not => apply1(rf, d(), a, exec, full, |x| !x),
+        Op::Shl => apply2(rf, d(), a, b, exec, full, |x, y| x << (y & 31)),
+        Op::Shr => apply2(rf, d(), a, b, exec, full, |x, y| x >> (y & 31)),
+        Op::Sra => apply2(rf, d(), a, b, exec, full, |x, y| {
+            ((x as i32) >> (y & 31)) as u32
+        }),
+        Op::FAdd => apply2(rf, d(), a, b, exec, full, f2(|x, y| x + y)),
+        Op::FSub => apply2(rf, d(), a, b, exec, full, f2(|x, y| x - y)),
+        Op::FMul => apply2(rf, d(), a, b, exec, full, f2(|x, y| x * y)),
+        Op::FFma => apply3(rf, d(), a, b, c, exec, full, f3(|x, y, z| x.mul_add(y, z))),
+        Op::FMin => apply2(rf, d(), a, b, exec, full, f2(f32::min)),
+        Op::FMax => apply2(rf, d(), a, b, exec, full, f2(f32::max)),
+        Op::I2F => apply1(rf, d(), a, exec, full, |x| (x as i32 as f32).to_bits()),
+        Op::F2I => apply1(rf, d(), a, exec, full, |x| f32::from_bits(x) as i32 as u32),
+        Op::ISetP => {
+            let cmp = instr.cmp.expect("validated cmp");
+            let mut res = 0u64;
+            for t in exec.iter() {
+                if cmp.eval_i32(a[t] as i32, b[t] as i32) {
+                    res |= 1 << t;
+                }
+            }
+            commit_pred(rf, instr.pdst.expect("validated pdst").index(), exec, res);
+        }
+        Op::FSetP => {
+            let cmp = instr.cmp.expect("validated cmp");
+            let mut res = 0u64;
+            for t in exec.iter() {
+                if cmp.eval_f32(f32::from_bits(a[t]), f32::from_bits(b[t])) {
+                    res |= 1 << t;
+                }
+            }
+            commit_pred(rf, instr.pdst.expect("validated pdst").index(), exec, res);
+        }
+        Op::Sel => {
+            // `Sel` reads its predicate per lane, which the value-only
+            // apply helpers hide; write the row directly.
+            let pm = rf.pred_bits(instr.sel_pred.expect("validated sel_pred").index());
+            let row = rf.row_mut(d());
+            if full {
+                for (t, o) in row.iter_mut().enumerate() {
+                    *o = if (pm >> t) & 1 == 1 { a[t] } else { b[t] };
+                }
+            } else {
+                for t in exec.iter() {
+                    row[t] = if (pm >> t) & 1 == 1 { a[t] } else { b[t] };
+                }
+            }
+        }
+        Op::Rcp => apply1(rf, d(), a, exec, full, f1(|x| 1.0 / x)),
+        Op::Sqrt => apply1(rf, d(), a, exec, full, f1(f32::sqrt)),
+        Op::Rsqrt => apply1(rf, d(), a, exec, full, f1(|x| 1.0 / x.sqrt())),
+        Op::Sin => apply1(rf, d(), a, exec, full, f1(f32::sin)),
+        Op::Cos => apply1(rf, d(), a, exec, full, f1(f32::cos)),
+        Op::Ex2 => apply1(rf, d(), a, exec, full, f1(f32::exp2)),
+        Op::Lg2 => apply1(rf, d(), a, exec, full, f1(f32::log2)),
+        Op::Ld => {
+            let off = instr.offset as u32;
+            for t in exec.iter() {
+                accesses.push((t, a[t].wrapping_add(off), 0));
+            }
+        }
+        Op::St | Op::AtomAdd => {
+            let off = instr.offset as u32;
+            for t in exec.iter() {
+                accesses.push((t, a[t].wrapping_add(off), b[t]));
+            }
+        }
+        Op::Bra => return exec, // caller gates on guard
+        Op::Sync | Op::Bar | Op::Exit | Op::Nop => {}
+    }
+    Mask::EMPTY
 }
 
 /// Convenience: evaluates a comparison the way `ISetP` would (used by

@@ -78,6 +78,16 @@ impl LaneShuffle {
         }
     }
 
+    /// Writes the thread→lane mapping of warp `wid` into `out` (index =
+    /// thread-in-warp, value = physical lane), reusing the allocation.
+    /// This is the SoA row the launch path seeds into
+    /// [`crate::launch::WarpInfo`] and `execute_warp` reads when it
+    /// materialises the `laneid` special register.
+    pub fn fill_lanes(self, out: &mut Vec<u32>, wid: usize, width: usize, num_warps: usize) {
+        out.clear();
+        out.extend((0..width).map(|t| self.lane(t, wid, width, num_warps) as u32));
+    }
+
     /// Translates a thread-space mask into lane space for warp `wid`.
     pub fn mask_to_lanes(self, mask: Mask, wid: usize, width: usize, num_warps: usize) -> Mask {
         if self == LaneShuffle::Identity {

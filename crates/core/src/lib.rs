@@ -53,6 +53,7 @@ pub mod lsu;
 pub mod machine;
 pub mod mask;
 pub mod pipeline;
+pub mod regfile;
 pub mod scoreboard;
 pub mod stats;
 pub mod sweep;
@@ -65,12 +66,13 @@ pub use config::{
 pub use divergence::frontier::{FrontierHeap, HeapStats};
 pub use divergence::stack::PdomStack;
 pub use divergence::Transition;
-pub use exec::{ThreadInfo, ThreadRegs};
+pub use exec::{execute_warp, ThreadInfo, ThreadRegs};
 pub use lane::LaneShuffle;
-pub use launch::Launch;
+pub use launch::{Launch, WarpInfo};
 pub use machine::{Machine, MachineStats, MemJournal};
 pub use mask::Mask;
 pub use pipeline::{SimError, Sm};
+pub use regfile::WarpRegFile;
 pub use scoreboard::{DepMatrix, Scoreboard};
 pub use stats::Stats;
 pub use sweep::SweepRunner;

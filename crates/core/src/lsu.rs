@@ -68,32 +68,52 @@ pub fn plan_global(l1: &mut Cache, start: u64, txs: &[Transaction], is_store: bo
 /// distinct banks proceed together; lanes hitting different words in the
 /// same bank serialise (Fermi-style 32-bank scratchpad; broadcast of the
 /// same word is free).
+///
+/// Contract: `accesses` holds at most one entry per lane (the pipeline
+/// emits one access per executing thread) and addresses are expected
+/// word-aligned — the caller masks with `& !3`, and conflicts are
+/// counted at word granularity (two byte addresses inside one word are
+/// one broadcast, exactly the banked-SRAM behaviour). A wave with more
+/// than 32 entries (duplicate lanes) panics.
 pub fn shared_passes(accesses: &[(usize, u32)]) -> u64 {
     if accesses.is_empty() {
         return 1;
     }
     let mut total = 0u64;
-    // Process in 32-lane waves.
+    // Process in 32-lane waves. Lanes are unique (see contract), so a
+    // wave holds at most 32 accesses — a stack buffer and one sort
+    // replace the per-bank filter passes (hot path: every shared-memory
+    // instruction lands here), with identical pass counts for the
+    // word-aligned addresses the pipeline emits.
     let max_lane = accesses.iter().map(|&(l, _)| l).max().unwrap_or(0);
     for wave in 0..=(max_lane / 32) {
-        let wave_accesses: Vec<u32> = accesses
-            .iter()
-            .filter(|&&(l, _)| l / 32 == wave)
-            .map(|&(_, a)| a)
-            .collect();
-        if wave_accesses.is_empty() {
+        let mut words = [0u32; 32];
+        let mut n = 0;
+        for &(l, a) in accesses {
+            if l / 32 == wave {
+                debug_assert!(n < 32, "duplicate lanes in shared access list");
+                words[n] = a / 4;
+                n += 1;
+            }
+        }
+        if n == 0 {
             continue;
         }
+        let words = &mut words[..n];
+        words.sort_unstable();
+        // Distinct words per bank (word % 32); the wave's cost is the
+        // worst bank (broadcast of one word counts once).
+        let mut per_bank = [0u64; 32];
         let mut worst = 1u64;
-        for bank in 0..32u32 {
-            let mut words: Vec<u32> = wave_accesses
-                .iter()
-                .copied()
-                .filter(|a| (a / 4) % 32 == bank)
-                .collect();
-            words.sort_unstable();
-            words.dedup();
-            worst = worst.max(words.len() as u64);
+        let mut prev = None;
+        for &w in words.iter() {
+            if prev == Some(w) {
+                continue;
+            }
+            prev = Some(w);
+            let b = (w % 32) as usize;
+            per_bank[b] += 1;
+            worst = worst.max(per_bank[b]);
         }
         total += worst;
     }

@@ -28,12 +28,13 @@ use crate::config::{Frontend, ScoreboardMode, SmConfig};
 use crate::divergence::frontier::FrontierHeap;
 use crate::divergence::stack::PdomStack;
 use crate::divergence::Transition;
-use crate::exec::{execute_thread, guard_passes, ThreadInfo, ThreadRegs};
+use crate::exec::execute_warp;
 use crate::groups::ExecGroups;
-use crate::launch::Launch;
+use crate::launch::{Launch, WarpInfo};
 use crate::lsu::{plan_global, shared_passes};
 use crate::machine::MemJournal;
 use crate::mask::Mask;
+use crate::regfile::WarpRegFile;
 use crate::scoreboard::{SbToken, Scoreboard};
 use crate::stats::Stats;
 use crate::trace::{IssueSlot, TraceEvent};
@@ -89,8 +90,11 @@ struct IbufEntry {
 struct Warp {
     alive: bool,
     block_slot: usize,
-    regs: Vec<ThreadRegs>,
-    infos: Vec<ThreadInfo>,
+    /// SoA architectural state: register rows + predicate bitmasks,
+    /// allocated once and zero-filled in place on every block launch.
+    regs: WarpRegFile,
+    /// SoA launch coordinates (warp-uniform splats + the lane row).
+    info: WarpInfo,
     div: Divergence,
     scoreboard: Scoreboard,
     ibuf: [Option<IbufEntry>; 2],
@@ -244,6 +248,12 @@ pub struct Sm {
     fetch_rr: [usize; 2],
     next_seq: u64,
     last_progress: u64,
+    /// Persistent access-list scratch `(thread, addr, data)` — reused by
+    /// every issued instruction instead of a per-issue allocation.
+    access_scratch: Vec<(usize, u32, u32)>,
+    /// Persistent word-aligned `(thread, addr)` scratch for the LSU
+    /// coalescer.
+    addr_scratch: Vec<(usize, u32)>,
 }
 
 /// Cycles without any issue or writeback before the deadlock watchdog fires.
@@ -314,8 +324,8 @@ impl Sm {
             .map(|_| Warp {
                 alive: false,
                 block_slot: 0,
-                regs: Vec::new(),
-                infos: Vec::new(),
+                regs: WarpRegFile::new(cfg.warp_width),
+                info: WarpInfo::new(cfg.warp_width),
                 div: Divergence::Stack(PdomStack::new(Mask::EMPTY)),
                 scoreboard: Scoreboard::new(cfg.scoreboard_mode, cfg.scoreboard_entries),
                 ibuf: [None, None],
@@ -358,6 +368,8 @@ impl Sm {
             fetch_rr: [0, 0],
             next_seq: 0,
             last_progress: 0,
+            access_scratch: Vec::new(),
+            addr_scratch: Vec::new(),
             cfg,
         };
         sm.refill_blocks();
@@ -1285,8 +1297,10 @@ impl Sm {
             let transition = self.transition_for(instr, r.pc, r.mask, taken);
             transitions[r.slot] = Some(transition);
 
-            // Back-end timing.
+            // Back-end timing, then hand the scratch buffer back for the
+            // next issue event.
             let wb_time = self.time_pick(w, instr, r.mask, &accesses, pick.dispatch);
+            self.access_scratch = accesses;
 
             // Statistics & trace.
             self.stats.warp_instructions += 1;
@@ -1415,46 +1429,38 @@ impl Sm {
         }
     }
 
-    /// Functional execution of `instr` for the threads in `mask`: applies
-    /// register writes, performs memory reads/writes, returns the taken
-    /// mask (branches) and the access list `(thread, addr, data)`.
+    /// Functional execution of `instr` for the threads in `mask`: runs the
+    /// warp-level SoA execute path ([`execute_warp`]), performs the memory
+    /// reads/writes it reported, and returns the taken mask (branches)
+    /// plus the access list `(thread, addr, data)`.
+    ///
+    /// The access list is the SM's persistent scratch buffer, moved out to
+    /// satisfy the borrow checker — the caller returns it via
+    /// `self.access_scratch = accesses` once timing is done, so no issue
+    /// event allocates.
     fn execute_functional(
         &mut self,
         w: usize,
         instr: &Instruction,
         mask: Mask,
     ) -> (Mask, Vec<(usize, u32, u32)>) {
-        let mut taken = Mask::EMPTY;
-        let mut accesses: Vec<(usize, u32, u32)> = Vec::new();
-        let block_slot = self.warps[w].block_slot;
-        for t in mask.iter() {
-            let warp = &self.warps[w];
-            if !warp.populated.get(t) {
-                continue;
-            }
-            let regs = &warp.regs[t];
-            let info = &warp.infos[t];
-            if !guard_passes(instr, regs) {
-                continue;
-            }
-            let out = execute_thread(instr, regs, info, &self.params);
-            if out.branch_taken {
-                taken = taken.with(t);
-            }
-            if let Some(addr) = out.mem_addr {
-                accesses.push((t, addr, out.mem_data.unwrap_or(0)));
-            }
-            let warp = &mut self.warps[w];
-            if let Some((r, v)) = out.reg_write {
-                warp.regs[t].set_reg(r, v);
-            }
-            if let Some((p, v)) = out.pred_write {
-                warp.regs[t].set_pred(p, v);
-            }
-        }
+        let mut accesses = std::mem::take(&mut self.access_scratch);
+        let params = &self.params;
+        let warp = &mut self.warps[w];
+        let block_slot = warp.block_slot;
+        let active = mask & warp.populated;
+        let taken = execute_warp(
+            instr,
+            &mut warp.regs,
+            &warp.info,
+            params,
+            active,
+            &mut accesses,
+        );
         // Memory side effects (loads read, stores/atomics write).
         match instr.op {
             Op::Ld => {
+                let d = instr.dst.expect("load has dst").index();
                 for &(t, addr, _) in &accesses {
                     let v = match instr.space {
                         warpweave_isa::MemSpace::Global => self.mem.read_u32(addr & !3),
@@ -1462,13 +1468,11 @@ impl Sm {
                             self.shared[block_slot].read_u32(addr & !3)
                         }
                     };
-                    let d = instr.dst.expect("load has dst").index();
-                    self.warps[w].regs[t].set_reg(d, v);
+                    self.warps[w].regs.set_reg(t, d, v);
                 }
             }
             Op::St => {
-                for &(t, addr, data) in &accesses {
-                    let _ = t;
+                for &(_, addr, data) in &accesses {
                     match instr.space {
                         warpweave_isa::MemSpace::Global => {
                             self.mem.write_u32(addr & !3, data);
@@ -1524,7 +1528,7 @@ impl Sm {
     /// whose transactions await a DRAM grant.
     fn time_pick(
         &mut self,
-        w: usize,
+        _w: usize,
         instr: &Instruction,
         _mask: Mask,
         accesses: &[(usize, u32, u32)],
@@ -1549,8 +1553,9 @@ impl Sm {
                     WbTiming::At(last + lat)
                 }
                 UnitClass::Lsu => {
-                    let addr_list: Vec<(usize, u32)> =
-                        accesses.iter().map(|&(t, a, _)| (t, a & !3)).collect();
+                    let mut addr_list = std::mem::take(&mut self.addr_scratch);
+                    addr_list.clear();
+                    addr_list.extend(accesses.iter().map(|&(t, a, _)| (t, a & !3)));
                     let waves = self.groups.waves(g, width);
                     let (port, timing) = match (instr.space, instr.op) {
                         (warpweave_isa::MemSpace::Global, Op::AtomAdd) => {
@@ -1616,7 +1621,7 @@ impl Sm {
                         }
                     };
                     self.groups.occupy(g, now, port.max(waves));
-                    let _ = w;
+                    self.addr_scratch = addr_list;
                     timing
                 }
                 UnitClass::Control => WbTiming::At(now + 1),
@@ -1705,17 +1710,19 @@ impl Sm {
             warp.block_slot = slot;
             warp.exited = Mask::EMPTY;
             warp.populated = populated;
-            warp.regs = (0..width).map(|_| ThreadRegs::new()).collect();
-            warp.infos = (0..width)
-                .map(|t| ThreadInfo {
-                    tid: base_tid + t as u32,
-                    ctaid: block_id,
-                    ntid: self.block_threads,
-                    nctaid: self.grid_blocks,
-                    lane: self.cfg.lane_shuffle.lane(t, w, width, self.cfg.num_warps) as u32,
-                    warp: w as u32,
-                })
-                .collect();
+            // Zero-fill the SoA register file and re-seed the launch
+            // coordinates in place — no per-launch reallocation.
+            warp.regs.reset();
+            warp.info.seed(
+                base_tid,
+                block_id,
+                self.block_threads,
+                self.grid_blocks,
+                w as u32,
+                self.cfg.lane_shuffle,
+                width,
+                self.cfg.num_warps,
+            );
             warp.scoreboard =
                 Scoreboard::new(self.cfg.scoreboard_mode, self.cfg.scoreboard_entries);
             warp.ibuf = [None, None];
