@@ -11,7 +11,7 @@
 //! `wall_seconds` / `*_per_second` fields vary by host.
 //!
 //! Usage: `bench_hotpath [--small] [--reps N] [--out PATH]
-//!                       [--baseline PATH] [--label NAME]`
+//!                       [--baseline PATH] [--label NAME] [--golden PATH]`
 //!
 //! * `--small` — test-scale inputs and fewer reps (the CI preset).
 //! * `--baseline PATH` — a previously written `BENCH_hotpath.json` to embed
@@ -19,11 +19,17 @@
 //!   it (how the AoS→SoA before/after series is recorded).
 //! * `--label NAME` — tags the measured runs (e.g. `aos-exec-loop`,
 //!   `soa-execute-warp`).
+//! * `--golden PATH` — golden baseline for the SWI micro-assert (default
+//!   `BENCH_golden.json`; skipped with a note if the file is absent).
+//!   Before timing anything the binary re-runs the SWI and SBI+SWI
+//!   hotpath cells at test scale and panics on any counter drift — the
+//!   guard that the precomputed lane-permutation table (and any other
+//!   hot-path rewrite) stays behaviour-invisible on the SWI lookup path.
 
 use std::time::Instant;
 
-use warpweave_bench::arg_value;
-use warpweave_bench::report::json_escape;
+use warpweave_bench::report::{json_escape, parse_golden_cells};
+use warpweave_bench::{arg_value, harness};
 use warpweave_core::SmConfig;
 use warpweave_workloads::{by_name, run_prepared, Scale};
 
@@ -140,6 +146,43 @@ fn parse_baseline_ips(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// The SWI-path micro-assert: re-runs the hotpath workloads under the
+/// registry-built `SWI` and `SBI+SWI` configs at test scale and checks
+/// `cycles`/`thread_instructions` against the committed golden baseline.
+/// Returns a short status string for the JSON payload; panics on drift.
+fn check_swi_golden(golden_path: &str) -> String {
+    let Ok(text) = std::fs::read_to_string(golden_path) else {
+        eprintln!("swi golden micro-assert: {golden_path} not found, skipping");
+        return format!("skipped ({golden_path} not found)");
+    };
+    let cells = parse_golden_cells(&text);
+    let mut checked = 0usize;
+    for config in ["SWI", "SBI+SWI"] {
+        let cfg = SmConfig::with_policy(config).expect("registered policy");
+        for (workload, _) in WORKLOADS {
+            let key = harness::cell_key(workload, &cfg.name);
+            let golden = cells
+                .iter()
+                .find(|c| c.key == key)
+                .unwrap_or_else(|| panic!("golden baseline has no cell '{key}'"));
+            let cell = harness::run_one_at(
+                &cfg,
+                by_name(workload).expect("registered").as_ref(),
+                Scale::Test,
+                false,
+            );
+            assert_eq!(
+                (cell.stats.cycles, cell.stats.thread_instructions),
+                (golden.cycles, golden.thread_instructions),
+                "SWI golden micro-assert drifted on {key}"
+            );
+            checked += 1;
+        }
+    }
+    eprintln!("swi golden micro-assert: {checked} cells bit-exact");
+    format!("ok ({checked} cells)")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
@@ -153,6 +196,9 @@ fn main() {
             _ => panic!("--reps takes a count of at least 1"),
         })
         .unwrap_or(if small { 2 } else { 3 });
+
+    let golden_path = arg_value(&args, "--golden").unwrap_or_else(|| "BENCH_golden.json".into());
+    let swi_check = check_swi_golden(&golden_path);
 
     let cfg = SmConfig::baseline();
     let mut runs = Vec::new();
@@ -182,6 +228,10 @@ fn main() {
         if small { "small" } else { "full" }
     ));
     json.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&label)));
+    json.push_str(&format!(
+        "  \"swi_golden_check\": \"{}\",\n",
+        json_escape(&swi_check)
+    ));
     json.push_str("  \"runs\": [\n");
     json.push_str(&render_runs(&runs, "    "));
     json.push_str("\n  ]");

@@ -4,12 +4,17 @@
 //!
 //! Usage:
 //! `bench_sweep [--full] [--out PATH] [--checkpoint PATH] [--no-checkpoint]
-//!              [--cell-budget N] [--threads N]
+//!              [--cell-budget N] [--threads N] [--frontend NAMES]
+//!              [--list-frontends]
 //!              [--record-golden] [--check-golden] [--golden PATH]`
 //!
 //! * default — a quick test-scale sweep (2 workloads × 5 front-ends) plus
 //!   the 4 machine probes; also cross-checks the serial vs. parallel path
 //!   for bit-identical statistics (the determinism audit).
+//! * `--frontend NAMES` — replace the fig. 7 columns with the named
+//!   issue policies (comma-separated; any name the policy registry
+//!   resolves, e.g. `GreedyThenOldest` or `Baseline,GTO`).
+//! * `--list-frontends` — print every registered policy name and exit.
 //! * `--full` — the fig. 7 sweep (all 21 workloads × 5 front-ends) at
 //!   bench scale. Minutes of work, which is why it checkpoints: every
 //!   completed cell is flushed to `--checkpoint` (default
@@ -38,7 +43,7 @@ use warpweave_bench::report::{
 };
 use warpweave_bench::{arg_value, MatrixResult};
 use warpweave_core::checkpoint::SweepCheckpoint;
-use warpweave_core::SweepRunner;
+use warpweave_core::{PolicyRegistry, SweepRunner};
 use warpweave_workloads::Scale;
 
 fn cells_identical(a: &MatrixResult, b: &MatrixResult) -> bool {
@@ -87,6 +92,13 @@ fn main() -> ExitCode {
         None => SweepRunner::new(),
     };
 
+    if args.iter().any(|a| a == "--list-frontends") {
+        for name in PolicyRegistry::global_names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if record_golden {
         let json = render_golden(&runner);
         std::fs::write(&golden_path, &json).expect("write golden baseline");
@@ -114,7 +126,13 @@ fn main() -> ExitCode {
     }
 
     // Sweep mode.
-    let configs = grid::figure7_configs();
+    let configs = match arg_value(&args, "--frontend") {
+        Some(names) => names
+            .split(',')
+            .map(|n| grid::frontend_config(n.trim()).unwrap_or_else(|e| panic!("--frontend: {e}")))
+            .collect(),
+        None => grid::figure7_configs(),
+    };
     let workloads = grid::sweep_workloads(full);
     let scale = if full { Scale::Bench } else { Scale::Test };
     let scale_label = if full { "bench" } else { "test" };

@@ -4,7 +4,13 @@
 //!
 //! Instruction numbering follows the paper: 1 = the divergent branch,
 //! 2–4 = the `if` side, 5 = the `else` side, 6 = the reconverged tail.
+//!
+//! `--frontend NAMES` (comma-separated registry names) renders the
+//! timeline under the named issue policies instead of the paper's five
+//! variants — e.g. `--frontend Baseline,GreedyThenOldest` to compare
+//! scheduling orders on the toy kernel.
 
+use warpweave_bench::arg_value;
 use warpweave_core::{render_timeline, Launch, Sm, SmConfig};
 use warpweave_isa::{p, r, CmpOp, KernelBuilder, Program, SpecialReg};
 
@@ -38,6 +44,22 @@ fn shrink(cfg: SmConfig, name: &str) -> SmConfig {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(names) = arg_value(&args, "--frontend") {
+        for name in names.split(',') {
+            let cfg =
+                SmConfig::with_policy(name.trim()).unwrap_or_else(|e| panic!("--frontend: {e}"));
+            let label = cfg.name.clone();
+            let cfg = shrink(cfg, &label);
+            let launch = Launch::new(toy_program(), 2, 4);
+            let mut sm = Sm::new(cfg, launch).expect("valid configuration");
+            sm.enable_trace();
+            sm.run(10_000).expect("toy kernel finishes");
+            println!("== {label} ==");
+            println!("{}", render_timeline(sm.trace_events(), 2, 4));
+        }
+        return;
+    }
     let variants = vec![
         shrink(SmConfig::baseline(), "(a) SIMT baseline"),
         shrink(

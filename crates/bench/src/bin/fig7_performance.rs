@@ -2,7 +2,12 @@
 //! thread-frontier Warp64 reference on the regular (7a) and irregular (7b)
 //! application sets.
 //!
-//! Usage: `fig7_performance [--set regular|irregular|all] [--no-verify]`
+//! Usage: `fig7_performance [--set regular|irregular|all] [--no-verify]
+//!                          [--frontend NAMES]`
+//!
+//! `--frontend NAMES` replaces the five fig. 7 columns with the named
+//! issue policies (comma-separated registry names, e.g.
+//! `Baseline,GreedyThenOldest`).
 //!
 //! As in the paper, TMD1/TMD2 are excluded from the irregular geometric mean
 //! ("as the TMD application reflects properties of thread-frontier based
@@ -22,7 +27,13 @@ fn main() {
         .unwrap_or("all")
         .to_string();
     let verify = !args.iter().any(|a| a == "--no-verify");
-    let configs = grid::figure7_configs();
+    let configs = match warpweave_bench::arg_value(&args, "--frontend") {
+        Some(names) => names
+            .split(',')
+            .map(|n| grid::frontend_config(n.trim()).unwrap_or_else(|e| panic!("--frontend: {e}")))
+            .collect(),
+        None => grid::figure7_configs(),
+    };
 
     if set == "regular" || set == "all" {
         let workloads = warpweave_workloads::regular();

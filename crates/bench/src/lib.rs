@@ -15,8 +15,8 @@ pub use harness::{
     BENCH_SEED,
 };
 pub use report::{
-    check_golden, render_golden_json, render_sweep_json, run_machine_probes, ProbeResult,
-    GOLDEN_SCHEMA, SWEEP_SCHEMA,
+    check_golden, parse_golden_cells, render_golden_json, render_sweep_json, run_machine_probes,
+    GoldenCell, ProbeResult, GOLDEN_SCHEMA, SWEEP_SCHEMA,
 };
 
 /// Returns the value following `flag` in an argument list — the one

@@ -264,6 +264,53 @@ pub fn render_golden_json(
     json
 }
 
+/// One cell pulled back out of a committed golden baseline: the key plus
+/// the two headline counters every consumer cross-checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenCell {
+    /// `workload/config` (or `machine/...` probe) key.
+    pub key: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Thread-instructions committed.
+    pub thread_instructions: u64,
+}
+
+/// Parses the committed golden baseline's cell lines back into
+/// [`GoldenCell`]s. The renderer puts one cell per line with the fields
+/// in a fixed order ([`render_golden_json`]), so a line scan is exact for
+/// our own output — this is what `bench_hotpath`'s micro-assert and the
+/// policy-equivalence test cross-check registry-built runs against.
+pub fn parse_golden_cells(text: &str) -> Vec<GoldenCell> {
+    fn field_u64(line: &str, key: &str) -> Option<u64> {
+        let start = line.find(key)? + key.len();
+        let tail = &line[start..];
+        let num: String = tail.chars().take_while(char::is_ascii_digit).collect();
+        num.parse().ok()
+    }
+    let mut out = Vec::new();
+    for line in text.lines() {
+        const KKEY: &str = "\"key\": \"";
+        let Some(kstart) = line.find(KKEY) else {
+            continue;
+        };
+        let rest = &line[kstart + KKEY.len()..];
+        let Some(kend) = rest.find('"') else { continue };
+        let (Some(cycles), Some(thread_instructions)) = (
+            field_u64(line, "\"cycles\": "),
+            field_u64(line, "\"thread_instructions\": "),
+        ) else {
+            continue;
+        };
+        out.push(GoldenCell {
+            key: rest[..kend].to_string(),
+            cycles,
+            thread_instructions,
+        });
+    }
+    out
+}
+
 /// Diffs a freshly rendered golden baseline against the committed one,
 /// line by line, with a tolerance of exactly zero. Returns `Ok(())` on
 /// byte identity; otherwise a human-readable report naming every drifted
@@ -336,5 +383,24 @@ mod tests {
         assert!(line.contains("\"key\": \"w/c\""));
         assert!(line.contains("\"cycles\": 0"));
         assert!(line.contains("\"channel\""));
+    }
+
+    #[test]
+    fn golden_cells_round_trip_through_the_parser() {
+        let stats = Stats {
+            cycles: 1234,
+            thread_instructions: 56789,
+            ..Stats::default()
+        };
+        let line = render_golden_cell("MatrixMul/SWI", &stats, None);
+        let cells = parse_golden_cells(&line);
+        assert_eq!(
+            cells,
+            vec![GoldenCell {
+                key: "MatrixMul/SWI".into(),
+                cycles: 1234,
+                thread_instructions: 56789,
+            }]
+        );
     }
 }

@@ -1,0 +1,194 @@
+//! Equivalence and determinism guarantees of the pluggable issue-policy
+//! registry:
+//!
+//! * every registered policy name round-trips through config
+//!   serialization — the preset's `policy` field resolves back to the
+//!   same entry, and a sweep checkpoint keyed by each policy's config
+//!   label resumes exactly;
+//! * the five legacy `Frontend` configurations produce **bit-identical**
+//!   statistics to the committed `BENCH_golden.json` when constructed via
+//!   the new registry path (`SmConfig::with_policy`);
+//! * the net-new `GreedyThenOldest` policy is selectable from the
+//!   registry, differs from the baseline order, and is bit-identical
+//!   across 1 and 8 host threads on a multi-SM machine.
+
+use warpweave_bench::harness::{cell_key, run_one_at};
+use warpweave_bench::parse_golden_cells;
+use warpweave_core::checkpoint::{CellRecord, SweepCheckpoint};
+use warpweave_core::{Launch, Machine, MachineStats, PolicyRegistry, SchedOrder, SmConfig};
+use warpweave_isa::{p, r, CmpOp, KernelBuilder, Operand, Program, SpecialReg};
+use warpweave_workloads::{by_name, Scale};
+
+/// The committed golden baseline at the workspace root.
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_golden.json")
+}
+
+#[test]
+fn registry_names_round_trip_through_config_serialization() {
+    let names = PolicyRegistry::global_names();
+    assert!(
+        names.contains(&"GreedyThenOldest"),
+        "the net-new policy must be registered"
+    );
+    for name in &names {
+        let cfg = SmConfig::with_policy(name).expect("registered name builds a preset");
+        // The serialized face of a config's policy is its name: it must
+        // resolve back to the same registry entry, and validate.
+        let entry = PolicyRegistry::resolve_global(&cfg.policy)
+            .unwrap_or_else(|| panic!("preset policy '{}' does not resolve", cfg.policy));
+        assert_eq!(entry.name, *name);
+        cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+
+    // And through the on-disk checkpoint format: one cell per policy,
+    // keyed by the preset's config label, written and resumed exactly.
+    let dir = std::env::temp_dir().join(format!("warpweave-policy-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("policies.checkpoint");
+    let path = path.to_str().expect("utf-8 temp path");
+    let grid = 0x9e3779b97f4a7c15u64;
+    {
+        let mut store = SweepCheckpoint::resume(path, grid).expect("fresh checkpoint");
+        for (i, name) in names.iter().enumerate() {
+            let cfg = SmConfig::with_policy(name).expect("registered");
+            let stats = warpweave_core::Stats {
+                cycles: 100 + i as u64,
+                ..Default::default()
+            };
+            store
+                .record(&cell_key("RoundTrip", &cfg.name), CellRecord::new(stats))
+                .expect("record");
+        }
+    }
+    let store = SweepCheckpoint::resume(path, grid).expect("resume");
+    for (i, name) in names.iter().enumerate() {
+        let cfg = SmConfig::with_policy(name).expect("registered");
+        let rec = store
+            .get(&cell_key("RoundTrip", &cfg.name))
+            .unwrap_or_else(|| panic!("{name}: cell lost in round trip"));
+        assert_eq!(rec.stats.cycles, 100 + i as u64, "{name}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_frontends_match_golden_via_registry_path() {
+    let text = std::fs::read_to_string(golden_path())
+        .expect("committed BENCH_golden.json at the workspace root");
+    let cells = parse_golden_cells(&text);
+    assert!(!cells.is_empty(), "golden baseline parsed no cells");
+    let mut checked = 0usize;
+    for name in ["Baseline", "Warp64", "SBI", "SWI", "SBI+SWI"] {
+        let cfg = SmConfig::with_policy(name).expect("registered");
+        for workload in ["MatrixMul", "SortingNetworks"] {
+            let key = cell_key(workload, &cfg.name);
+            let golden = cells
+                .iter()
+                .find(|c| c.key == key)
+                .unwrap_or_else(|| panic!("golden baseline has no cell '{key}'"));
+            let cell = run_one_at(
+                &cfg,
+                by_name(workload).expect("registered workload").as_ref(),
+                Scale::Test,
+                false,
+            );
+            assert_eq!(
+                (cell.stats.cycles, cell.stats.thread_instructions),
+                (golden.cycles, golden.thread_instructions),
+                "{key}: registry-constructed run drifted from BENCH_golden.json"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 10);
+}
+
+/// A divergent kernel with data-dependent trip counts (the
+/// multi-SM-determinism workhorse): `out[gtid] = collatz_steps(gtid % 37)`.
+fn collatz_program() -> Program {
+    let mut k = KernelBuilder::new("collatz");
+    k.mov(r(0), SpecialReg::CtaId);
+    k.imad(r(0), r(0), SpecialReg::NTid, SpecialReg::Tid);
+    k.mov(r(1), r(0));
+    k.label("mod");
+    k.isetp(p(0), CmpOp::Ge, r(1), 37i32);
+    k.guard_t(p(0)).isub(r(1), r(1), 37i32);
+    k.bra_if(p(0), "mod");
+    k.iadd(r(1), r(1), 1i32);
+    k.mov(r(2), 0i32);
+    k.label("loop");
+    k.isetp(p(1), CmpOp::Le, r(1), 1i32);
+    k.bra_if(p(1), "done");
+    k.and_(r(3), r(1), 1i32);
+    k.isetp(p(2), CmpOp::Eq, r(3), 0i32);
+    k.bra_if(p(2), "even");
+    k.imad(r(1), r(1), 3i32, 1i32);
+    k.bra("next");
+    k.label("even");
+    k.shr(r(1), r(1), 1i32);
+    k.label("next");
+    k.iadd(r(2), r(2), 1i32);
+    k.bra("loop");
+    k.label("done");
+    k.shl(r(4), r(0), 2i32);
+    k.iadd(r(4), Operand::Param(0), r(4));
+    k.st(r(4), 0, r(2));
+    k.exit();
+    k.build().expect("collatz assembles")
+}
+
+const OUT: u32 = 0x10_0000;
+
+fn run_gto_machine(threads: usize) -> (MachineStats, Vec<u32>) {
+    let launch = Launch::new(collatz_program(), 12, 256).with_params(vec![OUT]);
+    let mut machine = Machine::new(SmConfig::greedy_then_oldest(), 4, launch)
+        .expect("GTO machine builds")
+        .with_threads(threads);
+    let stats = machine.run(50_000_000).expect("GTO machine runs").clone();
+    let words = machine.memory().read_words(OUT, 12 * 256);
+    (stats, words)
+}
+
+#[test]
+fn greedy_then_oldest_is_deterministic_across_host_threads() {
+    let (reference, ref_mem) = run_gto_machine(1);
+    let (eight, mem8) = run_gto_machine(8);
+    assert_eq!(eight, reference, "GTO stats diverged at 8 host threads");
+    assert_eq!(mem8, ref_mem, "GTO memory diverged at 8 host threads");
+    assert!(reference.total.thread_instructions > 0);
+}
+
+#[test]
+fn greedy_then_oldest_changes_the_schedule_but_not_the_result() {
+    // GTO is the same machine as the baseline with a different walk
+    // order: results (architectural memory) must match, while the
+    // schedule (cycle counts) is genuinely different on a kernel with
+    // inter-warp imbalance.
+    let run = |cfg: SmConfig| {
+        let launch = Launch::new(collatz_program(), 6, 256).with_params(vec![OUT]);
+        let mut sm = warpweave_core::Sm::new(cfg, launch).expect("builds");
+        let stats = sm.run(50_000_000).expect("runs").clone();
+        let mem = sm.memory().read_words(OUT, 6 * 256);
+        (stats, mem)
+    };
+    let (base_stats, base_mem) = run(SmConfig::baseline());
+    let (gto_stats, gto_mem) = run(SmConfig::greedy_then_oldest());
+    assert_eq!(
+        gto_mem, base_mem,
+        "scheduling order must not change results"
+    );
+    assert_eq!(
+        gto_stats.thread_instructions, base_stats.thread_instructions,
+        "same work, different order"
+    );
+    assert_ne!(
+        (gto_stats.cycles, gto_stats.idle_cycles),
+        (base_stats.cycles, base_stats.idle_cycles),
+        "GTO should produce a different schedule on an imbalanced kernel"
+    );
+    // The order parameter composes onto non-baseline policies too.
+    let (swi_stats, swi_mem) = run(SmConfig::swi().with_sched_order(SchedOrder::GreedyThenOldest));
+    assert_eq!(swi_mem, base_mem);
+    assert!(swi_stats.thread_instructions > 0);
+}

@@ -3,8 +3,13 @@
 use warpweave_mem::{CacheConfig, DramConfig};
 
 use crate::lane::LaneShuffle;
+use crate::policy::{PolicyRegistry, SchedOrder};
 
-/// Which issue front-end the SM uses.
+/// The paper's five issue front-ends, kept as a **thin alias over the
+/// policy registry's names**: since the issue paths moved into
+/// [`crate::policy`], an [`SmConfig`] selects its front-end by registry
+/// name ([`SmConfig::policy`]) and this enum only maps the legacy figure
+/// labels onto those names (and back via [`Frontend::from_name`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Frontend {
     /// Fermi-like baseline: two warp pools (even/odd IDs), one oldest-first
@@ -24,7 +29,8 @@ pub enum Frontend {
 }
 
 impl Frontend {
-    /// The label used in the paper's figures.
+    /// The label used in the paper's figures — also the policy's
+    /// canonical [`PolicyRegistry`] name.
     pub fn name(self) -> &'static str {
         match self {
             Frontend::Baseline => "Baseline",
@@ -33,6 +39,20 @@ impl Frontend {
             Frontend::Swi => "SWI",
             Frontend::SbiSwi => "SBI+SWI",
         }
+    }
+
+    /// Maps a registry name back onto the legacy enum (`None` for
+    /// policies outside the paper's five, e.g. `GreedyThenOldest`).
+    pub fn from_name(name: &str) -> Option<Frontend> {
+        [
+            Frontend::Baseline,
+            Frontend::Warp64,
+            Frontend::Sbi,
+            Frontend::Swi,
+            Frontend::SbiSwi,
+        ]
+        .into_iter()
+        .find(|f| f.name() == name)
     }
 
     /// True if this front-end can co-issue a secondary instruction.
@@ -148,8 +168,12 @@ pub struct SmConfig {
     pub num_warps: usize,
     /// Threads per warp (32 baseline, 64 for SBI/SWI — table 2).
     pub warp_width: usize,
-    /// Issue policy.
-    pub frontend: Frontend,
+    /// Issue-policy registry name (see [`PolicyRegistry`]); resolved to a
+    /// boxed [`crate::policy::IssuePolicy`] at SM construction.
+    pub policy: String,
+    /// Scheduling order the policy walks its primary candidates in —
+    /// composable across every registered policy.
+    pub sched_order: SchedOrder,
     /// Divergence tracking structure.
     pub divergence: DivergenceModel,
     /// Apply SBI reconvergence constraints (`SYNC` suspension, §3.3).
@@ -202,7 +226,8 @@ impl SmConfig {
             name: frontend.name().to_string(),
             num_warps: 16,
             warp_width: 64,
-            frontend,
+            policy: frontend.name().to_string(),
+            sched_order: SchedOrder::OldestFirst,
             divergence: DivergenceModel::Frontier,
             sbi_constraints: false,
             lane_shuffle: LaneShuffle::Identity,
@@ -310,6 +335,37 @@ impl SmConfig {
         }
     }
 
+    /// The net-new scheduling-order policy: the baseline dual-pool
+    /// machine with **greedy-then-oldest** warp ordering (the pool's
+    /// last-issued warp keeps priority while it stays ready). The order
+    /// itself is a composable [`SchedOrder`] parameter — this preset is
+    /// its registered stand-alone entry point.
+    pub fn greedy_then_oldest() -> SmConfig {
+        SmConfig {
+            name: "GreedyThenOldest".into(),
+            policy: "GreedyThenOldest".into(),
+            sched_order: SchedOrder::GreedyThenOldest,
+            ..Self::baseline()
+        }
+    }
+
+    /// Builds the preset configuration of any registered issue policy by
+    /// name (canonical or alias) — the registry-driven entry point the
+    /// sweep/figure CLIs' `--frontend <name>` flag resolves through.
+    ///
+    /// # Errors
+    /// Unknown policy names, listing what is registered.
+    pub fn with_policy(name: &str) -> Result<SmConfig, String> {
+        PolicyRegistry::resolve_global(name)
+            .map(|entry| entry.preset())
+            .ok_or_else(|| {
+                format!(
+                    "unknown issue policy '{name}' (registered: {})",
+                    PolicyRegistry::global_names().join(", ")
+                )
+            })
+    }
+
     /// The five configurations of fig. 7, in presentation order.
     pub fn figure7_set() -> Vec<SmConfig> {
         vec![
@@ -349,6 +405,19 @@ impl SmConfig {
     pub fn with_constraints(mut self, on: bool) -> SmConfig {
         self.sbi_constraints = on;
         self
+    }
+
+    /// Sets the scheduling order (builder style) — composable with every
+    /// registered policy.
+    pub fn with_sched_order(mut self, order: SchedOrder) -> SmConfig {
+        self.sched_order = order;
+        self
+    }
+
+    /// The legacy [`Frontend`] this configuration's policy name maps to
+    /// (`None` for policies outside the paper's five).
+    pub fn frontend(&self) -> Option<Frontend> {
+        Frontend::from_name(&self.policy)
     }
 
     /// Enables/disables idle-cycle fast-forwarding (builder style).
@@ -425,20 +494,24 @@ impl SmConfig {
                 self.warp_width
             ));
         }
-        let needs_frontier = matches!(
-            self.frontend,
-            Frontend::Sbi | Frontend::SbiSwi | Frontend::Warp64 | Frontend::Swi
-        );
-        if needs_frontier && self.divergence != DivergenceModel::Frontier {
+        let Some(entry) = PolicyRegistry::resolve_global(&self.policy) else {
+            return Err(format!(
+                "unknown issue policy '{}' (registered: {})",
+                self.policy,
+                PolicyRegistry::global_names().join(", ")
+            ));
+        };
+        if entry.needs_frontier && self.divergence != DivergenceModel::Frontier {
             return Err(format!(
                 "{} requires thread-frontier divergence tracking",
-                self.frontend.name()
+                entry.name
             ));
         }
-        if matches!(self.frontend, Frontend::Sbi | Frontend::SbiSwi)
-            && self.scoreboard_mode == ScoreboardMode::WarpLevel
-        {
-            return Err("SBI needs mask-aware dependence tracking (Exact or Matrix)".into());
+        if entry.needs_masked_scoreboard && self.scoreboard_mode == ScoreboardMode::WarpLevel {
+            return Err(format!(
+                "{} needs mask-aware dependence tracking (Exact or Matrix)",
+                entry.name
+            ));
         }
         if self.scoreboard_entries == 0 {
             return Err("scoreboard needs at least one entry".into());
@@ -513,6 +586,58 @@ mod tests {
         assert_eq!(Associativity::Ways(1).num_sets(24), 12);
         assert_eq!(Associativity::Ways(1).candidates(24), 1);
         assert_eq!(Associativity::Ways(1).name(), "Direct mapped");
+    }
+
+    #[test]
+    fn with_policy_reproduces_constructors() {
+        for (name, ctor) in [
+            ("Baseline", SmConfig::baseline as fn() -> SmConfig),
+            ("Warp64", SmConfig::warp64),
+            ("SBI", SmConfig::sbi),
+            ("SWI", SmConfig::swi),
+            ("SBI+SWI", SmConfig::sbi_swi),
+            ("GreedyThenOldest", SmConfig::greedy_then_oldest),
+        ] {
+            let via_registry = SmConfig::with_policy(name).unwrap();
+            let direct = ctor();
+            assert_eq!(via_registry.name, direct.name, "{name}");
+            assert_eq!(via_registry.policy, direct.policy, "{name}");
+            assert_eq!(via_registry.sched_order, direct.sched_order, "{name}");
+            via_registry.validate().unwrap();
+        }
+        assert!(SmConfig::with_policy("NoSuchPolicy").is_err());
+    }
+
+    #[test]
+    fn frontend_is_a_thin_alias_over_registry_names() {
+        for f in [
+            Frontend::Baseline,
+            Frontend::Warp64,
+            Frontend::Sbi,
+            Frontend::Swi,
+            Frontend::SbiSwi,
+        ] {
+            assert_eq!(Frontend::from_name(f.name()), Some(f));
+            let cfg = SmConfig::with_policy(f.name()).unwrap();
+            assert_eq!(cfg.frontend(), Some(f));
+        }
+        // The net-new policy has no legacy alias.
+        assert_eq!(SmConfig::greedy_then_oldest().frontend(), None);
+    }
+
+    #[test]
+    fn gto_preset_composes_the_order_parameter() {
+        let gto = SmConfig::greedy_then_oldest();
+        assert_eq!(gto.sched_order, SchedOrder::GreedyThenOldest);
+        // Same machine as the baseline, different walk order.
+        let base = SmConfig::baseline();
+        assert_eq!(gto.num_warps, base.num_warps);
+        assert_eq!(gto.warp_width, base.warp_width);
+        assert_eq!(gto.divergence, base.divergence);
+        // And the order composes onto any policy.
+        let swi = SmConfig::swi().with_sched_order(SchedOrder::GreedyThenOldest);
+        swi.validate().unwrap();
+        assert_eq!(swi.policy, "SWI");
     }
 
     #[test]

@@ -89,6 +89,12 @@ impl LaneShuffle {
     }
 
     /// Translates a thread-space mask into lane space for warp `wid`.
+    ///
+    /// This is the uncached reference: it recomputes the permutation per
+    /// bit (including `bitrev` for [`LaneShuffle::XorRev`]). The pipeline
+    /// uses the precomputed [`LaneTable`] instead — the SWI mask lookup
+    /// translates a mask per probed candidate per cycle, which made the
+    /// recomputation a measurable hot path.
     pub fn mask_to_lanes(self, mask: Mask, wid: usize, width: usize, num_warps: usize) -> Mask {
         if self == LaneShuffle::Identity {
             return mask; // hot path
@@ -96,6 +102,53 @@ impl LaneShuffle {
         mask.iter()
             .map(|tid| self.lane(tid, wid, width, num_warps))
             .collect()
+    }
+
+    /// Precomputes the per-warp thread→lane permutation table for a pool
+    /// of `num_warps` warps of `width` threads (the SoA form of this
+    /// policy — one row per warp, built once at SM construction).
+    pub fn table(self, width: usize, num_warps: usize) -> LaneTable {
+        let identity = self == LaneShuffle::Identity;
+        let mut perms = Vec::new();
+        if !identity {
+            perms.reserve(width * num_warps);
+            for wid in 0..num_warps {
+                for tid in 0..width {
+                    perms.push(self.lane(tid, wid, width, num_warps) as u16);
+                }
+            }
+        }
+        LaneTable {
+            identity,
+            width,
+            perms,
+        }
+    }
+}
+
+/// A precomputed per-warp lane-permutation table (`perms[wid][tid] =
+/// lane`), replacing the bit-by-bit permute of
+/// [`LaneShuffle::mask_to_lanes`] on the pipeline's hot paths. The
+/// translation is exactly equivalent for every policy (asserted by
+/// `table_matches_reference` below); identity shuffles skip the table
+/// entirely.
+#[derive(Debug, Clone)]
+pub struct LaneTable {
+    identity: bool,
+    width: usize,
+    /// Flattened `num_warps × width` permutation rows (empty for
+    /// identity).
+    perms: Vec<u16>,
+}
+
+impl LaneTable {
+    /// Translates a thread-space `mask` of warp `wid` into lane space.
+    pub fn mask_to_lanes(&self, mask: Mask, wid: usize) -> Mask {
+        if self.identity {
+            return mask;
+        }
+        let row = &self.perms[wid * self.width..(wid + 1) * self.width];
+        mask.iter().map(|tid| row[tid] as usize).collect()
     }
 }
 
@@ -176,6 +229,27 @@ mod tests {
             let m = Mask::from_bits(0xdead_beef);
             let t = policy.mask_to_lanes(m, 5, 32, 16);
             assert_eq!(m.count(), t.count());
+        }
+    }
+
+    #[test]
+    fn table_matches_reference() {
+        // The precomputed table must translate every mask exactly as the
+        // per-bit reference, for every policy, width and warp.
+        for policy in LaneShuffle::ALL {
+            for (width, num_warps) in [(4usize, 16usize), (32, 16), (64, 24)] {
+                let table = policy.table(width, num_warps);
+                for wid in 0..num_warps {
+                    for bits in [0u64, 1, 0b1011, 0xdead_beef, u64::MAX] {
+                        let m = Mask::from_bits(bits) & Mask::full(width);
+                        assert_eq!(
+                            table.mask_to_lanes(m, wid),
+                            policy.mask_to_lanes(m, wid, width, num_warps),
+                            "{policy:?} w={wid} width={width}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -53,6 +53,7 @@ pub mod lsu;
 pub mod machine;
 pub mod mask;
 pub mod pipeline;
+pub mod policy;
 pub mod regfile;
 pub mod scoreboard;
 pub mod stats;
@@ -67,11 +68,14 @@ pub use divergence::frontier::{FrontierHeap, HeapStats};
 pub use divergence::stack::PdomStack;
 pub use divergence::Transition;
 pub use exec::{execute_warp, ThreadInfo, ThreadRegs};
-pub use lane::LaneShuffle;
+pub use lane::{LaneShuffle, LaneTable};
 pub use launch::{Launch, WarpInfo};
 pub use machine::{Machine, MachineStats, MemJournal};
 pub use mask::Mask;
 pub use pipeline::{SimError, Sm};
+pub use policy::{
+    Dispatch, IssueCtx, IssuePolicy, Pick, PolicyInfo, PolicyRegistry, Ready, SchedOrder,
+};
 pub use regfile::WarpRegFile;
 pub use scoreboard::{DepMatrix, Scoreboard};
 pub use stats::Stats;

@@ -3,15 +3,15 @@
 //! One [`Sm`] simulates a single streaming multiprocessor running one kernel
 //! launch, following the paper's methodology (§5.1): functional execution at
 //! issue, back-end timing via group occupancy, an L1 + throughput-limited
-//! memory, and one of five issue front-ends:
+//! memory, and a pluggable issue front-end.
 //!
-//! * [`Frontend::Baseline`] — two warp pools, oldest-first, PDOM stack.
-//! * [`Frontend::Warp64`] — thread frontiers, 64-wide warps, sequential
-//!   branches (the fig. 7 reference).
-//! * [`Frontend::Sbi`] — co-issues CPC1/CPC2 warp-splits of one warp (§3).
-//! * [`Frontend::Swi`] — cascaded scheduler fills the primary's free lanes
-//!   with another warp's instruction (§4).
-//! * [`Frontend::SbiSwi`] — both.
+//! The front-end is an [`crate::policy::IssuePolicy`] trait object
+//! resolved by name from the [`crate::policy::PolicyRegistry`] at
+//! construction — the baseline dual-pool scheduler, SBI's CPC1/CPC2
+//! co-issue, SWI's cascaded lane-filling, their combination, and any
+//! registered extension all drive this pipeline through the narrow
+//! [`crate::policy::IssueCtx`] view; the pipeline itself carries no
+//! policy-specific issue logic.
 
 use std::sync::Arc;
 
@@ -20,20 +20,22 @@ use rand::{Rng, SeedableRng};
 
 use warpweave_isa::{Instruction, Op, Pc, Program, UnitClass};
 use warpweave_mem::{
-    atomic_transactions, coalesce, Cache, MemEventQueue, MemGrant, MemRequest, Memory,
-    SharedDramChannel,
+    atomic_transactions_into, coalesce_into, Cache, MemEventQueue, MemGrant, MemRequest, Memory,
+    SharedDramChannel, TxScratch,
 };
 
-use crate::config::{Frontend, ScoreboardMode, SmConfig};
+use crate::config::{ScoreboardMode, SmConfig};
 use crate::divergence::frontier::FrontierHeap;
 use crate::divergence::stack::PdomStack;
 use crate::divergence::Transition;
 use crate::exec::execute_warp;
 use crate::groups::ExecGroups;
+use crate::lane::LaneTable;
 use crate::launch::{Launch, WarpInfo};
 use crate::lsu::{plan_global, shared_passes};
 use crate::machine::MemJournal;
 use crate::mask::Mask;
+use crate::policy::{Dispatch, IssueCtx, IssuePolicy, Pick, PolicyRegistry, Ready};
 use crate::regfile::WarpRegFile;
 use crate::scoreboard::{SbToken, Scoreboard};
 use crate::stats::Stats;
@@ -154,46 +156,6 @@ enum WbTiming {
     },
 }
 
-/// A scheduling candidate: a ready, decoded instruction in some warp's
-/// instruction buffer.
-#[derive(Debug, Clone, Copy)]
-struct Ready {
-    warp: usize,
-    slot: usize,
-    pc: Pc,
-    mask: Mask,
-    unit: UnitClass,
-    seq: u64,
-}
-
-/// How a pick maps onto the back-end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Dispatch {
-    /// Occupies group `idx` normally.
-    Group(usize),
-    /// Rides the same pass as the primary through group `idx` (disjoint
-    /// lanes, no extra occupancy).
-    Ride(usize),
-    /// Control instruction: no back-end group.
-    None,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Pick {
-    ready: Ready,
-    dispatch: Dispatch,
-    secondary: bool,
-}
-
-/// The pending primary pick of the SWI cascade (selected one cycle before
-/// issue — table 2's 2-cycle scheduler latency).
-#[derive(Debug, Clone, Copy)]
-struct PendingPrimary {
-    warp: usize,
-    slot: usize,
-    pc: Pc,
-}
-
 /// A single simulated streaming multiprocessor.
 #[derive(Debug)]
 pub struct Sm {
@@ -241,7 +203,14 @@ pub struct Sm {
     groups: ExecGroups,
     sideband_busy_until: u64,
     pending_wb: MemEventQueue<WbSlot>,
-    pending_primary: Option<PendingPrimary>,
+    /// The issue front-end, resolved by name from the
+    /// [`PolicyRegistry`] at construction. Always `Some` outside the
+    /// issue call itself (taken out to let the policy borrow the SM
+    /// through an [`IssueCtx`]).
+    policy: Option<Box<dyn IssuePolicy>>,
+    /// Precomputed per-warp thread→lane permutation (SoA form of the
+    /// configured [`crate::lane::LaneShuffle`]).
+    lane_table: LaneTable,
     rng: SmallRng,
     stats: Stats,
     trace: Option<Vec<TraceEvent>>,
@@ -254,6 +223,9 @@ pub struct Sm {
     /// Persistent word-aligned `(thread, addr)` scratch for the LSU
     /// coalescer.
     addr_scratch: Vec<(usize, u32)>,
+    /// Persistent transaction arena for the coalescer — per-transaction
+    /// lane lists keep their capacity across issue events.
+    tx_scratch: TxScratch,
 }
 
 /// Cycles without any issue or writeback before the deadlock watchdog fires.
@@ -336,6 +308,10 @@ impl Sm {
         let l1 = Cache::new(cfg.l1);
         let dram = SharedDramChannel::new(cfg.dram);
         let seed = cfg.seed;
+        let policy = PolicyRegistry::resolve_global(&cfg.policy)
+            .ok_or_else(|| format!("unknown issue policy '{}'", cfg.policy))?
+            .build(&cfg);
+        let lane_table = cfg.lane_shuffle.table(cfg.warp_width, cfg.num_warps);
         let mut sm = Sm {
             program,
             params,
@@ -361,7 +337,8 @@ impl Sm {
             groups: ExecGroups::new(&cfg.groups),
             sideband_busy_until: 0,
             pending_wb: MemEventQueue::new(),
-            pending_primary: None,
+            policy: Some(policy),
+            lane_table,
             rng: SmallRng::seed_from_u64(seed),
             stats: Stats::default(),
             trace: None,
@@ -370,6 +347,7 @@ impl Sm {
             last_progress: 0,
             access_scratch: Vec::new(),
             addr_scratch: Vec::new(),
+            tx_scratch: TxScratch::default(),
             cfg,
         };
         sm.refill_blocks();
@@ -547,11 +525,11 @@ impl Sm {
         self.cycle += 1;
         self.process_writebacks();
         self.validate_ibufs();
-        let issued = match self.cfg.frontend {
-            Frontend::Baseline | Frontend::Warp64 => self.issue_dual_pool(),
-            Frontend::Sbi => self.issue_sbi(),
-            Frontend::Swi | Frontend::SbiSwi => self.issue_swi(),
-        };
+        // The policy is taken out for the call so it can borrow the SM
+        // mutably through the `IssueCtx` view; it is always restored.
+        let mut policy = self.policy.take().expect("policy present outside issue");
+        let issued = policy.issue(&mut IssueCtx { sm: self });
+        self.policy = Some(policy);
         if issued == 0 {
             self.stats.idle_cycles += 1;
         } else {
@@ -561,13 +539,13 @@ impl Sm {
         self.refill_blocks();
         let fetched = self.fetch();
         // Idle fast-forward: if this whole cycle did nothing (no writeback,
-        // no issue, no barrier/block event, no fetch) and the SWI cascade
-        // holds no pending pick, the machine state is frozen until the next
-        // timed event — jump straight to it instead of ticking.
+        // no issue, no barrier/block event, no fetch) and the front-end
+        // carries no pick between cycles, the machine state is frozen until
+        // the next timed event — jump straight to it instead of ticking.
         if self.cfg.fast_forward
             && !fetched
             && self.last_progress < self.cycle
-            && self.pending_primary.is_none()
+            && !self.policy().carries_pick()
         {
             self.fast_forward_idle(cap);
         }
@@ -618,18 +596,20 @@ impl Sm {
             for rr in &mut self.fetch_rr {
                 *rr = ((*rr as u64 + skipped) % nw) as usize;
             }
-            // `issue_sbi` counts parked secondaries once per cycle even when
-            // nothing issues; replicate that for the skipped cycles so the
-            // statistic is exact (the suspension set is frozen with the rest
-            // of the state — no group frees and no writeback lands before
-            // `target` by construction).
-            if self.cfg.frontend == Frontend::Sbi {
-                let parked = (0..self.warps.len())
-                    .filter(|&w| self.ready_check(w, 1).is_none() && self.constraint_suspended(w))
-                    .count() as u64;
-                self.stats.constraint_suspensions += skipped * parked;
-            }
+            // Policies that count a per-cycle condition even on idle
+            // cycles (SBI's parked secondaries) replicate it for the
+            // skipped window so fast-forwarding stays statistics-exact.
+            let mut policy = self.policy.take().expect("policy present outside issue");
+            policy.account_idle_skip(&mut IssueCtx { sm: self }, skipped);
+            self.policy = Some(policy);
         }
+    }
+
+    /// The active issue policy (always present outside the issue call).
+    fn policy(&self) -> &dyn IssuePolicy {
+        self.policy
+            .as_deref()
+            .expect("policy present outside issue")
     }
 
     fn deadlock_detail(&self) -> String {
@@ -663,7 +643,7 @@ impl Sm {
     // --- divergence-state accessors -------------------------------------------
 
     /// `(pc, mask, at_barrier)` of the context feeding ibuf `slot` of `w`.
-    fn ctx(&self, w: usize, slot: usize) -> Option<(Pc, Mask, bool)> {
+    pub(crate) fn ctx(&self, w: usize, slot: usize) -> Option<(Pc, Mask, bool)> {
         let warp = &self.warps[w];
         if !warp.alive {
             return None;
@@ -687,7 +667,7 @@ impl Sm {
         }
     }
 
-    fn slot_masks(&self, w: usize) -> [Mask; 3] {
+    pub(crate) fn slot_masks(&self, w: usize) -> [Mask; 3] {
         match &self.warps[w].div {
             Divergence::Stack(_) => [Mask::EMPTY; 3],
             Divergence::Frontier(h) => {
@@ -695,14 +675,6 @@ impl Sm {
                 let m1 = h.secondary().map_or(Mask::EMPTY, |c| c.mask);
                 [m0, m1, h.alive_mask() - m0 - m1]
             }
-        }
-    }
-
-    /// How many ibuf slots this front-end fetches per warp.
-    fn slots_per_warp(&self) -> usize {
-        match self.cfg.frontend {
-            Frontend::Sbi | Frontend::SbiSwi => 2,
-            _ => 1,
         }
     }
 
@@ -807,11 +779,9 @@ impl Sm {
             if self.warps[w].ibuf.iter().all(Option::is_none) {
                 continue;
             }
-            // The reserved pending-primary entry is validated at issue.
-            let reserved = self
-                .pending_primary
-                .filter(|pp| pp.warp == w)
-                .map(|pp| pp.slot);
+            // A policy-reserved entry (the SWI cascade's pending primary)
+            // is validated at issue instead.
+            let reserved = self.policy().reserved_slot(w);
             let mut pool: Vec<IbufEntry> = Vec::with_capacity(2);
             for slot in 0..2 {
                 if reserved == Some(slot) {
@@ -839,7 +809,7 @@ impl Sm {
     /// group has a free issue port (schedulers pick the oldest *eligible*
     /// instruction — a busy unit does not stall the whole slot). Pure — no
     /// statistics are updated here.
-    fn ready_check(&self, w: usize, slot: usize) -> Option<Ready> {
+    pub(crate) fn ready_check(&self, w: usize, slot: usize) -> Option<Ready> {
         let r = self.ready_check_nogroup(w, slot)?;
         if r.unit != UnitClass::Control && self.groups.find_free(r.unit, self.cycle).is_none() {
             return None;
@@ -849,7 +819,7 @@ impl Sm {
 
     /// [`Sm::ready_check`] without the free-group requirement (used by the
     /// SWI cascade to *hold* a pending primary while its port drains).
-    fn ready_check_nogroup(&self, w: usize, slot: usize) -> Option<Ready> {
+    pub(crate) fn ready_check_nogroup(&self, w: usize, slot: usize) -> Option<Ready> {
         let warp = &self.warps[w];
         let (pc, mask, at_barrier) = self.ctx(w, slot)?;
         if at_barrier {
@@ -892,7 +862,7 @@ impl Sm {
 
     /// True if warp `w`'s secondary slot is currently parked by an SBI
     /// reconvergence constraint (§3.3).
-    fn constraint_suspended(&self, w: usize) -> bool {
+    pub(crate) fn constraint_suspended(&self, w: usize) -> bool {
         if !self.cfg.sbi_constraints {
             return false;
         }
@@ -907,128 +877,44 @@ impl Sm {
 
     /// Counts a constraint suspension if that is the (only) reason the slot
     /// is not ready (statistics for §5.1's constraints discussion).
-    fn note_constraint_suspension(&mut self, w: usize) {
+    pub(crate) fn note_constraint_suspension(&mut self, w: usize) {
         if self.constraint_suspended(w) {
             self.stats.constraint_suspensions += 1;
         }
     }
 
-    // --- front-ends -----------------------------------------------------------
+    // --- the narrow policy-facing queries (see `crate::policy::IssueCtx`) ------
 
-    /// Baseline / Warp64: two pools by warp-ID parity, one oldest-first
-    /// issue each per cycle.
-    fn issue_dual_pool(&mut self) -> usize {
-        let mut issued = 0;
-        let first = (self.cycle % 2) as usize;
-        for pool in [first, 1 - first] {
-            let mut best: Option<Ready> = None;
-            for w in (0..self.warps.len()).filter(|w| w % 2 == pool) {
-                if let Some(r) = self.ready_check(w, 0) {
-                    if best.is_none_or(|b| r.seq < b.seq) {
-                        best = Some(r);
-                    }
-                }
-            }
-            if let Some(r) = best {
-                if let Some(dispatch) = self.plan_dispatch(r.unit) {
-                    self.commit_warp_issue(
-                        r.warp,
-                        vec![Pick {
-                            ready: r,
-                            dispatch,
-                            secondary: false,
-                        }],
-                    );
-                    issued += 1;
-                }
-            }
-        }
-        issued
+    /// Mutable statistics access for the dedicated policy counters.
+    pub(crate) fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
     }
 
-    /// SBI: the (single) scheduler picks the warp with the oldest ready
-    /// *primary* (CPC1) instruction — the second front-end co-issues the
-    /// same warp's CPC2 where resources allow (fig. 3: `wid` feeds both
-    /// fetch paths). Scheduling is primary-led: the leading split never
-    /// advances while the laggard stalls, so desynchronised splits can
-    /// catch up and re-merge. When the picked warp offers no co-issuable
-    /// secondary, the second front-end falls back to the oldest ready
-    /// instruction of another warp for a *different* free SIMD group
-    /// (conventional multiple-issue — full masks cannot share lanes).
-    fn issue_sbi(&mut self) -> usize {
-        let mut best: Option<Ready> = None;
-        for w in 0..self.warps.len() {
-            if let Some(r) = self.ready_check(w, 0) {
-                if best.is_none_or(|b| r.seq < b.seq) {
-                    best = Some(r);
-                }
-            }
-            if self.ready_check(w, 1).is_none() {
-                self.note_constraint_suspension(w);
-            }
-        }
-        let Some(r1) = best else { return 0 };
-        let w = r1.warp;
-        let Some(d1) = self.plan_dispatch(r1.unit) else {
-            return 0;
-        };
-        let mut picks: Vec<Pick> = vec![Pick {
-            ready: r1,
-            dispatch: d1,
-            secondary: false,
-        }];
-        if let Some(r2) = self.ready_check(w, 1) {
-            if let Some(d2) = self.plan_coissue(&r1, d1, &r2) {
-                picks.push(Pick {
-                    ready: r2,
-                    dispatch: d2,
-                    secondary: true,
-                });
-            }
-        }
-        let mut issued = picks.len();
-        if picks.len() == 1 {
-            // Other-warp fallback for the idle front-end.
-            let p1 = picks[0];
-            let mut alt: Option<(Ready, Dispatch)> = None;
-            for ow in (0..self.warps.len()).filter(|&ow| ow != w) {
-                let Some(r) = self.ready_check(ow, 0) else {
-                    continue;
-                };
-                if alt.as_ref().is_some_and(|(b, _)| b.seq <= r.seq) {
-                    continue;
-                }
-                if r.unit == UnitClass::Control {
-                    alt = Some((r, Dispatch::None));
-                } else if r.unit != p1.ready.unit || matches!(p1.dispatch, Dispatch::None) {
-                    if let Some(g) = self.groups.find_free(r.unit, self.cycle) {
-                        alt = Some((r, Dispatch::Group(g)));
-                    }
-                }
-            }
-            if let Some((r, d)) = alt {
-                let i1 = &self.program[p1.ready.pc];
-                let i2 = &self.program[r.pc];
-                let lsu_clash = p1.ready.unit == UnitClass::Lsu && r.unit == UnitClass::Lsu;
-                if !(lsu_clash || (i1.op.is_branch() && i2.op.is_branch())) {
-                    issued += 1;
-                    self.commit_warp_issue(
-                        r.warp,
-                        vec![Pick {
-                            ready: r,
-                            dispatch: d,
-                            secondary: true,
-                        }],
-                    );
-                }
-            }
-        }
-        self.commit_warp_issue(w, picks);
-        issued
+    /// Index of a free back-end group serving `unit` this cycle.
+    pub(crate) fn free_group(&self, unit: UnitClass) -> Option<usize> {
+        self.groups.find_free(unit, self.cycle)
     }
+
+    /// True if the decoded instruction at `pc` is a branch.
+    pub(crate) fn is_branch(&self, pc: Pc) -> bool {
+        self.program[pc].op.is_branch()
+    }
+
+    /// Thread-space `mask` of warp `wid` translated into lane space
+    /// through the precomputed permutation table.
+    pub(crate) fn lanes_of(&self, mask: Mask, wid: usize) -> Mask {
+        self.lane_table.mask_to_lanes(mask, wid)
+    }
+
+    /// A pseudo-random index below `n` from the seeded tie-breaking RNG.
+    pub(crate) fn rand_below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    // --- back-end resource planning (policy-facing port queries) ---------------
 
     /// Dispatch plan for a lone instruction.
-    fn plan_dispatch(&self, unit: UnitClass) -> Option<Dispatch> {
+    pub(crate) fn plan_dispatch(&self, unit: UnitClass) -> Option<Dispatch> {
         if unit == UnitClass::Control {
             return Some(Dispatch::None);
         }
@@ -1038,7 +924,7 @@ impl Sm {
     /// Dispatch plan for a secondary co-issued with `r1` (same warp, SBI):
     /// ride the same group pass for MAD/SFU, otherwise another free group.
     /// Enforces the one-divergence-per-cycle and single-LSU-port rules.
-    fn plan_coissue(&self, r1: &Ready, d1: Dispatch, r2: &Ready) -> Option<Dispatch> {
+    pub(crate) fn plan_coissue(&self, r1: &Ready, d1: Dispatch, r2: &Ready) -> Option<Dispatch> {
         let i1 = &self.program[r1.pc];
         let i2 = &self.program[r2.pc];
         // "At most one divergence (branch or memory) can happen each cycle."
@@ -1062,225 +948,13 @@ impl Sm {
             .map(Dispatch::Group)
     }
 
-    /// SWI / SBI+SWI: cascaded two-phase scheduling (2-cycle scheduler
-    /// latency). This cycle issues the primary picked *last* cycle plus a
-    /// secondary found now; in parallel the next primary is picked, with
-    /// a-posteriori conflict squashing (§4).
-    fn issue_swi(&mut self) -> usize {
-        // Phase n+1 primary pick (in parallel with this cycle's secondary).
-        let mut np: Option<Ready> = None;
-        for w in 0..self.warps.len() {
-            // Exclude the entry reserved by the pending primary.
-            if let Some(pp) = self.pending_primary {
-                if pp.warp == w {
-                    continue;
-                }
-            }
-            if let Some(r) = self.ready_check(w, 0) {
-                if np.is_none_or(|b| r.seq < b.seq) {
-                    np = Some(r);
-                }
-            }
-        }
-
-        let mut issued = 0;
-        let pending = self.pending_primary.take();
-        let mut secondary_issued: Option<(usize, usize)> = None; // (warp, slot)
-        match pending {
-            Some(pp) => {
-                // Revalidate: the split may have moved, a dependency may
-                // have appeared, or the entry may have been squashed.
-                // (No free-group requirement: a busy port holds the pick.)
-                let still = self
-                    .ready_check_nogroup(pp.warp, pp.slot)
-                    .filter(|r| r.pc == pp.pc);
-                if let Some(r1) = still {
-                    if let Some(d1) = self.plan_dispatch(r1.unit) {
-                        let sec = self.find_swi_secondary(&r1, d1);
-                        let mut picks_by_warp: Vec<(usize, Vec<Pick>)> = vec![(
-                            r1.warp,
-                            vec![Pick {
-                                ready: r1,
-                                dispatch: d1,
-                                secondary: false,
-                            }],
-                        )];
-                        if let Some((r2, d2)) = sec {
-                            secondary_issued = Some((r2.warp, r2.slot));
-                            let pick2 = Pick {
-                                ready: r2,
-                                dispatch: d2,
-                                secondary: true,
-                            };
-                            if r2.warp == r1.warp {
-                                picks_by_warp[0].1.push(pick2);
-                            } else {
-                                picks_by_warp.push((r2.warp, vec![pick2]));
-                            }
-                        }
-                        for (w, picks) in picks_by_warp {
-                            issued += picks.len();
-                            self.commit_warp_issue(w, picks);
-                        }
-                    } else {
-                        // Port busy: hold the pick, stall the cascade.
-                        self.pending_primary = Some(pp);
-                        return 0;
-                    }
-                }
-                // else: pick evaporated — bubble.
-            }
-            None => {
-                // No pending primary (start-up or after a conflict): the
-                // secondary scheduler "substitutes itself", picking by its
-                // own best-fit policy.
-                if let Some(r) = self.swi_solo_pick() {
-                    if let Some(d) = self.plan_dispatch(r.unit) {
-                        secondary_issued = Some((r.warp, r.slot));
-                        self.commit_warp_issue(
-                            r.warp,
-                            vec![Pick {
-                                ready: r,
-                                dispatch: d,
-                                secondary: true,
-                            }],
-                        );
-                        issued += 1;
-                    }
-                }
-            }
-        }
-
-        // Conflict: the secondary issued the very instruction the next
-        // primary picked — squash the primary copy.
-        if let (Some(np_r), Some(sec)) = (np, secondary_issued) {
-            if (np_r.warp, np_r.slot) == sec {
-                self.stats.scheduler_conflicts += 1;
-                np = None;
-            }
-        }
-        self.pending_primary = np.map(|r| PendingPrimary {
-            warp: r.warp,
-            slot: r.slot,
-            pc: r.pc,
-        });
-        issued
-    }
-
-    /// The SWI secondary lookup: search the primary's associativity set for
-    /// a ready instruction whose lanes fit in the primary's free lanes
-    /// (same-group ride), or any instruction for another free group.
-    /// Best-fit (max occupancy) with pseudo-random tie-breaking.
-    fn find_swi_secondary(&mut self, r1: &Ready, d1: Dispatch) -> Option<(Ready, Dispatch)> {
-        let width = self.cfg.warp_width;
-        let nw = self.cfg.num_warps;
-        let shuffle = self.cfg.lane_shuffle;
-        let free = Mask::full(width) - shuffle.mask_to_lanes(r1.mask, r1.warp, width, nw);
-        let sets = self.cfg.swi_assoc.num_sets(nw);
-        let my_set = r1.warp % sets;
-
-        let mut rides: Vec<(Ready, usize, u32)> = Vec::new(); // (ready, group, fit)
-        let mut others: Vec<(Ready, Dispatch)> = Vec::new();
-
-        // Same-warp CPC2 (SBI-style) — always reachable, no lookup needed.
-        let slots = self.slots_per_warp();
-        if slots > 1 {
-            if let Some(r2) = self.ready_check(r1.warp, 1) {
-                if let Some(d2) = self.plan_coissue(r1, d1, &r2) {
-                    match d2 {
-                        Dispatch::Ride(g) => rides.push((r2, g, r2.mask.count())),
-                        d => others.push((r2, d)),
-                    }
-                }
-            }
-        }
-
-        for w in (0..nw).filter(|w| w % sets == my_set && *w != r1.warp) {
-            for slot in 0..slots {
-                let Some(r2) = self.ready_check(w, slot) else {
-                    continue;
-                };
-                self.stats.lookup_probes += 1;
-                let i2 = &self.program[r2.pc];
-                if r2.unit == UnitClass::Lsu && r1.unit == UnitClass::Lsu {
-                    continue;
-                }
-                if i2.op.is_branch() && self.program[r1.pc].op.is_branch() {
-                    // Cross-warp branches are fine (separate HCT sorters),
-                    // so no restriction here.
-                }
-                let lanes = shuffle.mask_to_lanes(r2.mask, w, width, nw);
-                if r2.unit == r1.unit
-                    && matches!(r1.unit, UnitClass::Mad | UnitClass::Sfu)
-                    && lanes.is_subset(free)
-                {
-                    if let Dispatch::Group(g) = d1 {
-                        rides.push((r2, g, lanes.count()));
-                        continue;
-                    }
-                }
-                if r2.unit == UnitClass::Control {
-                    others.push((r2, Dispatch::None));
-                } else if r2.unit != r1.unit {
-                    if let Some(g) = self.groups.find_free(r2.unit, self.cycle) {
-                        others.push((r2, Dispatch::Group(g)));
-                    }
-                }
-            }
-        }
-
-        // Best fit: maximise occupancy; pseudo-random tie-breaking.
-        if !rides.is_empty() {
-            let best_fit = rides.iter().map(|&(_, _, c)| c).max().expect("non-empty");
-            let tied: Vec<&(Ready, usize, u32)> =
-                rides.iter().filter(|&&(_, _, c)| c == best_fit).collect();
-            let pick = tied[self.rng.gen_range(0..tied.len())];
-            self.stats.lookup_hits += 1;
-            return Some((pick.0, Dispatch::Ride(pick.1)));
-        }
-        if !others.is_empty() {
-            let oldest = others
-                .into_iter()
-                .min_by_key(|(r, _)| r.seq)
-                .expect("non-empty");
-            self.stats.lookup_hits += 1;
-            return Some(oldest);
-        }
-        None
-    }
-
-    /// The secondary scheduler's solo pick (after a conflict bubble):
-    /// best-fit over all ready instructions.
-    fn swi_solo_pick(&mut self) -> Option<Ready> {
-        let slots = self.slots_per_warp();
-        let mut best: Vec<Ready> = Vec::new();
-        let mut best_fit = 0;
-        for w in 0..self.warps.len() {
-            for slot in 0..slots {
-                if let Some(r) = self.ready_check(w, slot) {
-                    let c = r.mask.count();
-                    if c > best_fit {
-                        best_fit = c;
-                        best.clear();
-                    }
-                    if c == best_fit {
-                        best.push(r);
-                    }
-                }
-            }
-        }
-        if best.is_empty() {
-            None
-        } else {
-            Some(best[self.rng.gen_range(0..best.len())])
-        }
-    }
-
     // --- issue commit ----------------------------------------------------------
 
     /// Issues `picks` (1 or 2 instructions) for warp `w`: functional
     /// execution, back-end timing, divergence update, scoreboard event.
-    fn commit_warp_issue(&mut self, w: usize, picks: Vec<Pick>) {
+    /// This is the only mutation path a policy has
+    /// ([`crate::policy::IssueCtx::commit`]).
+    pub(crate) fn commit_warp_issue(&mut self, w: usize, picks: Vec<Pick>) {
         debug_assert!(!picks.is_empty() && picks.len() <= 2);
         // One refcount bump per issue event buys borrowed access to every
         // decoded instruction below — no per-issue `Instruction` clone.
@@ -1315,12 +989,7 @@ impl Sm {
                 self.stats.primary_issues += 1;
             }
             if let Some(trace) = &mut self.trace {
-                let lanes = self.cfg.lane_shuffle.mask_to_lanes(
-                    r.mask,
-                    w,
-                    self.cfg.warp_width,
-                    self.cfg.num_warps,
-                );
+                let lanes = self.lane_table.mask_to_lanes(r.mask, w);
                 trace.push(TraceEvent {
                     cycle: self.cycle,
                     warp: w,
@@ -1556,27 +1225,31 @@ impl Sm {
                     let mut addr_list = std::mem::take(&mut self.addr_scratch);
                     addr_list.clear();
                     addr_list.extend(accesses.iter().map(|&(t, a, _)| (t, a & !3)));
+                    // The transaction arena is moved out for the borrow
+                    // and handed back below — per-transaction lane lists
+                    // keep their capacity across issue events.
+                    let mut txs = std::mem::take(&mut self.tx_scratch);
                     let waves = self.groups.waves(g, width);
                     let (port, timing) = match (instr.space, instr.op) {
                         (warpweave_isa::MemSpace::Global, Op::AtomAdd) => {
-                            let txs = atomic_transactions(&addr_list);
+                            atomic_transactions_into(&addr_list, &mut txs);
                             self.stats.lsu_transactions += txs.len() as u64;
                             if txs.len() > 1 {
                                 self.stats.lsu_replays += 1;
                             }
                             // Atomics are fire-and-forget write traffic.
-                            let plan = plan_global(&mut self.l1, now, &txs, true);
+                            let plan = plan_global(&mut self.l1, now, txs.txs(), true);
                             self.enqueue_dram(&plan.dram_requests);
                             (plan.port_cycles, WbTiming::At(now + 1 + delivery))
                         }
                         (warpweave_isa::MemSpace::Global, op) => {
-                            let txs = coalesce(&addr_list);
+                            coalesce_into(&addr_list, &mut txs);
                             self.stats.lsu_transactions += txs.len() as u64;
                             if txs.len() > 1 {
                                 self.stats.lsu_replays += 1;
                             }
                             let is_store = op == Op::St;
-                            let plan = plan_global(&mut self.l1, now, &txs, is_store);
+                            let plan = plan_global(&mut self.l1, now, txs.txs(), is_store);
                             let first_seq = self.enqueue_dram(&plan.dram_requests);
                             if plan.resolves_inline(is_store) {
                                 // Stores are write-through (the pipeline
@@ -1599,7 +1272,7 @@ impl Sm {
                             }
                         }
                         (warpweave_isa::MemSpace::Shared, Op::AtomAdd) => {
-                            let txs = atomic_transactions(&addr_list);
+                            atomic_transactions_into(&addr_list, &mut txs);
                             self.stats.lsu_transactions += txs.len() as u64;
                             (
                                 txs.len().max(1) as u64,
@@ -1622,6 +1295,7 @@ impl Sm {
                     };
                     self.groups.occupy(g, now, port.max(waves));
                     self.addr_scratch = addr_list;
+                    self.tx_scratch = txs;
                     timing
                 }
                 UnitClass::Control => WbTiming::At(now + 1),
@@ -1739,20 +1413,17 @@ impl Sm {
 
     /// Two fetch/decode channels refill instruction-buffer entries
     /// round-robin (1 instruction per channel per cycle — paper §2).
-    /// In SBI modes the second channel follows the CPC2 stream but falls
-    /// back to the CPC1 stream when no warp has a secondary split to fetch
-    /// for (otherwise the channel would idle on convergent code).
+    /// The channel domains — ordered preferences of (parity filter, slot)
+    /// — come from the issue policy: dual-pool policies split the pool by
+    /// parity, SBI-style policies follow the CPC2 stream on channel 1 but
+    /// fall back to the CPC1 stream when no warp has a secondary split to
+    /// fetch for (otherwise the channel would idle on convergent code).
     ///
     /// Returns whether any channel filled a buffer entry this cycle.
     fn fetch(&mut self) -> bool {
         let mut any = false;
         let nw = self.cfg.num_warps;
-        // Channel domains: ordered preferences of (parity filter, slot).
-        let channels: [&[(Option<usize>, usize)]; 2] = match self.cfg.frontend {
-            Frontend::Baseline | Frontend::Warp64 => [&[(Some(0), 0)], &[(Some(1), 0)]],
-            Frontend::Sbi | Frontend::SbiSwi => [&[(None, 0)], &[(None, 1), (None, 0)]],
-            Frontend::Swi => [&[(None, 0)], &[(None, 0)]],
-        };
+        let channels = self.policy().fetch_channels();
         for (ch, prefs) in channels.into_iter().enumerate() {
             let mut advanced = false;
             'pref: for &(parity, slot) in prefs {

@@ -1,0 +1,616 @@
+//! Pluggable issue policies: the [`IssuePolicy`] trait, the narrow
+//! [`IssueCtx`] view of the SM it schedules through, and the
+//! [`PolicyRegistry`] that resolves policy names to boxed factories.
+//!
+//! The paper's contribution is a family of *front-end issue policies* —
+//! the baseline dual-pool scheduler (§2), SBI's CPC1/CPC2 co-issue (§3),
+//! SWI's cascaded lane-filling (§4) and their combination. Each lives in a
+//! submodule here as an [`IssuePolicy`] implementation; the pipeline only
+//! ever sees the trait object. Adding a new policy (dynamic warp resizing,
+//! alternative scheduling orders, …) means writing one impl and one
+//! registry entry — no pipeline surgery.
+//!
+//! # The `IssueCtx` contract
+//!
+//! A policy is asked once per cycle to produce the cycle's picks. It
+//! observes the SM **only** through [`IssueCtx`] — ready-checks, slot
+//! masks, lane-shuffle translation, scoreboard and issue-port queries —
+//! and mutates it **only** through [`IssueCtx::commit`] (plus the
+//! dedicated statistic counters and the SM's tie-breaking RNG). A policy
+//! must never cache `Ready` entries across cycles without revalidating
+//! them (warp-splits move, dependencies appear, buffer entries get
+//! squashed); the SWI cascade's pending-primary revalidation shows the
+//! pattern.
+//!
+//! # Determinism clause
+//!
+//! Every policy must be a **deterministic function of the SM state and
+//! the SM's seeded RNG**. No wall-clock, no host addresses, no
+//! `HashMap` iteration order, no thread-count dependence: the sweep
+//! engine proves bit-identical statistics across host thread counts, and
+//! the golden baseline pins every counter with zero tolerance. Randomised
+//! tie-breaking is fine — through [`IssueCtx::rand_below`] only.
+
+pub mod baseline;
+pub mod sbi;
+pub mod swi;
+
+use std::sync::OnceLock;
+
+use warpweave_isa::{Pc, UnitClass};
+
+use crate::config::SmConfig;
+use crate::mask::Mask;
+use crate::pipeline::Sm;
+
+/// The order in which a scheduler walks its ready candidates.
+///
+/// This is a *composable* parameter: every built-in policy honours it for
+/// its primary pick, so `SmConfig::baseline().with_sched_order(..)` or the
+/// registered `GreedyThenOldest` preset both get greedy warp scheduling
+/// without a new scheduler implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedOrder {
+    /// Strict oldest-first: the ready instruction with the smallest fetch
+    /// sequence number wins (the paper's baseline order).
+    #[default]
+    OldestFirst,
+    /// Greedy-then-oldest (GTO): the warp that issued last keeps priority
+    /// while it stays ready; when it stalls, fall back to oldest-first.
+    /// Improves L1 locality on regular kernels at the cost of fairness.
+    GreedyThenOldest,
+}
+
+impl SchedOrder {
+    /// The label used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedOrder::OldestFirst => "oldest-first",
+            SchedOrder::GreedyThenOldest => "greedy-then-oldest",
+        }
+    }
+}
+
+/// A scheduling candidate: a ready, decoded instruction in some warp's
+/// instruction buffer, as reported by [`IssueCtx::ready_check`].
+#[derive(Debug, Clone, Copy)]
+pub struct Ready {
+    /// Warp index.
+    pub warp: usize,
+    /// Instruction-buffer slot (0 = primary split, 1 = secondary).
+    pub slot: usize,
+    /// Program counter of the buffered instruction.
+    pub pc: Pc,
+    /// Thread-space active mask of the issuing warp-split.
+    pub mask: Mask,
+    /// Back-end unit class the instruction needs.
+    pub unit: UnitClass,
+    /// Fetch sequence number (age; smaller = older).
+    pub seq: u64,
+}
+
+/// How a pick maps onto the back-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Occupies group `idx` normally.
+    Group(usize),
+    /// Rides the same pass as the primary through group `idx` (disjoint
+    /// lanes, no extra occupancy).
+    Ride(usize),
+    /// Control instruction: no back-end group.
+    None,
+}
+
+/// One instruction selected for issue this cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct Pick {
+    /// The scheduling candidate being issued.
+    pub ready: Ready,
+    /// Its back-end dispatch plan.
+    pub dispatch: Dispatch,
+    /// True when this pick came from the secondary scheduler/front-end
+    /// (statistics attribution).
+    pub secondary: bool,
+}
+
+/// One fetch-channel preference: `(warp-parity filter, ibuf slot)`.
+/// `None` parity means "any warp".
+pub type FetchPref = (Option<usize>, usize);
+
+/// The per-channel fetch domains a policy wants: two channels, each an
+/// ordered preference list tried per cycle (paper §2: two fetch/decode
+/// channels, 1 instruction each).
+pub type FetchChannels = [&'static [FetchPref]; 2];
+
+/// An issue front-end: asked once per cycle to pick and commit this
+/// cycle's instructions through an [`IssueCtx`].
+///
+/// See the module docs for the `IssueCtx` contract and the determinism
+/// clause every implementation must obey.
+pub trait IssuePolicy: std::fmt::Debug + Send {
+    /// Selects and commits this cycle's picks; returns how many
+    /// instructions were issued (0 counts as an idle cycle).
+    fn issue(&mut self, ctx: &mut IssueCtx<'_>) -> usize;
+
+    /// The fetch-channel domains this policy wants serviced — this is
+    /// what determines which ibuf slots get filled (an SBI-style policy
+    /// lists slot 1 on its second channel; see
+    /// [`crate::policy::sbi::SbiPolicy`]'s channel table).
+    fn fetch_channels(&self) -> FetchChannels;
+
+    /// The ibuf slot of `warp` this policy holds reserved across cycles
+    /// (the SWI cascade's pending primary), exempt from revalidation
+    /// squashing. `None` for stateless policies.
+    fn reserved_slot(&self, warp: usize) -> Option<usize> {
+        let _ = warp;
+        None
+    }
+
+    /// True while the policy carries a pick between cycles (blocks the
+    /// idle fast-forward: the machine state is not frozen).
+    fn carries_pick(&self) -> bool {
+        false
+    }
+
+    /// Statistics hook for the idle fast-forward: `skipped` cycles were
+    /// provably issue-free and are being jumped over; policies that count
+    /// a per-cycle condition (SBI's parked secondaries) replicate it here
+    /// so fast-forwarding stays statistics-exact.
+    fn account_idle_skip(&mut self, ctx: &mut IssueCtx<'_>, skipped: u64) {
+        let _ = (ctx, skipped);
+    }
+}
+
+/// The narrow, policy-facing view of one [`Sm`].
+///
+/// Everything an issue policy may observe or mutate goes through here:
+/// pure queries (ready checks, slot masks, lane translation, port
+/// probes), the dedicated statistic counters, the seeded tie-breaking
+/// RNG, and [`IssueCtx::commit`] — never the SM's internals directly.
+pub struct IssueCtx<'a> {
+    pub(crate) sm: &'a mut Sm,
+}
+
+impl IssueCtx<'_> {
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.sm.cycle()
+    }
+
+    /// Resident warps on the SM.
+    pub fn num_warps(&self) -> usize {
+        self.sm.config().num_warps
+    }
+
+    /// Threads per warp.
+    pub fn warp_width(&self) -> usize {
+        self.sm.config().warp_width
+    }
+
+    /// The configured scheduling order (see [`SchedOrder`]).
+    pub fn sched_order(&self) -> SchedOrder {
+        self.sm.config().sched_order
+    }
+
+    /// Number of sets the SWI mask-lookup partitions the warp pool into
+    /// (fig. 9 associativity).
+    pub fn lookup_sets(&self) -> usize {
+        let cfg = self.sm.config();
+        cfg.swi_assoc.num_sets(cfg.num_warps)
+    }
+
+    /// Whether `(warp, slot)` holds a ready instruction whose execution
+    /// group has a free issue port. Pure — no statistics move.
+    pub fn ready_check(&self, warp: usize, slot: usize) -> Option<Ready> {
+        self.sm.ready_check(warp, slot)
+    }
+
+    /// [`IssueCtx::ready_check`] without the free-port requirement (used
+    /// to *hold* a pick while its port drains).
+    pub fn ready_check_unported(&self, warp: usize, slot: usize) -> Option<Ready> {
+        self.sm.ready_check_nogroup(warp, slot)
+    }
+
+    /// `(pc, mask, at_barrier)` of the divergence context feeding ibuf
+    /// `slot` of `warp` (`None` when the warp is dead or the slot empty).
+    pub fn split_ctx(&self, warp: usize, slot: usize) -> Option<(Pc, Mask, bool)> {
+        self.sm.ctx(warp, slot)
+    }
+
+    /// The thread-space masks of `warp`'s primary split, secondary split
+    /// and cold remainder (all empty under stack divergence).
+    pub fn slot_masks(&self, warp: usize) -> [Mask; 3] {
+        self.sm.slot_masks(warp)
+    }
+
+    /// True if `warp`'s secondary slot is parked by an SBI reconvergence
+    /// constraint (§3.3).
+    pub fn constraint_suspended(&self, warp: usize) -> bool {
+        self.sm.constraint_suspended(warp)
+    }
+
+    /// Counts a constraint suspension if that is the reason `warp`'s
+    /// secondary slot is not ready (§5.1 statistics).
+    pub fn note_constraint_suspension(&mut self, warp: usize) {
+        self.sm.note_constraint_suspension(warp);
+    }
+
+    /// Adds `n` pre-counted constraint suspensions (the idle fast-forward
+    /// replication path).
+    pub fn add_constraint_suspensions(&mut self, n: u64) {
+        self.sm.stats_mut().constraint_suspensions += n;
+    }
+
+    /// Counts one SWI mask-lookup probe.
+    pub fn count_lookup_probe(&mut self) {
+        self.sm.stats_mut().lookup_probes += 1;
+    }
+
+    /// Counts one successful SWI mask-lookup.
+    pub fn count_lookup_hit(&mut self) {
+        self.sm.stats_mut().lookup_hits += 1;
+    }
+
+    /// Counts one cascaded-scheduler conflict squash (§4).
+    pub fn count_scheduler_conflict(&mut self) {
+        self.sm.stats_mut().scheduler_conflicts += 1;
+    }
+
+    /// Dispatch plan for a lone instruction of class `unit` (`None` when
+    /// every serving port is busy).
+    pub fn plan_dispatch(&self, unit: UnitClass) -> Option<Dispatch> {
+        self.sm.plan_dispatch(unit)
+    }
+
+    /// Dispatch plan for a secondary co-issued with primary `r1`
+    /// (dispatched as `d1`): ride the same group pass for MAD/SFU,
+    /// otherwise another free group. Enforces the
+    /// one-divergence-per-cycle and single-LSU-port rules.
+    pub fn plan_coissue(&self, r1: &Ready, d1: Dispatch, r2: &Ready) -> Option<Dispatch> {
+        self.sm.plan_coissue(r1, d1, r2)
+    }
+
+    /// Index of a free back-end group serving `unit` this cycle.
+    pub fn free_group(&self, unit: UnitClass) -> Option<usize> {
+        self.sm.free_group(unit)
+    }
+
+    /// True if the instruction at `pc` is a branch (the
+    /// one-divergence-per-cycle co-issue rule needs this).
+    pub fn is_branch(&self, pc: Pc) -> bool {
+        self.sm.is_branch(pc)
+    }
+
+    /// Translates a thread-space `mask` of warp `wid` into lane space
+    /// through the SM's precomputed lane-permutation table.
+    pub fn lanes_of(&self, mask: Mask, wid: usize) -> Mask {
+        self.sm.lanes_of(mask, wid)
+    }
+
+    /// Deterministic tie-breaking: a pseudo-random index below `n` from
+    /// the SM's seeded RNG.
+    pub fn rand_below(&mut self, n: usize) -> usize {
+        self.sm.rand_below(n)
+    }
+
+    /// Issues `picks` (1 or 2 instructions) for `warp`: functional
+    /// execution, back-end timing, divergence update, scoreboard event.
+    /// Commit order is architecturally meaningful (port occupancy and
+    /// DRAM arbitration follow it), so commit in the order picked.
+    pub fn commit(&mut self, warp: usize, picks: Vec<Pick>) {
+        self.sm.commit_warp_issue(warp, picks);
+    }
+}
+
+/// Selects the better primary candidate under oldest-first ordering.
+/// Shared by every built-in policy's scan loop.
+pub(crate) fn older(best: Option<Ready>, candidate: Ready) -> Option<Ready> {
+    match best {
+        Some(b) if b.seq <= candidate.seq => Some(b),
+        _ => Some(candidate),
+    }
+}
+
+/// Factory signature the registry stores: builds a fresh policy instance
+/// for one SM from its configuration.
+pub type PolicyFactory = fn(&SmConfig) -> Box<dyn IssuePolicy>;
+
+/// One registered issue policy: identity, documentation pointers, the
+/// architectural requirements [`SmConfig::validate`] enforces, the preset
+/// configuration and the boxed factory.
+#[derive(Debug, Clone)]
+pub struct PolicyInfo {
+    /// Canonical registry name (also the preset's config label).
+    pub name: &'static str,
+    /// Alternate names [`PolicyRegistry::resolve`] accepts.
+    pub aliases: &'static [&'static str],
+    /// One-line description.
+    pub summary: &'static str,
+    /// Paper section (or provenance) of the policy.
+    pub paper: &'static str,
+    /// Requires thread-frontier divergence tracking.
+    pub needs_frontier: bool,
+    /// Requires a mask-aware scoreboard (`Exact` or `Matrix`).
+    pub needs_masked_scoreboard: bool,
+    preset: fn() -> SmConfig,
+    factory: PolicyFactory,
+}
+
+impl PolicyInfo {
+    /// A new entry with no aliases and no architectural requirements
+    /// (builder-style setters below add them). `preset` returns the
+    /// policy's default [`SmConfig`]; `factory` builds a fresh policy
+    /// instance per SM. Register the result with
+    /// [`PolicyRegistry::register_global`] to make the policy
+    /// constructible by name everywhere.
+    pub fn new(
+        name: &'static str,
+        summary: &'static str,
+        paper: &'static str,
+        preset: fn() -> SmConfig,
+        factory: PolicyFactory,
+    ) -> PolicyInfo {
+        PolicyInfo {
+            name,
+            aliases: &[],
+            summary,
+            paper,
+            needs_frontier: false,
+            needs_masked_scoreboard: false,
+            preset,
+            factory,
+        }
+    }
+
+    /// Sets the alternate names [`PolicyRegistry::resolve`] accepts
+    /// (builder style).
+    pub fn with_aliases(mut self, aliases: &'static [&'static str]) -> PolicyInfo {
+        self.aliases = aliases;
+        self
+    }
+
+    /// Marks the policy as requiring thread-frontier divergence tracking
+    /// (builder style; enforced by [`SmConfig::validate`]).
+    pub fn requires_frontier(mut self) -> PolicyInfo {
+        self.needs_frontier = true;
+        self
+    }
+
+    /// Marks the policy as requiring a mask-aware scoreboard (builder
+    /// style; enforced by [`SmConfig::validate`]).
+    pub fn requires_masked_scoreboard(mut self) -> PolicyInfo {
+        self.needs_masked_scoreboard = true;
+        self
+    }
+
+    /// The policy's preset [`SmConfig`] (table-2 parameters).
+    pub fn preset(&self) -> SmConfig {
+        (self.preset)()
+    }
+
+    /// Builds a fresh policy instance for an SM configured by `cfg`.
+    pub fn build(&self, cfg: &SmConfig) -> Box<dyn IssuePolicy> {
+        (self.factory)(cfg)
+    }
+
+    /// True when `name` matches the canonical name or an alias.
+    pub fn matches(&self, name: &str) -> bool {
+        self.name == name || self.aliases.contains(&name)
+    }
+}
+
+/// Resolves issue-policy names to boxed factories.
+///
+/// The **process-wide** registry (seeded with the built-ins, extended
+/// via [`PolicyRegistry::register_global`]) is what [`SmConfig`]
+/// validation and SM construction resolve against — registering a
+/// custom policy there makes it constructible by name everywhere
+/// (`SmConfig::with_policy`, `--frontend <name>`, `Sm::new`). Owned
+/// registries (via [`PolicyRegistry::with_builtins`] +
+/// [`PolicyRegistry::register`]) stay available for staging entries
+/// without touching process state.
+#[derive(Debug, Clone)]
+pub struct PolicyRegistry {
+    entries: Vec<PolicyInfo>,
+}
+
+/// The process-wide registry cell.
+fn global() -> &'static std::sync::RwLock<PolicyRegistry> {
+    static GLOBAL: OnceLock<std::sync::RwLock<PolicyRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| std::sync::RwLock::new(PolicyRegistry::with_builtins()))
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> PolicyRegistry {
+        PolicyRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A fresh owned registry pre-populated with the built-in policies.
+    pub fn with_builtins() -> PolicyRegistry {
+        let mut r = PolicyRegistry::new();
+        for e in builtin_entries() {
+            r.register(e);
+        }
+        r
+    }
+
+    /// Registers `info` in the **process-wide** registry, replacing any
+    /// entry with the same canonical name. After this call the policy is
+    /// constructible by name from every entry point
+    /// ([`SmConfig::with_policy`], [`SmConfig::validate`],
+    /// `Sm`/`Machine` construction, the CLIs' `--frontend`).
+    pub fn register_global(info: PolicyInfo) {
+        global()
+            .write()
+            .expect("policy registry lock")
+            .register(info);
+    }
+
+    /// Resolves a name or alias against the process-wide registry
+    /// (a cheap clone of the entry — two `fn` pointers plus statics).
+    pub fn resolve_global(name: &str) -> Option<PolicyInfo> {
+        global()
+            .read()
+            .expect("policy registry lock")
+            .resolve(name)
+            .cloned()
+    }
+
+    /// Canonical names registered process-wide, in registration order.
+    pub fn global_names() -> Vec<&'static str> {
+        global().read().expect("policy registry lock").names()
+    }
+
+    /// Registers `info` in this owned registry, replacing any entry with
+    /// the same canonical name.
+    pub fn register(&mut self, info: PolicyInfo) {
+        self.entries.retain(|e| e.name != info.name);
+        self.entries.push(info);
+    }
+
+    /// Resolves a canonical name or alias to its entry.
+    pub fn resolve(&self, name: &str) -> Option<&PolicyInfo> {
+        self.entries.iter().find(|e| e.matches(name))
+    }
+
+    /// Canonical names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[PolicyInfo] {
+        &self.entries
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        PolicyRegistry::with_builtins()
+    }
+}
+
+fn builtin_entries() -> Vec<PolicyInfo> {
+    vec![
+        PolicyInfo {
+            name: "Baseline",
+            aliases: &["baseline"],
+            summary: "Fermi-like dual warp pools, oldest-first, PDOM stack",
+            paper: "§2, fig. 1",
+            needs_frontier: false,
+            needs_masked_scoreboard: false,
+            preset: SmConfig::baseline,
+            factory: |cfg| Box::new(baseline::DualPoolPolicy::new(cfg.sched_order)),
+        },
+        PolicyInfo {
+            name: "Warp64",
+            aliases: &["warp64"],
+            summary: "Thread-frontier reference: 64-wide warps, sequential branches",
+            paper: "fig. 7 reference",
+            needs_frontier: true,
+            needs_masked_scoreboard: false,
+            preset: SmConfig::warp64,
+            factory: |cfg| Box::new(baseline::DualPoolPolicy::new(cfg.sched_order)),
+        },
+        PolicyInfo {
+            name: "SBI",
+            aliases: &["sbi"],
+            summary: "Simultaneous Branch Interweaving: co-issues CPC1/CPC2 of one warp",
+            paper: "§3",
+            needs_frontier: true,
+            needs_masked_scoreboard: true,
+            preset: SmConfig::sbi,
+            factory: |cfg| Box::new(sbi::SbiPolicy::new(cfg.sched_order)),
+        },
+        PolicyInfo {
+            name: "SWI",
+            aliases: &["swi"],
+            summary: "Simultaneous Warp Interweaving: cascaded lane-filling secondary",
+            paper: "§4",
+            needs_frontier: true,
+            needs_masked_scoreboard: false,
+            preset: SmConfig::swi,
+            factory: |cfg| Box::new(swi::SwiPolicy::solo(cfg.sched_order)),
+        },
+        PolicyInfo {
+            name: "SBI+SWI",
+            aliases: &["sbi+swi", "sbi_swi"],
+            summary: "Both techniques combined",
+            paper: "§3+§4, fig. 2e",
+            needs_frontier: true,
+            needs_masked_scoreboard: true,
+            preset: SmConfig::sbi_swi,
+            factory: |cfg| Box::new(swi::SwiPolicy::with_sbi(cfg.sched_order)),
+        },
+        PolicyInfo {
+            name: "GreedyThenOldest",
+            aliases: &["GTO", "gto"],
+            summary: "Dual-pool scheduler with greedy-then-oldest warp ordering",
+            paper: "scheduling-order study (net-new; GTO à la Rogers et al.)",
+            needs_frontier: false,
+            needs_masked_scoreboard: false,
+            preset: SmConfig::greedy_then_oldest,
+            factory: |cfg| Box::new(baseline::DualPoolPolicy::new(cfg.sched_order)),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_resolve_and_validate() {
+        let reg = PolicyRegistry::with_builtins();
+        assert_eq!(
+            reg.names(),
+            vec![
+                "Baseline",
+                "Warp64",
+                "SBI",
+                "SWI",
+                "SBI+SWI",
+                "GreedyThenOldest"
+            ]
+        );
+        for entry in reg.entries() {
+            let cfg = entry.preset();
+            assert_eq!(cfg.policy, entry.name, "preset policy name mismatch");
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            // The factory builds without panicking.
+            let policy = entry.build(&cfg);
+            assert!(!policy.fetch_channels()[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_to_the_same_entry() {
+        let reg = PolicyRegistry::with_builtins();
+        assert_eq!(reg.resolve("gto").unwrap().name, "GreedyThenOldest");
+        assert_eq!(reg.resolve("GTO").unwrap().name, "GreedyThenOldest");
+        assert_eq!(reg.resolve("sbi+swi").unwrap().name, "SBI+SWI");
+        assert!(reg.resolve("nope").is_none());
+    }
+
+    #[test]
+    fn custom_registration_replaces_by_name() {
+        let mut reg = PolicyRegistry::with_builtins();
+        let n = reg.entries().len();
+        let mut custom = reg.resolve("Baseline").unwrap().clone();
+        custom.summary = "replaced";
+        reg.register(custom);
+        assert_eq!(reg.entries().len(), n);
+        assert_eq!(reg.resolve("Baseline").unwrap().summary, "replaced");
+    }
+
+    #[test]
+    fn sched_order_labels() {
+        assert_eq!(SchedOrder::OldestFirst.name(), "oldest-first");
+        assert_eq!(SchedOrder::GreedyThenOldest.name(), "greedy-then-oldest");
+        assert_eq!(SchedOrder::default(), SchedOrder::OldestFirst);
+    }
+}

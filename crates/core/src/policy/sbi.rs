@@ -1,0 +1,134 @@
+//! Simultaneous Branch Interweaving (paper §3): the single scheduler
+//! picks the warp with the oldest ready *primary* (CPC1) instruction and
+//! the second front-end co-issues the same warp's CPC2 where resources
+//! allow.
+
+use warpweave_isa::UnitClass;
+
+use super::{
+    older, Dispatch, FetchChannels, FetchPref, IssueCtx, IssuePolicy, Pick, Ready, SchedOrder,
+};
+
+/// The SBI front-end. Scheduling is primary-led: the leading split never
+/// advances while the laggard stalls, so desynchronised splits can catch
+/// up and re-merge (fig. 3: one `wid` feeds both fetch paths). When the
+/// picked warp offers no co-issuable secondary, the second front-end
+/// falls back to the oldest ready instruction of another warp for a
+/// *different* free SIMD group (conventional multiple-issue — full masks
+/// cannot share lanes).
+#[derive(Debug, Default)]
+pub struct SbiPolicy {
+    order: SchedOrder,
+    /// Warp of the last primary issue (GTO's greedy handle).
+    last: Option<usize>,
+}
+
+const CHANNELS: FetchChannels = {
+    const CPC1: &[FetchPref] = &[(None, 0)];
+    const CPC2: &[FetchPref] = &[(None, 1), (None, 0)];
+    [CPC1, CPC2]
+};
+
+impl SbiPolicy {
+    /// An SBI scheduler walking primary candidates in `order`.
+    pub fn new(order: SchedOrder) -> SbiPolicy {
+        SbiPolicy { order, last: None }
+    }
+}
+
+impl IssuePolicy for SbiPolicy {
+    fn issue(&mut self, ctx: &mut IssueCtx<'_>) -> usize {
+        // One scan selects the oldest ready primary *and* counts parked
+        // secondaries (the §3.3 constraint-suspension statistic) — the
+        // scan always runs in full so the statistic is order-independent.
+        let mut best: Option<Ready> = None;
+        for w in 0..ctx.num_warps() {
+            if let Some(r) = ctx.ready_check(w, 0) {
+                best = older(best, r);
+            }
+            if ctx.ready_check(w, 1).is_none() {
+                ctx.note_constraint_suspension(w);
+            }
+        }
+        if self.order == SchedOrder::GreedyThenOldest {
+            if let Some(w) = self.last {
+                if let Some(r) = ctx.ready_check(w, 0) {
+                    best = Some(r);
+                }
+            }
+        }
+        let Some(r1) = best else { return 0 };
+        let w = r1.warp;
+        let Some(d1) = ctx.plan_dispatch(r1.unit) else {
+            return 0;
+        };
+        let mut picks: Vec<Pick> = vec![Pick {
+            ready: r1,
+            dispatch: d1,
+            secondary: false,
+        }];
+        if let Some(r2) = ctx.ready_check(w, 1) {
+            if let Some(d2) = ctx.plan_coissue(&r1, d1, &r2) {
+                picks.push(Pick {
+                    ready: r2,
+                    dispatch: d2,
+                    secondary: true,
+                });
+            }
+        }
+        let mut issued = picks.len();
+        if picks.len() == 1 {
+            // Other-warp fallback for the idle front-end.
+            let p1 = picks[0];
+            let mut alt: Option<(Ready, Dispatch)> = None;
+            for ow in (0..ctx.num_warps()).filter(|&ow| ow != w) {
+                let Some(r) = ctx.ready_check(ow, 0) else {
+                    continue;
+                };
+                if alt.as_ref().is_some_and(|(b, _)| b.seq <= r.seq) {
+                    continue;
+                }
+                if r.unit == UnitClass::Control {
+                    alt = Some((r, Dispatch::None));
+                } else if r.unit != p1.ready.unit || matches!(p1.dispatch, Dispatch::None) {
+                    if let Some(g) = ctx.free_group(r.unit) {
+                        alt = Some((r, Dispatch::Group(g)));
+                    }
+                }
+            }
+            if let Some((r, d)) = alt {
+                let lsu_clash = p1.ready.unit == UnitClass::Lsu && r.unit == UnitClass::Lsu;
+                if !(lsu_clash || (ctx.is_branch(p1.ready.pc) && ctx.is_branch(r.pc))) {
+                    issued += 1;
+                    ctx.commit(
+                        r.warp,
+                        vec![Pick {
+                            ready: r,
+                            dispatch: d,
+                            secondary: true,
+                        }],
+                    );
+                }
+            }
+        }
+        self.last = Some(w);
+        ctx.commit(w, picks);
+        issued
+    }
+
+    fn fetch_channels(&self) -> FetchChannels {
+        CHANNELS
+    }
+
+    fn account_idle_skip(&mut self, ctx: &mut IssueCtx<'_>, skipped: u64) {
+        // `issue` counts parked secondaries once per cycle even when
+        // nothing issues; replicate that for the skipped cycles so the
+        // statistic is exact (the suspension set is frozen with the rest
+        // of the state — no group frees and no writeback lands inside the
+        // skipped window by construction).
+        let parked = (0..ctx.num_warps())
+            .filter(|&w| ctx.ready_check(w, 1).is_none() && ctx.constraint_suspended(w))
+            .count() as u64;
+        ctx.add_constraint_suspensions(skipped * parked);
+    }
+}

@@ -1,0 +1,304 @@
+//! Simultaneous Warp Interweaving (paper §4): a cascaded two-phase
+//! scheduler (2-cycle latency) whose secondary front-end fills the
+//! primary instruction's free lanes with another warp's instruction.
+//! With [`SwiPolicy::with_sbi`] the same cascade also co-issues the
+//! primary warp's CPC2 split (fig. 2e, SBI+SWI).
+
+use warpweave_isa::{Pc, UnitClass};
+
+use crate::mask::Mask;
+
+use super::{
+    older, Dispatch, FetchChannels, FetchPref, IssueCtx, IssuePolicy, Pick, Ready, SchedOrder,
+};
+
+/// The pending primary pick of the cascade (selected one cycle before
+/// issue — table 2's 2-cycle scheduler latency).
+#[derive(Debug, Clone, Copy)]
+struct PendingPrimary {
+    warp: usize,
+    slot: usize,
+    pc: Pc,
+}
+
+/// The SWI front-end (solo, or combined with SBI's secondary-split
+/// fetch). This cycle issues the primary picked *last* cycle plus a
+/// secondary found now; in parallel the next primary is picked, with
+/// a-posteriori conflict squashing (§4).
+#[derive(Debug)]
+pub struct SwiPolicy {
+    order: SchedOrder,
+    /// Ibuf slots fetched per warp: 1 solo, 2 when combined with SBI.
+    slots: usize,
+    pending: Option<PendingPrimary>,
+    /// Warp of the last committed primary (GTO's greedy handle).
+    last: Option<usize>,
+}
+
+const SOLO_CHANNELS: FetchChannels = {
+    const CPC1: &[FetchPref] = &[(None, 0)];
+    [CPC1, CPC1]
+};
+
+const SBI_CHANNELS: FetchChannels = {
+    const CPC1: &[FetchPref] = &[(None, 0)];
+    const CPC2: &[FetchPref] = &[(None, 1), (None, 0)];
+    [CPC1, CPC2]
+};
+
+impl SwiPolicy {
+    /// SWI alone: one divergence context fetched per warp.
+    pub fn solo(order: SchedOrder) -> SwiPolicy {
+        SwiPolicy {
+            order,
+            slots: 1,
+            pending: None,
+            last: None,
+        }
+    }
+
+    /// SBI+SWI: the cascade also sees every warp's CPC2 split.
+    pub fn with_sbi(order: SchedOrder) -> SwiPolicy {
+        SwiPolicy {
+            order,
+            slots: 2,
+            pending: None,
+            last: None,
+        }
+    }
+
+    /// The SWI secondary lookup: search the primary's associativity set
+    /// for a ready instruction whose lanes fit in the primary's free
+    /// lanes (same-group ride), or any instruction for another free
+    /// group. Best-fit (max occupancy) with pseudo-random tie-breaking.
+    fn find_secondary(
+        &self,
+        ctx: &mut IssueCtx<'_>,
+        r1: &Ready,
+        d1: Dispatch,
+    ) -> Option<(Ready, Dispatch)> {
+        let width = ctx.warp_width();
+        let nw = ctx.num_warps();
+        let free = Mask::full(width) - ctx.lanes_of(r1.mask, r1.warp);
+        let sets = ctx.lookup_sets();
+        let my_set = r1.warp % sets;
+
+        let mut rides: Vec<(Ready, usize, u32)> = Vec::new(); // (ready, group, fit)
+        let mut others: Vec<(Ready, Dispatch)> = Vec::new();
+
+        // Same-warp CPC2 (SBI-style) — always reachable, no lookup needed.
+        if self.slots > 1 {
+            if let Some(r2) = ctx.ready_check(r1.warp, 1) {
+                if let Some(d2) = ctx.plan_coissue(r1, d1, &r2) {
+                    match d2 {
+                        Dispatch::Ride(g) => rides.push((r2, g, r2.mask.count())),
+                        d => others.push((r2, d)),
+                    }
+                }
+            }
+        }
+
+        for w in (0..nw).filter(|w| w % sets == my_set && *w != r1.warp) {
+            for slot in 0..self.slots {
+                let Some(r2) = ctx.ready_check(w, slot) else {
+                    continue;
+                };
+                ctx.count_lookup_probe();
+                // Cross-warp branch pairs are fine (separate HCT sorters);
+                // only the single 128-byte L1 port is exclusive.
+                if r2.unit == UnitClass::Lsu && r1.unit == UnitClass::Lsu {
+                    continue;
+                }
+                let lanes = ctx.lanes_of(r2.mask, w);
+                if r2.unit == r1.unit
+                    && matches!(r1.unit, UnitClass::Mad | UnitClass::Sfu)
+                    && lanes.is_subset(free)
+                {
+                    if let Dispatch::Group(g) = d1 {
+                        rides.push((r2, g, lanes.count()));
+                        continue;
+                    }
+                }
+                if r2.unit == UnitClass::Control {
+                    others.push((r2, Dispatch::None));
+                } else if r2.unit != r1.unit {
+                    if let Some(g) = ctx.free_group(r2.unit) {
+                        others.push((r2, Dispatch::Group(g)));
+                    }
+                }
+            }
+        }
+
+        // Best fit: maximise occupancy; pseudo-random tie-breaking.
+        if !rides.is_empty() {
+            let best_fit = rides.iter().map(|&(_, _, c)| c).max().expect("non-empty");
+            let tied: Vec<&(Ready, usize, u32)> =
+                rides.iter().filter(|&&(_, _, c)| c == best_fit).collect();
+            let pick = tied[ctx.rand_below(tied.len())];
+            ctx.count_lookup_hit();
+            return Some((pick.0, Dispatch::Ride(pick.1)));
+        }
+        if !others.is_empty() {
+            let oldest = others
+                .into_iter()
+                .min_by_key(|(r, _)| r.seq)
+                .expect("non-empty");
+            ctx.count_lookup_hit();
+            return Some(oldest);
+        }
+        None
+    }
+
+    /// The secondary scheduler's solo pick (after a conflict bubble):
+    /// best-fit over all ready instructions.
+    fn solo_pick(&self, ctx: &mut IssueCtx<'_>) -> Option<Ready> {
+        let mut best: Vec<Ready> = Vec::new();
+        let mut best_fit = 0;
+        for w in 0..ctx.num_warps() {
+            for slot in 0..self.slots {
+                if let Some(r) = ctx.ready_check(w, slot) {
+                    let c = r.mask.count();
+                    if c > best_fit {
+                        best_fit = c;
+                        best.clear();
+                    }
+                    if c == best_fit {
+                        best.push(r);
+                    }
+                }
+            }
+        }
+        if best.is_empty() {
+            None
+        } else {
+            Some(best[ctx.rand_below(best.len())])
+        }
+    }
+}
+
+impl IssuePolicy for SwiPolicy {
+    fn issue(&mut self, ctx: &mut IssueCtx<'_>) -> usize {
+        // Phase n+1 primary pick (in parallel with this cycle's secondary).
+        let mut np: Option<Ready> = None;
+        for w in 0..ctx.num_warps() {
+            // Exclude the entry reserved by the pending primary.
+            if let Some(pp) = self.pending {
+                if pp.warp == w {
+                    continue;
+                }
+            }
+            if let Some(r) = ctx.ready_check(w, 0) {
+                np = older(np, r);
+            }
+        }
+        if self.order == SchedOrder::GreedyThenOldest {
+            if let Some(w) = self.last {
+                if self.pending.is_none_or(|pp| pp.warp != w) {
+                    if let Some(r) = ctx.ready_check(w, 0) {
+                        np = Some(r);
+                    }
+                }
+            }
+        }
+
+        let mut issued = 0;
+        let pending = self.pending.take();
+        let mut secondary_issued: Option<(usize, usize)> = None; // (warp, slot)
+        match pending {
+            Some(pp) => {
+                // Revalidate: the split may have moved, a dependency may
+                // have appeared, or the entry may have been squashed.
+                // (No free-group requirement: a busy port holds the pick.)
+                let still = ctx
+                    .ready_check_unported(pp.warp, pp.slot)
+                    .filter(|r| r.pc == pp.pc);
+                if let Some(r1) = still {
+                    if let Some(d1) = ctx.plan_dispatch(r1.unit) {
+                        let sec = self.find_secondary(ctx, &r1, d1);
+                        let mut picks_by_warp: Vec<(usize, Vec<Pick>)> = vec![(
+                            r1.warp,
+                            vec![Pick {
+                                ready: r1,
+                                dispatch: d1,
+                                secondary: false,
+                            }],
+                        )];
+                        if let Some((r2, d2)) = sec {
+                            secondary_issued = Some((r2.warp, r2.slot));
+                            let pick2 = Pick {
+                                ready: r2,
+                                dispatch: d2,
+                                secondary: true,
+                            };
+                            if r2.warp == r1.warp {
+                                picks_by_warp[0].1.push(pick2);
+                            } else {
+                                picks_by_warp.push((r2.warp, vec![pick2]));
+                            }
+                        }
+                        self.last = Some(r1.warp);
+                        for (w, picks) in picks_by_warp {
+                            issued += picks.len();
+                            ctx.commit(w, picks);
+                        }
+                    } else {
+                        // Port busy: hold the pick, stall the cascade.
+                        self.pending = Some(pp);
+                        return 0;
+                    }
+                }
+                // else: pick evaporated — bubble.
+            }
+            None => {
+                // No pending primary (start-up or after a conflict): the
+                // secondary scheduler "substitutes itself", picking by its
+                // own best-fit policy.
+                if let Some(r) = self.solo_pick(ctx) {
+                    if let Some(d) = ctx.plan_dispatch(r.unit) {
+                        secondary_issued = Some((r.warp, r.slot));
+                        ctx.commit(
+                            r.warp,
+                            vec![Pick {
+                                ready: r,
+                                dispatch: d,
+                                secondary: true,
+                            }],
+                        );
+                        issued += 1;
+                    }
+                }
+            }
+        }
+
+        // Conflict: the secondary issued the very instruction the next
+        // primary picked — squash the primary copy.
+        if let (Some(np_r), Some(sec)) = (np, secondary_issued) {
+            if (np_r.warp, np_r.slot) == sec {
+                ctx.count_scheduler_conflict();
+                np = None;
+            }
+        }
+        self.pending = np.map(|r| PendingPrimary {
+            warp: r.warp,
+            slot: r.slot,
+            pc: r.pc,
+        });
+        issued
+    }
+
+    fn fetch_channels(&self) -> FetchChannels {
+        if self.slots > 1 {
+            SBI_CHANNELS
+        } else {
+            SOLO_CHANNELS
+        }
+    }
+
+    fn reserved_slot(&self, warp: usize) -> Option<usize> {
+        self.pending.filter(|pp| pp.warp == warp).map(|pp| pp.slot)
+    }
+
+    fn carries_pick(&self) -> bool {
+        self.pending.is_some()
+    }
+}

@@ -19,11 +19,119 @@ pub struct Transaction {
     pub lanes: Vec<usize>,
 }
 
+/// A reusable transaction arena for the coalescer.
+///
+/// The per-issue `coalesce`/`atomic_transactions` calls used to allocate a
+/// fresh `Vec<Transaction>` — and one `Vec<usize>` of lanes *per
+/// transaction* — on every memory instruction. A [`TxScratch`] held by
+/// the pipeline keeps those allocations alive across issue events:
+/// [`coalesce_into`] / [`atomic_transactions_into`] rewrite the logical
+/// prefix `txs()[..len]` in place, clearing (not dropping) each
+/// transaction's lane list so its capacity is reused.
+#[derive(Debug, Default)]
+pub struct TxScratch {
+    txs: Vec<Transaction>,
+    len: usize,
+    /// Round buffers for the atomic replay schedule.
+    pending: Vec<(usize, u32)>,
+    deferred: Vec<(usize, u32)>,
+    served: Vec<u32>,
+}
+
+impl TxScratch {
+    /// An empty arena (all capacity is grown on first use).
+    pub fn new() -> TxScratch {
+        TxScratch::default()
+    }
+
+    /// The transactions of the most recent `*_into` call.
+    pub fn txs(&self) -> &[Transaction] {
+        &self.txs[..self.len]
+    }
+
+    /// Number of transactions produced by the most recent `*_into` call.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the most recent `*_into` call produced no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends `lane` to the transaction for `block`, merging only with
+    /// transactions at index `round_start..` (atomic replay rounds must
+    /// not coalesce across rounds).
+    fn push_lane(&mut self, round_start: usize, block: u32, lane: usize) {
+        if let Some(t) = self.txs[round_start..self.len]
+            .iter_mut()
+            .find(|t| t.block_addr == block)
+        {
+            t.lanes.push(lane);
+            return;
+        }
+        if self.len < self.txs.len() {
+            let t = &mut self.txs[self.len];
+            t.block_addr = block;
+            t.lanes.clear();
+            t.lanes.push(lane);
+        } else {
+            self.txs.push(Transaction {
+                block_addr: block,
+                lanes: vec![lane],
+            });
+        }
+        self.len += 1;
+    }
+}
+
+/// [`coalesce`] into a reusable [`TxScratch`] — no per-call allocation
+/// once the arena has warmed up.
+pub fn coalesce_into(accesses: &[(usize, u32)], out: &mut TxScratch) {
+    out.clear();
+    for &(lane, addr) in accesses {
+        out.push_lane(0, addr & !(BLOCK_BYTES - 1), lane);
+    }
+}
+
+/// [`atomic_transactions`] into a reusable [`TxScratch`] — no per-call
+/// allocation once the arena has warmed up.
+pub fn atomic_transactions_into(accesses: &[(usize, u32)], out: &mut TxScratch) {
+    out.clear();
+    let mut pending = std::mem::take(&mut out.pending);
+    let mut deferred = std::mem::take(&mut out.deferred);
+    let mut served = std::mem::take(&mut out.served);
+    pending.clear();
+    pending.extend_from_slice(accesses);
+    while !pending.is_empty() {
+        deferred.clear();
+        served.clear();
+        let round_start = out.len;
+        for &(lane, addr) in &pending {
+            if served.contains(&addr) {
+                deferred.push((lane, addr));
+            } else {
+                served.push(addr);
+                out.push_lane(round_start, addr & !(BLOCK_BYTES - 1), lane);
+            }
+        }
+        std::mem::swap(&mut pending, &mut deferred);
+    }
+    out.pending = pending;
+    out.deferred = deferred;
+    out.served = served;
+}
+
 /// Groups per-lane word accesses into 128-byte block transactions, in order
 /// of first appearance (the replay order the hardware would follow).
 ///
 /// Each input entry is `(lane, byte address)`; inactive lanes are simply not
-/// passed in.
+/// passed in. Allocates a fresh list per call — hot paths hold a
+/// [`TxScratch`] and use [`coalesce_into`] instead.
 ///
 /// # Examples
 /// ```
@@ -35,18 +143,9 @@ pub struct Transaction {
 /// assert_eq!(txs[1].block_addr, 128);
 /// ```
 pub fn coalesce(accesses: &[(usize, u32)]) -> Vec<Transaction> {
-    let mut txs: Vec<Transaction> = Vec::new();
-    for &(lane, addr) in accesses {
-        let block = addr & !(BLOCK_BYTES - 1);
-        match txs.iter_mut().find(|t| t.block_addr == block) {
-            Some(t) => t.lanes.push(lane),
-            None => txs.push(Transaction {
-                block_addr: block,
-                lanes: vec![lane],
-            }),
-        }
-    }
-    txs
+    let mut scratch = TxScratch::new();
+    coalesce_into(accesses, &mut scratch);
+    scratch.txs().to_vec()
 }
 
 /// Schedules atomic accesses into replay rounds: within one round each
@@ -55,26 +154,12 @@ pub fn coalesce(accesses: &[(usize, u32)]) -> Vec<Transaction> {
 /// block-coalesced like ordinary accesses.
 ///
 /// Returns the flattened transaction list across all rounds; its length is
-/// the LSU occupancy in cycles.
+/// the LSU occupancy in cycles. Allocates per call — hot paths use
+/// [`atomic_transactions_into`].
 pub fn atomic_transactions(accesses: &[(usize, u32)]) -> Vec<Transaction> {
-    let mut remaining: Vec<(usize, u32)> = accesses.to_vec();
-    let mut out = Vec::new();
-    while !remaining.is_empty() {
-        let mut this_round: Vec<(usize, u32)> = Vec::new();
-        let mut deferred: Vec<(usize, u32)> = Vec::new();
-        let mut served: Vec<u32> = Vec::new();
-        for &(lane, addr) in &remaining {
-            if served.contains(&addr) {
-                deferred.push((lane, addr));
-            } else {
-                served.push(addr);
-                this_round.push((lane, addr));
-            }
-        }
-        out.extend(coalesce(&this_round));
-        remaining = deferred;
-    }
-    out
+    let mut scratch = TxScratch::new();
+    atomic_transactions_into(accesses, &mut scratch);
+    scratch.txs().to_vec()
 }
 
 #[cfg(test)]
@@ -122,6 +207,40 @@ mod tests {
         // 8 lanes hammering one counter: 8 rounds of 1 transaction.
         let acc: Vec<(usize, u32)> = (0..8).map(|i| (i, 64)).collect();
         assert_eq!(atomic_transactions(&acc).len(), 8);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_allocation() {
+        // One arena driven through mixed patterns must reproduce the
+        // allocating API exactly, including stale-capacity reuse between
+        // calls and the no-cross-round-merge rule for atomics.
+        let patterns: Vec<Vec<(usize, u32)>> = vec![
+            (0..32).map(|i| (i, i as u32 * 4)).collect(),
+            (0..32).map(|i| (i, i as u32 * 128)).collect(),
+            vec![(0, 256), (1, 0), (2, 300)],
+            vec![],
+            (0..8).map(|i| (i, 64)).collect(),
+            vec![(0, 8), (1, 8), (2, 12), (3, 12)],
+        ];
+        let mut scratch = TxScratch::new();
+        for acc in &patterns {
+            coalesce_into(acc, &mut scratch);
+            assert_eq!(scratch.txs(), coalesce(acc).as_slice());
+            atomic_transactions_into(acc, &mut scratch);
+            assert_eq!(scratch.txs(), atomic_transactions(acc).as_slice());
+            assert_eq!(scratch.len(), scratch.txs().len());
+        }
+    }
+
+    #[test]
+    fn atomic_rounds_do_not_merge_blocks_across_rounds() {
+        // 2 lanes on one word: 2 rounds, and although both rounds touch
+        // block 0 they must stay separate transactions.
+        let mut scratch = TxScratch::new();
+        atomic_transactions_into(&[(0, 64), (1, 64)], &mut scratch);
+        assert_eq!(scratch.len(), 2);
+        assert_eq!(scratch.txs()[0].block_addr, 0);
+        assert_eq!(scratch.txs()[1].block_addr, 0);
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub mod space;
 
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
 pub use channel::{ChannelStats, MemGrant, MemRequest, SharedDramChannel};
-pub use coalesce::{atomic_transactions, coalesce, Transaction, BLOCK_BYTES};
+pub use coalesce::{
+    atomic_transactions, atomic_transactions_into, coalesce, coalesce_into, Transaction, TxScratch,
+    BLOCK_BYTES,
+};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use event::{MemEvent, MemEventQueue};
 pub use space::Memory;

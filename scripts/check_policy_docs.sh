@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Fails if any issue policy registered in core::policy::PolicyRegistry is
+# missing from README.md's policy table. The registry is the source of
+# truth (`bench_sweep --list-frontends` prints it); the README must name
+# every entry in backticks, which is exactly how the table renders them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+names="$(cargo run --release -q -p warpweave-bench --bin bench_sweep -- --list-frontends)"
+if [ -z "$names" ]; then
+    echo "bench_sweep --list-frontends printed no policies" >&2
+    exit 1
+fi
+
+status=0
+while IFS= read -r name; do
+    [ -z "$name" ] && continue
+    if ! grep -qF "\`$name\`" README.md; then
+        echo "README.md policy table is missing registered policy '$name'" >&2
+        status=1
+    fi
+done <<<"$names"
+
+if [ "$status" -eq 0 ]; then
+    echo "README.md policy table covers all registered policies:"
+    printf '  %s\n' $names
+fi
+exit $status
