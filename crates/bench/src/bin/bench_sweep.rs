@@ -5,7 +5,8 @@
 //! Usage:
 //! `bench_sweep [--full] [--out PATH] [--checkpoint PATH] [--no-checkpoint]
 //!              [--cell-budget N] [--threads N] [--frontend NAMES]
-//!              [--list-frontends]
+//!              [--list-frontends] [--salvage] [--max-cell-retries N]
+//!              [--inject SPEC]
 //!              [--record-golden] [--check-golden] [--golden PATH]`
 //!
 //! * default — a quick test-scale sweep (2 workloads × 5 front-ends) plus
@@ -23,6 +24,16 @@
 //!   uninterrupted run's.
 //! * `--cell-budget N` — stop after N newly simulated cells (exit code 3);
 //!   combined with the checkpoint this splits a long sweep across runs.
+//! * `--salvage` — before resuming, truncate a torn/corrupt checkpoint to
+//!   its last checksum-valid record (the damaged tail is preserved as a
+//!   `.quarantine` sidecar) instead of refusing to load it.
+//! * `--max-cell-retries N` — retries per failing cell before it is
+//!   quarantined (default 1). A sweep with quarantined cells completes
+//!   every healthy cell, prints a failures block with per-cell
+//!   provenance, writes a partial `--out` payload and exits 4.
+//! * `--inject SPEC` — arm the deterministic fault injector with `SPEC`
+//!   (same grammar as the `WARPWEAVE_FAULTS` env var, which this flag
+//!   overrides); used by the CI fault drills.
 //! * `--record-golden` — run the golden grid (test scale: full matrix +
 //!   machine probes under both bandwidth models) and write the baseline
 //!   (default `BENCH_golden.json`).
@@ -34,17 +45,31 @@
 //! deterministic simulation results.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use warpweave_bench::grid;
-use warpweave_bench::harness::{run_matrix_at, run_matrix_checkpointed, run_matrix_serial_at};
+use warpweave_bench::harness::{
+    format_failures, run_matrix_at, run_matrix_contained, run_matrix_serial_at, FaultPolicy,
+};
 use warpweave_bench::report::{
-    check_golden, render_golden_json, render_sweep_json, run_machine_probes,
+    check_golden, render_faulted_sweep_json, render_golden_json, render_sweep_json,
+    run_machine_probes,
 };
 use warpweave_bench::{arg_value, MatrixResult};
 use warpweave_core::checkpoint::SweepCheckpoint;
+use warpweave_core::faultinject::{FaultPlan, FAULTS_ENV};
 use warpweave_core::{PolicyRegistry, SweepRunner};
 use warpweave_workloads::Scale;
+
+/// Writes `contents` to `path`, reporting I/O failure on stderr instead
+/// of panicking (the sweep results are already safe in the checkpoint).
+fn write_artifact(path: &str, contents: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("write {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
 
 fn cells_identical(a: &MatrixResult, b: &MatrixResult) -> bool {
     a.workloads == b.workloads
@@ -81,12 +106,37 @@ fn main() -> ExitCode {
     let record_golden = args.iter().any(|a| a == "--record-golden");
     let do_check_golden = args.iter().any(|a| a == "--check-golden");
     let no_checkpoint = args.iter().any(|a| a == "--no-checkpoint");
+    let salvage = args.iter().any(|a| a == "--salvage");
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".into());
     let golden_path = arg_value(&args, "--golden").unwrap_or_else(|| "BENCH_golden.json".into());
     let checkpoint_path =
         arg_value(&args, "--checkpoint").unwrap_or_else(|| "BENCH_sweep.checkpoint".into());
     let cell_budget: Option<usize> = arg_value(&args, "--cell-budget")
         .map(|v| v.parse().expect("--cell-budget takes a cell count"));
+    let max_cell_retries: u32 = arg_value(&args, "--max-cell-retries")
+        .map(|v| v.parse().expect("--max-cell-retries takes a retry count"))
+        .unwrap_or(1);
+    // `--inject` overrides the env var; either way a malformed spec is a
+    // usage error, reported before any simulation starts.
+    let policy = match arg_value(&args, "--inject") {
+        Some(spec) => match FaultPlan::parse(&spec) {
+            Ok(plan) => FaultPolicy {
+                max_retries: max_cell_retries,
+                injector: (!plan.is_empty()).then(|| Arc::new(plan.arm())),
+            },
+            Err(e) => {
+                eprintln!("--inject: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => match FaultPolicy::from_env(max_cell_retries) {
+            Ok(policy) => policy,
+            Err(e) => {
+                eprintln!("{FAULTS_ENV}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let runner = match arg_value(&args, "--threads") {
         Some(n) => SweepRunner::with_threads(n.parse().expect("--threads takes a count")),
         None => SweepRunner::new(),
@@ -101,7 +151,9 @@ fn main() -> ExitCode {
 
     if record_golden {
         let json = render_golden(&runner);
-        std::fs::write(&golden_path, &json).expect("write golden baseline");
+        if let Err(code) = write_artifact(&golden_path, &json) {
+            return code;
+        }
         eprintln!("recorded golden baseline: {golden_path}");
         return ExitCode::SUCCESS;
     }
@@ -117,7 +169,9 @@ fn main() -> ExitCode {
             }
             Err(report) => {
                 let diff_path = format!("{golden_path}.diff");
-                std::fs::write(&diff_path, &report).expect("write golden diff report");
+                if let Err(e) = std::fs::write(&diff_path, &report) {
+                    eprintln!("write {diff_path}: {e}");
+                }
                 eprint!("{report}");
                 eprintln!("golden baseline {golden_path}: DRIFT — report written to {diff_path}");
                 ExitCode::FAILURE
@@ -152,8 +206,11 @@ fn main() -> ExitCode {
     // `--full` checkpoints by default (it is minutes of work); the quick
     // sweep stays checkpoint-free — it doubles as the serial-vs-parallel
     // determinism audit — unless `--checkpoint` is passed explicitly.
+    // Fault injection always routes through the contained path (a
+    // checkpoint-free injected run uses an in-memory store), because the
+    // strict path treats any cell failure as fatal.
     let use_checkpoint = !no_checkpoint && (full || args.iter().any(|a| a == "--checkpoint"));
-    let (matrix, probes) = if !use_checkpoint {
+    let (matrix, probes) = if !use_checkpoint && policy.injector.is_none() {
         // Checkpoint-free path: also the serial-vs-parallel determinism
         // audit (only meaningful when both paths actually run).
         let t0 = Instant::now();
@@ -175,8 +232,24 @@ fn main() -> ExitCode {
         (parallel, probes)
     } else {
         let id = grid::grid_id(&configs, &workloads, scale);
-        let mut store = SweepCheckpoint::resume(&checkpoint_path, id)
-            .unwrap_or_else(|e| panic!("checkpoint {checkpoint_path}: {e}"));
+        let mut store = if use_checkpoint {
+            if salvage {
+                match SweepCheckpoint::salvage(&checkpoint_path) {
+                    Ok(report) => eprintln!("checkpoint {checkpoint_path}: salvage: {report}"),
+                    Err(e) => eprintln!(
+                        "checkpoint {checkpoint_path}: salvage skipped: {e} \
+                         (resuming as-is)"
+                    ),
+                }
+            }
+            SweepCheckpoint::resume(&checkpoint_path, id)
+                .unwrap_or_else(|e| panic!("checkpoint {checkpoint_path}: {e}"))
+        } else {
+            SweepCheckpoint::in_memory(id)
+        };
+        if let Some(injector) = &policy.injector {
+            store.arm_faults(Arc::clone(injector));
+        }
         let done_before = store.len();
         if done_before > 0 {
             eprintln!(
@@ -184,7 +257,7 @@ fn main() -> ExitCode {
             );
         }
         let t0 = Instant::now();
-        let matrix = run_matrix_checkpointed(
+        let report = run_matrix_contained(
             &runner,
             &configs,
             &workloads,
@@ -192,9 +265,25 @@ fn main() -> ExitCode {
             verify,
             &mut store,
             cell_budget,
+            &policy,
         )
         .unwrap_or_else(|e| panic!("checkpointed sweep: {e}"));
-        let Some(matrix) = matrix else {
+        if !report.failures.is_empty() {
+            eprint!("{}", format_failures(&report.failures));
+            eprintln!(
+                "{} healthy cell(s) completed and persisted; fix the fault and re-run \
+                 to fill the gaps",
+                report.healthy.len()
+            );
+            let json =
+                render_faulted_sweep_json(scale_label, jobs, &report.healthy, &report.failures);
+            if let Err(code) = write_artifact(&out_path, &json) {
+                return code;
+            }
+            eprintln!("wrote {out_path} (partial: quarantined cells listed under \"failures\")");
+            return ExitCode::from(4);
+        }
+        let Some(matrix) = report.matrix else {
             eprintln!(
                 "cell budget exhausted after {} of {jobs} matrix cells ({:.1} s); \
                  re-run to resume from {checkpoint_path}",
@@ -227,7 +316,9 @@ fn main() -> ExitCode {
     }
 
     let json = render_sweep_json(scale_label, &matrix, &probes);
-    std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
+    if let Err(code) = write_artifact(&out_path, &json) {
+        return code;
+    }
     eprintln!("wrote {out_path}");
     ExitCode::SUCCESS
 }

@@ -1,10 +1,13 @@
 //! Workload × configuration run matrix, fanned out across host cores via
 //! [`SweepRunner`], with optional per-cell checkpointing through
-//! [`SweepCheckpoint`].
+//! [`SweepCheckpoint`] and per-cell failure containment through
+//! [`run_matrix_contained`].
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use warpweave_core::checkpoint::{CellRecord, CheckpointError, SweepCheckpoint};
+use warpweave_core::faultinject::{FaultInjector, FaultKind, FaultPlan, FAULTS_ENV};
+use warpweave_core::sweep::JobFailure;
 use warpweave_core::{SmConfig, Stats, SweepRunner};
 use warpweave_mem::DramConfig;
 use warpweave_workloads::{run_prepared, Scale, Workload};
@@ -138,14 +141,30 @@ pub fn run_one_at(
     scale: Scale,
     verify: bool,
 ) -> CellResult {
+    try_run_one_at(cfg, workload, scale, verify)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), cfg.name))
+}
+
+/// Fallible [`run_one_at`]: simulation and verification failures come
+/// back as an `Err` string instead of a panic. This is the cell body
+/// the fault-isolated sweep runs under `catch_unwind` — a sick cell
+/// becomes a [`CellFailure`], never a dead process.
+///
+/// # Errors
+/// The rendered [`warpweave_workloads::RunError`].
+pub fn try_run_one_at(
+    cfg: &SmConfig,
+    workload: &dyn Workload,
+    scale: Scale,
+    verify: bool,
+) -> Result<CellResult, String> {
     let prepared = workload.prepare(scale);
-    let stats = run_prepared(cfg, prepared, verify)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), cfg.name));
-    CellResult {
+    let stats = run_prepared(cfg, prepared, verify).map_err(|e| e.to_string())?;
+    Ok(CellResult {
         workload: workload.name().to_string(),
         config: cfg.name.clone(),
         stats,
-    }
+    })
 }
 
 /// Runs the full `workloads × configs` matrix, fanning the cells out
@@ -196,6 +215,219 @@ pub fn cell_key(workload: &str, config: &str) -> String {
     format!("{workload}/{config}")
 }
 
+/// One quarantined sweep cell, with full provenance: which cell, under
+/// which seed, how many attempts were made, and why the last one failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Workload label.
+    pub workload: String,
+    /// Configuration label.
+    pub config: String,
+    /// The configuration's RNG seed (reproduce with exactly this).
+    pub seed: u64,
+    /// Attempts made before quarantine.
+    pub attempts: u32,
+    /// The final attempt's failure.
+    pub reason: JobFailure,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: seed {:#x}, {} attempt(s): {}",
+            self.workload, self.config, self.seed, self.attempts, self.reason
+        )
+    }
+}
+
+/// Renders the human-readable failures block the bench binaries print to
+/// stderr when cells were quarantined.
+pub fn format_failures(failures: &[CellFailure]) -> String {
+    let mut out = format!("FAILURES: {} cell(s) quarantined\n", failures.len());
+    for f in failures {
+        out.push_str(&format!("  {f}\n"));
+    }
+    out
+}
+
+/// Containment policy of a [`run_matrix_contained`] run: how often a
+/// failing cell is retried, and an optional armed fault plan (tests/CI).
+#[derive(Debug, Default)]
+pub struct FaultPolicy {
+    /// Retries per cell after its first failed attempt.
+    pub max_retries: u32,
+    /// Deterministic fault injection, when armed.
+    pub injector: Option<Arc<FaultInjector>>,
+}
+
+impl FaultPolicy {
+    /// No retries, no injection — the strict legacy behaviour.
+    pub fn none() -> FaultPolicy {
+        FaultPolicy::default()
+    }
+
+    /// `max_retries` retries, no injection.
+    pub fn with_retries(max_retries: u32) -> FaultPolicy {
+        FaultPolicy {
+            max_retries,
+            injector: None,
+        }
+    }
+
+    /// Reads a fault plan from the [`FAULTS_ENV`] environment variable
+    /// (no plan set means no injection).
+    ///
+    /// # Errors
+    /// A malformed spec, rendered as a human-readable message.
+    pub fn from_env(max_retries: u32) -> Result<FaultPolicy, String> {
+        Ok(FaultPolicy {
+            max_retries,
+            injector: FaultPlan::from_env()?.map(|plan| Arc::new(plan.arm())),
+        })
+    }
+}
+
+/// Outcome of a fault-isolated matrix run ([`run_matrix_contained`]).
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The full matrix — present only when **every** cell of the grid is
+    /// in the store (no quarantined cells, no exhausted budget).
+    pub matrix: Option<MatrixResult>,
+    /// Every completed cell (including resumed ones), in job order.
+    pub healthy: Vec<CellResult>,
+    /// Quarantined cells with provenance, in job order.
+    pub failures: Vec<CellFailure>,
+}
+
+/// [`run_matrix_at`] with per-cell checkpointing **and** per-cell failure
+/// containment. Cells already present in `store` are not re-simulated;
+/// every freshly completed cell is appended to `store` (and flushed to
+/// its file) the moment it finishes. Each cell attempt runs under
+/// `catch_unwind`: a panicking or erroring cell is retried up to
+/// `policy.max_retries` times and then quarantined as a [`CellFailure`],
+/// while every healthy cell still completes — bit-identical to a
+/// fault-free run at any host thread count, because containment wraps
+/// the cell closure without reordering or re-seeding anything.
+///
+/// `cell_budget` caps how many *new* cells this call may attempt —
+/// `None` means "run to completion". Quarantined cells are **not**
+/// recorded to the store, so a later run (after the bug is fixed)
+/// re-simulates exactly the quarantined cells. When every cell of the
+/// grid is present, the assembled [`MatrixResult`] is built **from the
+/// store**, so a resumed sweep is bit-identical to an uninterrupted one.
+///
+/// # Errors
+/// The first [`CheckpointError`] hit while recording. Simulation
+/// failures do **not** error — they come back in
+/// [`SweepReport::failures`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_matrix_contained(
+    runner: &SweepRunner,
+    configs: &[SmConfig],
+    workloads: &[Box<dyn Workload>],
+    scale: Scale,
+    verify: bool,
+    store: &mut SweepCheckpoint,
+    cell_budget: Option<usize>,
+    policy: &FaultPolicy,
+) -> Result<SweepReport, CheckpointError> {
+    let all: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let key_of = |&(w, c): &(usize, usize)| cell_key(workloads[w].name(), &configs[c].name);
+    // Remaining jobs keep their index in the *full* grid: fault rules
+    // target that index, so `panic@cell:7` means the same cell whether
+    // the sweep is fresh or resumed.
+    let remaining: Vec<(usize, (usize, usize))> = all
+        .iter()
+        .enumerate()
+        .filter(|(_, pair)| !store.contains(&key_of(pair)))
+        .take(cell_budget.unwrap_or(usize::MAX))
+        .map(|(i, pair)| (i, *pair))
+        .collect();
+
+    // The store is appended to from worker threads in completion order;
+    // the mutex serialises the appends, the Option records the first
+    // failure (later cells still simulate, they just stop persisting).
+    // Lock recovery is poison-tolerant: a cell panic is caught *inside*
+    // the isolated closure, but belt-and-braces beats a second abort.
+    let recorder: Mutex<(&mut SweepCheckpoint, Option<CheckpointError>)> =
+        Mutex::new((store, None));
+    let outcomes = runner.run_isolated_reporting(
+        &remaining,
+        policy.max_retries,
+        |&(cell_idx, (w, c))| {
+            let key = cell_key(workloads[w].name(), &configs[c].name);
+            if let Some(injector) = &policy.injector {
+                match injector.cell_fault(cell_idx, &key) {
+                    Some(FaultKind::Panic) => {
+                        panic!("injected fault: panic in cell {cell_idx} ({key})")
+                    }
+                    Some(FaultKind::SimError) => {
+                        return Err(format!(
+                            "injected fault: simulation error in cell {cell_idx} ({key})"
+                        ))
+                    }
+                    None => {}
+                }
+            }
+            try_run_one_at(&configs[c], workloads[w].as_ref(), scale, verify)
+        },
+        |i, outcome| {
+            if let Ok(cell) = &outcome.result {
+                let key = key_of(&remaining[i].1);
+                let mut guard = recorder
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                if guard.1.is_none() {
+                    if let Err(e) = guard.0.record(&key, CellRecord::new(cell.stats.clone())) {
+                        guard.1 = Some(e);
+                    }
+                }
+            }
+        },
+    );
+    let (store, error) = recorder
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(e) = error {
+        return Err(e);
+    }
+
+    let failures: Vec<CellFailure> = remaining
+        .iter()
+        .zip(&outcomes)
+        .filter_map(|(&(_, (w, c)), outcome)| {
+            outcome.result.as_ref().err().map(|failure| CellFailure {
+                workload: workloads[w].name().to_string(),
+                config: configs[c].name.clone(),
+                seed: configs[c].seed,
+                attempts: outcome.attempts,
+                reason: failure.clone(),
+            })
+        })
+        .collect();
+
+    let healthy: Vec<CellResult> = all
+        .iter()
+        .filter_map(|&(w, c)| {
+            store.get(&key_of(&(w, c))).map(|record| CellResult {
+                workload: workloads[w].name().to_string(),
+                config: configs[c].name.clone(),
+                stats: record.stats.clone(),
+            })
+        })
+        .collect();
+    let matrix =
+        (healthy.len() == all.len()).then(|| collect_matrix(configs, workloads, healthy.clone()));
+    Ok(SweepReport {
+        matrix,
+        healthy,
+        failures,
+    })
+}
+
 /// [`run_matrix_at`] with per-cell checkpointing: cells already present in
 /// `store` are **not** re-simulated; every freshly completed cell is
 /// appended to `store` (and flushed to its file) the moment it finishes,
@@ -209,9 +441,15 @@ pub fn cell_key(workload: &str, config: &str) -> String {
 /// uninterrupted one — each cell is a pure function of `(workload,
 /// config, scale)` and it does not matter which run computed it.
 ///
+/// This is the strict wrapper over [`run_matrix_contained`]: no retries,
+/// no injection, and any cell failure panics.
+///
 /// # Errors
-/// The first [`CheckpointError`] hit while recording (simulation failures
-/// panic, as in [`run_one_at`] — a half-measured benchmark is useless).
+/// The first [`CheckpointError`] hit while recording.
+///
+/// # Panics
+/// Simulation failures, as in [`run_one_at`] — a half-measured benchmark
+/// is useless.
 pub fn run_matrix_checkpointed(
     runner: &SweepRunner,
     configs: &[SmConfig],
@@ -221,56 +459,20 @@ pub fn run_matrix_checkpointed(
     store: &mut SweepCheckpoint,
     cell_budget: Option<usize>,
 ) -> Result<Option<MatrixResult>, CheckpointError> {
-    let all: Vec<(usize, usize)> = (0..workloads.len())
-        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
-        .collect();
-    let key_of = |&(w, c): &(usize, usize)| cell_key(workloads[w].name(), &configs[c].name);
-    let remaining: Vec<(usize, usize)> = all
-        .iter()
-        .filter(|pair| !store.contains(&key_of(pair)))
-        .take(cell_budget.unwrap_or(usize::MAX))
-        .copied()
-        .collect();
-
-    // The store is appended to from worker threads in completion order;
-    // the mutex serialises the appends, the Option records the first
-    // failure (later cells still simulate, they just stop persisting).
-    let recorder: Mutex<(&mut SweepCheckpoint, Option<CheckpointError>)> =
-        Mutex::new((store, None));
-    runner.run_reporting(
-        &remaining,
-        |&(w, c)| run_one_at(&configs[c], workloads[w].as_ref(), scale, verify),
-        |i, cell| {
-            let key = key_of(&remaining[i]);
-            let mut guard = recorder.lock().expect("checkpoint recorder");
-            if guard.1.is_none() {
-                if let Err(e) = guard.0.record(&key, CellRecord::new(cell.stats.clone())) {
-                    guard.1 = Some(e);
-                }
-            }
-        },
-    );
-    let (store, error) = recorder.into_inner().expect("checkpoint recorder");
-    if let Some(e) = error {
-        return Err(e);
+    let report = run_matrix_contained(
+        runner,
+        configs,
+        workloads,
+        scale,
+        verify,
+        store,
+        cell_budget,
+        &FaultPolicy::none(),
+    )?;
+    if let Some(first) = report.failures.first() {
+        panic!("{} on {}: {}", first.workload, first.config, first.reason);
     }
-
-    if !all.iter().all(|pair| store.contains(&key_of(pair))) {
-        return Ok(None);
-    }
-    let flat: Vec<CellResult> = all
-        .iter()
-        .map(|&(w, c)| CellResult {
-            workload: workloads[w].name().to_string(),
-            config: configs[c].name.clone(),
-            stats: store
-                .get(&key_of(&(w, c)))
-                .expect("cell completeness checked above")
-                .stats
-                .clone(),
-        })
-        .collect();
-    Ok(Some(collect_matrix(configs, workloads, flat)))
+    Ok(report.matrix)
 }
 
 /// Runs a figure grid with optional per-cell checkpointing, the entry
@@ -281,9 +483,14 @@ pub fn run_matrix_checkpointed(
 /// one it runs purely in memory. A resumed grid is bit-identical to an
 /// uninterrupted one (each cell is a pure function of its coordinates).
 ///
+/// Cells run fault-isolated under the policy from [`FAULTS_ENV`] (no env
+/// var means no injection, one retry). Quarantined cells print a failures
+/// block to stderr and **exit the process with code 4** — every healthy
+/// cell is already persisted to the checkpoint, so nothing is lost.
+///
 /// # Panics
-/// Simulation or checkpoint failures — as in [`run_one_at`], a partial
-/// figure is useless.
+/// Checkpoint failures or a malformed fault spec — as in [`run_one_at`],
+/// a partial figure is useless.
 pub fn run_matrix_figure(
     runner: &SweepRunner,
     configs: &[SmConfig],
@@ -292,8 +499,18 @@ pub fn run_matrix_figure(
     verify: bool,
     checkpoint: Option<&str>,
 ) -> MatrixResult {
+    let policy =
+        FaultPolicy::from_env(1).unwrap_or_else(|e| panic!("bad {FAULTS_ENV} fault spec: {e}"));
     let Some(path) = checkpoint else {
-        return run_matrix_at(runner, configs, workloads, scale, verify);
+        if policy.injector.is_none() {
+            return run_matrix_at(runner, configs, workloads, scale, verify);
+        }
+        // Injection without a checkpoint still needs an (in-memory) store
+        // so the contained path can assemble healthy cells.
+        let mut store = SweepCheckpoint::in_memory(crate::grid::grid_id(configs, workloads, scale));
+        return finish_figure(run_matrix_contained(
+            runner, configs, workloads, scale, verify, &mut store, None, &policy,
+        ));
     };
     let id = crate::grid::grid_id(configs, workloads, scale);
     let mut store =
@@ -304,9 +521,26 @@ pub fn run_matrix_figure(
             store.len()
         );
     }
-    run_matrix_checkpointed(runner, configs, workloads, scale, verify, &mut store, None)
-        .unwrap_or_else(|e| panic!("checkpointed figure grid: {e}"))
-        .expect("no cell budget, so the grid must complete")
+    if let Some(injector) = &policy.injector {
+        store.arm_faults(Arc::clone(injector));
+    }
+    finish_figure(run_matrix_contained(
+        runner, configs, workloads, scale, verify, &mut store, None, &policy,
+    ))
+}
+
+/// Shared tail of [`run_matrix_figure`]: surfaces quarantined cells and
+/// exits 4, panics on checkpoint errors, unwraps the completed matrix.
+fn finish_figure(report: Result<SweepReport, CheckpointError>) -> MatrixResult {
+    let report = report.unwrap_or_else(|e| panic!("checkpointed figure grid: {e}"));
+    if !report.failures.is_empty() {
+        eprint!("{}", format_failures(&report.failures));
+        eprintln!("completed cells are persisted; fix the fault and re-run to fill the gaps");
+        std::process::exit(4);
+    }
+    report
+        .matrix
+        .expect("no cell budget and no failures, so the grid must complete")
 }
 
 /// The pre-parallelism reference path: every cell run back-to-back on the

@@ -9,14 +9,15 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    cell_key, format_bandwidth_summary, format_bandwidth_table, format_ipc_table, gmean,
-    run_matrix, run_matrix_at, run_matrix_checkpointed, run_matrix_figure, run_matrix_on,
-    run_matrix_serial, run_matrix_serial_at, run_one, run_one_at, CellResult, MatrixResult,
-    BENCH_SEED,
+    cell_key, format_bandwidth_summary, format_bandwidth_table, format_failures, format_ipc_table,
+    gmean, run_matrix, run_matrix_at, run_matrix_checkpointed, run_matrix_contained,
+    run_matrix_figure, run_matrix_on, run_matrix_serial, run_matrix_serial_at, run_one, run_one_at,
+    try_run_one_at, CellFailure, CellResult, FaultPolicy, MatrixResult, SweepReport, BENCH_SEED,
 };
 pub use report::{
-    check_golden, parse_golden_cells, render_golden_json, render_sweep_json, run_machine_probes,
-    GoldenCell, ProbeResult, GOLDEN_SCHEMA, SWEEP_SCHEMA,
+    check_golden, parse_golden_cells, render_faulted_sweep_json, render_golden_json,
+    render_sweep_json, run_machine_probes, GoldenCell, ProbeResult, FAULTED_SWEEP_SCHEMA,
+    GOLDEN_SCHEMA, SWEEP_SCHEMA,
 };
 
 /// Returns the value following `flag` in an argument list — the one

@@ -19,16 +19,22 @@ use warpweave_mem::ChannelStats;
 use warpweave_workloads::{by_name, run_prepared_multi_sm, Scale};
 
 use crate::grid::{machine_probes, MachineProbe};
-use crate::harness::MatrixResult;
+use crate::harness::{CellFailure, CellResult, MatrixResult};
 
 /// Schema tag of the sweep payload.
 pub const SWEEP_SCHEMA: &str = "warpweave-bench-sweep-v3";
+/// Schema tag of the partial payload a faulted sweep emits.
+pub const FAULTED_SWEEP_SCHEMA: &str = "warpweave-bench-sweep-faulted-v1";
 /// Schema tag of the golden baseline.
 pub const GOLDEN_SCHEMA: &str = "warpweave-bench-golden-v1";
 
 /// Escapes a string for a JSON literal.
 pub fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+        .replace('\t', "\\t")
 }
 
 /// The measured outcome of one [`MachineProbe`].
@@ -117,16 +123,7 @@ pub fn render_sweep_json(scale: &str, m: &MatrixResult, probes: &[ProbeResult]) 
     let mut cell_lines = Vec::new();
     for (w, workload) in m.workloads.iter().enumerate() {
         for (c, config) in m.configs.iter().enumerate() {
-            let stats = &m.cells[w][c].stats;
-            cell_lines.push(format!(
-                "    {{\"workload\": \"{}\", \"config\": \"{}\", \"ipc\": {:.4}, \
-                 \"cycles\": {}, \"thread_instructions\": {}}}",
-                json_escape(workload),
-                json_escape(config),
-                stats.ipc(),
-                stats.cycles,
-                stats.thread_instructions
-            ));
+            cell_lines.push(render_sweep_cell(workload, config, &m.cells[w][c].stats));
         }
     }
     json.push_str(&cell_lines.join(",\n"));
@@ -195,6 +192,67 @@ pub fn render_sweep_json(scale: &str, m: &MatrixResult, probes: &[ProbeResult]) 
         .collect();
     json.push_str(&entries.join(",\n"));
     json.push_str("\n  }\n}\n");
+    json
+}
+
+/// Renders one sweep cell line — shared by the clean and faulted sweep
+/// renderers, so a faulted run's healthy cells are **byte-identical** to
+/// the same cells in a clean run's payload.
+fn render_sweep_cell(workload: &str, config: &str, stats: &Stats) -> String {
+    format!(
+        "    {{\"workload\": \"{}\", \"config\": \"{}\", \"ipc\": {:.4}, \
+         \"cycles\": {}, \"thread_instructions\": {}}}",
+        json_escape(workload),
+        json_escape(config),
+        stats.ipc(),
+        stats.cycles,
+        stats.thread_instructions
+    )
+}
+
+/// Renders the partial payload of a sweep with quarantined cells: every
+/// healthy cell (byte-identical to its line in a clean run's
+/// [`render_sweep_json`] payload — both go through the same cell-line
+/// renderer) plus a `failures` block carrying the full provenance of
+/// each quarantined cell. No gmean or probe blocks: a partial aggregate
+/// would silently misrepresent the grid.
+pub fn render_faulted_sweep_json(
+    scale: &str,
+    jobs: usize,
+    healthy: &[CellResult],
+    failures: &[CellFailure],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"schema\": \"{FAULTED_SWEEP_SCHEMA}\",\n"));
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!("  \"healthy\": {},\n", healthy.len()));
+    json.push_str(&format!("  \"quarantined\": {},\n", failures.len()));
+    json.push_str("  \"cells\": [\n");
+    let cell_lines: Vec<String> = healthy
+        .iter()
+        .map(|cell| render_sweep_cell(&cell.workload, &cell.config, &cell.stats))
+        .collect();
+    json.push_str(&cell_lines.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"failures\": [\n");
+    let failure_lines: Vec<String> = failures
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"workload\": \"{}\", \"config\": \"{}\", \"seed\": \"{:#x}\", \
+                 \"attempts\": {}, \"reason\": \"{}\"}}",
+                json_escape(&f.workload),
+                json_escape(&f.config),
+                f.seed,
+                f.attempts,
+                json_escape(&f.reason.to_string())
+            )
+        })
+        .collect();
+    json.push_str(&failure_lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
     json
 }
 

@@ -1,0 +1,193 @@
+//! Fault-containment drills at the harness level: a fault injected into
+//! **any** cell of a sweep grid quarantines exactly that cell — every
+//! healthy cell completes bit-identical to a fault-free run at 1 and 8
+//! host threads — and a checkpoint torn by an injected partial write is
+//! salvaged and resumed to a **byte-identical** `BENCH_sweep.json`.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use warpweave_bench::grid;
+use warpweave_bench::harness::{run_matrix_at, run_matrix_contained, FaultPolicy};
+use warpweave_bench::report::{render_sweep_json, run_machine_probes};
+use warpweave_bench::{cell_key, MatrixResult};
+use warpweave_core::checkpoint::SweepCheckpoint;
+use warpweave_core::faultinject::FaultPlan;
+use warpweave_core::{SmConfig, SweepRunner};
+use warpweave_workloads::{Scale, Workload};
+
+/// A small but non-trivial grid: 2 workloads × 3 front-ends.
+fn test_grid() -> (Vec<SmConfig>, Vec<Box<dyn Workload>>) {
+    let configs = grid::figure7_configs().into_iter().take(3).collect();
+    (configs, grid::quick_workloads())
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("warpweave-fault-cont-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+/// The fault-free reference matrix, computed once on one thread.
+fn reference() -> &'static MatrixResult {
+    static REF: OnceLock<MatrixResult> = OnceLock::new();
+    REF.get_or_init(|| {
+        let (configs, workloads) = test_grid();
+        run_matrix_at(
+            &SweepRunner::with_threads(1),
+            &configs,
+            &workloads,
+            Scale::Test,
+            false,
+        )
+    })
+}
+
+/// Exhaustive drill (every cell × both fault kinds × 1 and 8 threads):
+/// the faulted cell is retried once, quarantined with full provenance,
+/// and every other cell is bit-identical to the fault-free reference. A
+/// follow-up run on the same store with injection disabled heals the
+/// grid to a matrix bit-identical to the reference.
+#[test]
+fn fault_in_any_cell_contains_to_that_cell() {
+    let (configs, workloads) = test_grid();
+    let scale = Scale::Test;
+    let id = grid::grid_id(&configs, &workloads, scale);
+    let total = configs.len() * workloads.len();
+    let reference = reference();
+
+    for fault_cell in 0..total {
+        // Alternate the kind per cell: every cell index is drilled, both
+        // kinds are drilled repeatedly, and the drill stays fast.
+        let spec_kind = if fault_cell % 2 == 0 { "panic" } else { "sim" };
+        {
+            for threads in [1usize, 8] {
+                let what = format!("{spec_kind}@cell:{fault_cell} at {threads} threads");
+                let plan = FaultPlan::parse(&format!("{spec_kind}@cell:{fault_cell}")).unwrap();
+                let policy = FaultPolicy {
+                    max_retries: 1,
+                    injector: Some(Arc::new(plan.arm())),
+                };
+                let runner = SweepRunner::with_threads(threads);
+                let mut store = SweepCheckpoint::in_memory(id);
+                let report = run_matrix_contained(
+                    &runner, &configs, &workloads, scale, false, &mut store, None, &policy,
+                )
+                .unwrap();
+
+                // Exactly the targeted cell is quarantined, with provenance.
+                assert_eq!(report.failures.len(), 1, "{what}: one quarantined cell");
+                let failure = &report.failures[0];
+                let (w, c) = (fault_cell / configs.len(), fault_cell % configs.len());
+                assert_eq!(failure.workload, workloads[w].name(), "{what}");
+                assert_eq!(failure.config, configs[c].name, "{what}");
+                assert_eq!(failure.seed, configs[c].seed, "{what}: seed provenance");
+                assert_eq!(failure.attempts, 2, "{what}: one retry before quarantine");
+                assert!(report.matrix.is_none(), "{what}: no full matrix");
+
+                // Every healthy cell is bit-identical to the reference.
+                assert_eq!(report.healthy.len(), total - 1, "{what}");
+                for cell in &report.healthy {
+                    let rw = reference
+                        .workloads
+                        .iter()
+                        .position(|n| *n == cell.workload)
+                        .unwrap();
+                    let rc = reference
+                        .configs
+                        .iter()
+                        .position(|n| *n == cell.config)
+                        .unwrap();
+                    assert_eq!(
+                        cell.stats,
+                        reference.cells[rw][rc].stats,
+                        "{what}: healthy cell {} drifted",
+                        cell_key(&cell.workload, &cell.config)
+                    );
+                }
+
+                // Healing run: same store, injection off — completes the grid.
+                let healed = run_matrix_contained(
+                    &runner,
+                    &configs,
+                    &workloads,
+                    scale,
+                    false,
+                    &mut store,
+                    None,
+                    &FaultPolicy::none(),
+                )
+                .unwrap();
+                assert!(healed.failures.is_empty(), "{what}: heals cleanly");
+                let matrix = healed.matrix.expect("healed grid completes");
+                assert_eq!(matrix.workloads, reference.workloads, "{what}");
+                assert_eq!(matrix.configs, reference.configs, "{what}");
+                for (ra, rb) in matrix.cells.iter().zip(&reference.cells) {
+                    for (ca, cb) in ra.iter().zip(rb) {
+                        assert_eq!(ca.stats, cb.stats, "{what}: healed cell drifted");
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// An injected torn write at any record index / cut length crashes
+    /// the sweep mid-checkpoint; `salvage` + a resumed run then renders a
+    /// `BENCH_sweep.json` payload **byte-identical** to an uninterrupted
+    /// run's.
+    #[test]
+    fn torn_checkpoint_salvages_and_resumes_byte_identical(
+        record in 0usize..5,
+        keep in 0usize..60,
+    ) {
+        let (configs, workloads) = test_grid();
+        let scale = Scale::Test;
+        let id = grid::grid_id(&configs, &workloads, scale);
+        let runner = SweepRunner::with_threads(1);
+
+        // The uninterrupted reference payload.
+        let ref_json = {
+            let probes = run_machine_probes(scale, None).unwrap();
+            render_sweep_json("test", reference(), &probes)
+        };
+
+        let path = scratch(&format!("torn-{record}-{keep}.checkpoint"));
+        let _ = std::fs::remove_file(&path);
+
+        // Phase 1: sweep crashes on the injected torn write.
+        let plan = FaultPlan::parse(&format!("torn@record:{record}:{keep}")).unwrap();
+        let mut store = SweepCheckpoint::resume(&path, id).unwrap();
+        store.arm_faults(Arc::new(plan.arm()));
+        let crash = run_matrix_contained(
+            &runner, &configs, &workloads, scale, false, &mut store, None,
+            &FaultPolicy::none(),
+        );
+        prop_assert!(crash.is_err(), "torn write must surface as a checkpoint error");
+        drop(store);
+
+        // Phase 2: salvage the torn file, then resume to completion.
+        let report = SweepCheckpoint::salvage(&path).unwrap();
+        prop_assert_eq!(report.kept_cells, record, "records before the tear survive");
+        if let Some(sidecar) = &report.quarantine {
+            let _ = std::fs::remove_file(sidecar);
+        }
+        let mut store = SweepCheckpoint::resume(&path, id).unwrap();
+        prop_assert_eq!(store.len(), record);
+        let resumed = run_matrix_contained(
+            &runner, &configs, &workloads, scale, false, &mut store, None,
+            &FaultPolicy::none(),
+        )
+        .unwrap();
+        prop_assert!(resumed.failures.is_empty());
+        let matrix = resumed.matrix.expect("resumed grid completes");
+        let probes = run_machine_probes(scale, Some(&mut store)).unwrap();
+        let json = render_sweep_json("test", &matrix, &probes);
+        prop_assert_eq!(json, ref_json, "salvaged-and-resumed payload must be byte-identical");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -12,7 +12,11 @@
 //!   scale), so a checkpoint can never be resumed against a different grid;
 //! * refuses to load anything it cannot prove intact — wrong version,
 //!   unknown grid, torn or bit-flipped lines all fail with a
-//!   [`CheckpointError`] instead of silently resuming with partial cells.
+//!   [`CheckpointError`] instead of silently resuming with partial cells;
+//! * offers an **explicit** recovery path for damaged files:
+//!   [`SweepCheckpoint::salvage`] truncates to the last checksum-valid
+//!   line, quarantines the damaged tail as a `.quarantine` sidecar, and
+//!   lets the sweep resume from the intact prefix.
 //!
 //! # File format (`CHECKPOINT_VERSION` 1)
 //!
@@ -43,9 +47,11 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use warpweave_mem::ChannelStats;
 
+use crate::faultinject::FaultInjector;
 use crate::stats::Stats;
 
 /// Current checkpoint file-format version (see the module docs for the
@@ -268,6 +274,38 @@ pub struct SweepCheckpoint {
     cells: BTreeMap<String, CellRecord>,
     /// Open append handle; `None` for in-memory stores.
     file: Option<File>,
+    /// Armed fault plan (torn-write injection); `None` in production.
+    faults: Option<Arc<FaultInjector>>,
+}
+
+/// What a [`SweepCheckpoint::salvage`] pass recovered and discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Checksum-valid cell lines kept in the truncated file.
+    pub kept_cells: usize,
+    /// Bytes of damaged tail moved to the quarantine sidecar.
+    pub dropped_bytes: usize,
+    /// Path of the `.quarantine` sidecar, when a tail was dropped.
+    pub quarantine: Option<PathBuf>,
+}
+
+impl fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.quarantine {
+            Some(q) => write!(
+                f,
+                "salvage kept {} cell(s), quarantined {} damaged byte(s) to {}",
+                self.kept_cells,
+                self.dropped_bytes,
+                q.display()
+            ),
+            None => write!(
+                f,
+                "salvage found the file intact ({} cell(s), nothing dropped)",
+                self.kept_cells
+            ),
+        }
+    }
 }
 
 impl SweepCheckpoint {
@@ -289,6 +327,7 @@ impl SweepCheckpoint {
             grid_id,
             cells: BTreeMap::new(),
             file: Some(file),
+            faults: None,
         })
     }
 
@@ -366,6 +405,84 @@ impl SweepCheckpoint {
             grid_id,
             cells,
             file: None,
+            faults: None,
+        })
+    }
+
+    /// Repairs a torn or corrupt checkpoint file in place: keeps the
+    /// longest prefix of checksum-valid cell lines, moves everything
+    /// after it (torn writes, bit flips, duplicate keys, trailing
+    /// garbage) to a `<path>.quarantine` sidecar, and truncates the file
+    /// so a subsequent [`SweepCheckpoint::resume`] succeeds. An intact
+    /// file is left untouched (and no sidecar is written).
+    ///
+    /// This is deliberately **not** automatic on resume: damage means
+    /// something went wrong, and losing cells silently would hide it.
+    /// The bench binaries expose it behind an explicit `--salvage` flag.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] on filesystem failures, or
+    /// [`CheckpointError::Version`] when the header line itself is
+    /// damaged — without a valid header there is no version or grid
+    /// identity to trust, so the file cannot be salvaged.
+    pub fn salvage(path: impl AsRef<Path>) -> Result<SalvageReport, CheckpointError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)?;
+        let header_end = match bytes.iter().position(|&b| b == b'\n') {
+            Some(nl) => nl + 1,
+            None => bytes.len(),
+        };
+        let header = std::str::from_utf8(&bytes[..header_end])
+            .map(|h| h.trim_end_matches('\n'))
+            .map_err(|_| CheckpointError::Version {
+                header: String::from("<non-utf8 header>"),
+            })?;
+        Self::parse_header(header)?;
+
+        // Scan cell lines; the valid prefix ends at the first line that
+        // is torn, corrupt, duplicated or not newline-terminated cleanly.
+        let mut valid_end = header_end;
+        let mut kept_cells = 0usize;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut pos = header_end;
+        while pos < bytes.len() {
+            let (line_bytes, line_end) = match bytes[pos..].iter().position(|&b| b == b'\n') {
+                Some(nl) => (&bytes[pos..pos + nl], pos + nl + 1),
+                None => (&bytes[pos..], bytes.len()),
+            };
+            let Ok(line) = std::str::from_utf8(line_bytes) else {
+                break;
+            };
+            if line.is_empty() {
+                break;
+            }
+            let Ok((key, _)) = decode_cell(line) else {
+                break;
+            };
+            if !seen.insert(key) {
+                break;
+            }
+            valid_end = line_end;
+            kept_cells += 1;
+            pos = line_end;
+        }
+
+        let dropped_bytes = bytes.len() - valid_end;
+        let mut quarantine = None;
+        if dropped_bytes > 0 {
+            let mut sidecar = path.as_os_str().to_os_string();
+            sidecar.push(".quarantine");
+            let sidecar = PathBuf::from(sidecar);
+            std::fs::write(&sidecar, &bytes[valid_end..])?;
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(valid_end as u64)?;
+            file.sync_all()?;
+            quarantine = Some(sidecar);
+        }
+        Ok(SalvageReport {
+            kept_cells,
+            dropped_bytes,
+            quarantine,
         })
     }
 
@@ -376,7 +493,16 @@ impl SweepCheckpoint {
             grid_id,
             cells: BTreeMap::new(),
             file: None,
+            faults: None,
         }
+    }
+
+    /// Arms deterministic fault injection on this store's writer: rules
+    /// from the injector's plan (`torn@record:IDX:KEEP`) make
+    /// [`SweepCheckpoint::record`] write the matching record short and
+    /// report an I/O error, reproducing a crash mid-append.
+    pub fn arm_faults(&mut self, injector: Arc<FaultInjector>) {
+        self.faults = Some(injector);
     }
 
     fn parse_header(header: &str) -> Result<u64, CheckpointError> {
@@ -448,7 +574,24 @@ impl SweepCheckpoint {
             });
         }
         if let Some(file) = &mut self.file {
-            writeln!(file, "{}", encode_cell(key, &record))?;
+            let line = encode_cell(key, &record);
+            if let Some(keep) = self
+                .faults
+                .as_ref()
+                .and_then(|inj| inj.torn_write(self.cells.len()))
+            {
+                // Injected torn write: only a prefix of the line reaches
+                // the file (no newline), exactly like a crash mid-append.
+                let cut = keep.min(line.len());
+                file.write_all(&line.as_bytes()[..cut])?;
+                file.flush()?;
+                return Err(CheckpointError::Io(std::io::Error::other(format!(
+                    "injected torn write: record {} cut to {cut} of {} bytes",
+                    self.cells.len(),
+                    line.len()
+                ))));
+            }
+            writeln!(file, "{line}")?;
             file.flush()?;
         }
         self.cells.insert(key.to_string(), record);
@@ -555,6 +698,109 @@ mod tests {
         assert_eq!(store.get("a").unwrap().stats, sample_stats(1));
         assert_eq!(store.get("b").unwrap().stats, sample_stats(2));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_recovers_valid_prefix_and_quarantines_tail() {
+        let dir = std::env::temp_dir().join("warpweave-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("salvage.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = SweepCheckpoint::resume(&path, 0xbeef).unwrap();
+        store.record("a", CellRecord::new(sample_stats(1))).unwrap();
+        store.record("b", CellRecord::new(sample_stats(2))).unwrap();
+        store.record("c", CellRecord::new(sample_stats(3))).unwrap();
+        drop(store);
+
+        // Tear the final record mid-line.
+        let intact = std::fs::read(&path).unwrap();
+        let torn_at = intact.len() - 20;
+        std::fs::write(&path, &intact[..torn_at]).unwrap();
+        assert!(SweepCheckpoint::load(&path).is_err(), "torn file refuses");
+
+        let report = SweepCheckpoint::salvage(&path).unwrap();
+        assert_eq!(report.kept_cells, 2);
+        assert!(report.dropped_bytes > 0);
+        let sidecar = report.quarantine.clone().unwrap();
+        let tail = std::fs::read(&sidecar).unwrap();
+        assert_eq!(report.dropped_bytes, tail.len());
+        assert!(intact.windows(tail.len()).any(|w| w == tail.as_slice()));
+
+        // The truncated file resumes cleanly and can finish the sweep.
+        let mut store = SweepCheckpoint::resume(&path, 0xbeef).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("a").unwrap().stats, sample_stats(1));
+        assert_eq!(store.get("b").unwrap().stats, sample_stats(2));
+        store.record("c", CellRecord::new(sample_stats(3))).unwrap();
+        drop(store);
+        assert_eq!(SweepCheckpoint::load(&path).unwrap().len(), 3);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sidecar);
+    }
+
+    #[test]
+    fn salvage_leaves_intact_file_untouched() {
+        let dir = std::env::temp_dir().join("warpweave-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("salvage-clean.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = SweepCheckpoint::resume(&path, 0x5a).unwrap();
+        store.record("a", CellRecord::new(sample_stats(1))).unwrap();
+        drop(store);
+        let before = std::fs::read(&path).unwrap();
+
+        let report = SweepCheckpoint::salvage(&path).unwrap();
+        assert_eq!(report.kept_cells, 1);
+        assert_eq!(report.dropped_bytes, 0);
+        assert!(report.quarantine.is_none());
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_refuses_damaged_header() {
+        let dir = std::env::temp_dir().join("warpweave-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("salvage-header.checkpoint");
+        std::fs::write(&path, "warpweave-sweep-chec").unwrap();
+        assert!(matches!(
+            SweepCheckpoint::salvage(&path),
+            Err(CheckpointError::Version { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_torn_write_reproduces_crash_mid_append() {
+        use crate::faultinject::FaultPlan;
+        let dir = std::env::temp_dir().join("warpweave-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-inject.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = SweepCheckpoint::resume(&path, 0x7e57).unwrap();
+        store.arm_faults(Arc::new(FaultPlan::parse("torn@record:1:9").unwrap().arm()));
+        store.record("a", CellRecord::new(sample_stats(1))).unwrap();
+        let err = store
+            .record("b", CellRecord::new(sample_stats(2)))
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        drop(store);
+
+        // The file now holds a 9-byte torn tail; plain resume refuses,
+        // salvage recovers cell `a` exactly.
+        assert!(SweepCheckpoint::resume(&path, 0x7e57).is_err());
+        let report = SweepCheckpoint::salvage(&path).unwrap();
+        assert_eq!(report.kept_cells, 1);
+        assert_eq!(report.dropped_bytes, 9);
+        let store = SweepCheckpoint::resume(&path, 0x7e57).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.contains("a"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(report.quarantine.unwrap());
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Deterministic fault injection for the sweep / checkpoint robustness
+//! paths.
+//!
+//! A [`FaultPlan`] is parsed from a compact spec string (CLI flag or the
+//! [`FAULTS_ENV`] environment variable) and then armed into a
+//! [`FaultInjector`], which the bench harness consults once per cell
+//! attempt and the checkpoint writer consults once per appended record.
+//! Everything is a pure function of the plan and the attempt counters —
+//! no wall clock, no global RNG — so an injected failure reproduces
+//! bit-identically at any host thread count and under `--salvage`
+//! replays.
+//!
+//! # Spec grammar
+//!
+//! A plan is a `;`-separated list of rules:
+//!
+//! | rule | effect |
+//! |------|--------|
+//! | `panic@cell:IDX` | panic every attempt of the cell at job index `IDX` |
+//! | `sim@cell:IDX` | fail every attempt of cell `IDX` with a simulated [`crate::SimError`]-style error |
+//! | `panic@key:KEY` / `sim@key:KEY` | same, targeting the cell whose key (`workload/config`) equals `KEY` |
+//! | `...*TIMES` | suffix: only the first `TIMES` attempts fail (so retries succeed) |
+//! | `torn@record:IDX:KEEP` | cut checkpoint record number `IDX` to its first `KEEP` bytes |
+//!
+//! Cell indices refer to a cell's position in the full job grid (stable
+//! across resumes), not its position among the cells remaining.
+//!
+//! # Examples
+//! ```
+//! use warpweave_core::faultinject::{FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::parse("panic@cell:3*1; torn@record:2:10").unwrap();
+//! let inj = plan.arm();
+//! // First attempt on cell 3 fails, the retry succeeds.
+//! assert_eq!(inj.cell_fault(3, "BFS/Baseline"), Some(FaultKind::Panic));
+//! assert_eq!(inj.cell_fault(3, "BFS/Baseline"), None);
+//! // Checkpoint record 2 is torn after 10 bytes.
+//! assert_eq!(inj.torn_write(2), Some(10));
+//! assert_eq!(inj.torn_write(1), None);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Environment variable holding a fault-plan spec (same grammar as
+/// [`FaultPlan::parse`]). Read by [`FaultPlan::from_env`].
+pub const FAULTS_ENV: &str = "WARPWEAVE_FAULTS";
+
+/// What an injected cell fault does to the attempt it fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The cell closure panics (exercises `catch_unwind` containment).
+    Panic,
+    /// The cell closure returns a simulation-style error.
+    SimError,
+}
+
+/// Which sweep cell a rule targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellTarget {
+    /// The cell at this index in the full job grid.
+    Index(usize),
+    /// The cell whose `workload/config` key equals this string.
+    Key(String),
+}
+
+/// One cell-fault rule: target, effect, and how many attempts it poisons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFault {
+    /// Which cell the rule fires on.
+    pub target: CellTarget,
+    /// Panic or simulated error.
+    pub kind: FaultKind,
+    /// Number of attempts that fail before the cell is allowed to
+    /// succeed (`u32::MAX` = permanent fault).
+    pub times: u32,
+}
+
+/// A torn-write rule: the checkpoint record at index `record` is written
+/// short — only its first `keep_bytes` bytes reach the file — and the
+/// append reports an I/O error, leaving a torn tail for `--salvage`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornWrite {
+    /// Index of the record (0-based count of cells already in the store
+    /// at write time) to tear.
+    pub record: usize,
+    /// Bytes of the encoded line that reach the file.
+    pub keep_bytes: usize,
+}
+
+/// A parsed, inert fault plan. Call [`FaultPlan::arm`] to get the
+/// stateful [`FaultInjector`] the harness consults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Cell-fault rules, in spec order (first match wins).
+    pub cells: Vec<CellFault>,
+    /// Torn-write rules for the checkpoint writer.
+    pub torn: Vec<TornWrite>,
+}
+
+impl FaultPlan {
+    /// Parses a spec string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    /// Returns a human-readable message naming the offending rule.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for rule in spec.split(';') {
+            let rule = rule.trim();
+            if rule.is_empty() {
+                continue;
+            }
+            if let Some(rest) = rule.strip_prefix("torn@record:") {
+                let (idx, keep) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("torn rule `{rule}`: expected torn@record:IDX:KEEP"))?;
+                plan.torn.push(TornWrite {
+                    record: idx
+                        .parse()
+                        .map_err(|e| format!("torn rule `{rule}`: bad record index: {e}"))?,
+                    keep_bytes: keep
+                        .parse()
+                        .map_err(|e| format!("torn rule `{rule}`: bad byte count: {e}"))?,
+                });
+                continue;
+            }
+            let (head, target) = rule
+                .split_once('@')
+                .ok_or_else(|| format!("rule `{rule}`: expected KIND@TARGET"))?;
+            let kind = match head {
+                "panic" => FaultKind::Panic,
+                "sim" => FaultKind::SimError,
+                other => return Err(format!("rule `{rule}`: unknown fault kind `{other}`")),
+            };
+            let (target, times) = match target.rsplit_once('*') {
+                Some((t, n)) => (
+                    t,
+                    n.parse::<u32>()
+                        .map_err(|e| format!("rule `{rule}`: bad attempt count: {e}"))?,
+                ),
+                None => (target, u32::MAX),
+            };
+            let target = if let Some(idx) = target.strip_prefix("cell:") {
+                CellTarget::Index(
+                    idx.parse()
+                        .map_err(|e| format!("rule `{rule}`: bad cell index: {e}"))?,
+                )
+            } else if let Some(key) = target.strip_prefix("key:") {
+                CellTarget::Key(key.to_string())
+            } else {
+                return Err(format!(
+                    "rule `{rule}`: expected cell:IDX or key:KEY target"
+                ));
+            };
+            plan.cells.push(CellFault {
+                target,
+                kind,
+                times,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Reads a plan from the [`FAULTS_ENV`] environment variable.
+    /// `Ok(None)` when the variable is unset or empty.
+    ///
+    /// # Errors
+    /// Same as [`FaultPlan::parse`].
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var(FAULTS_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => FaultPlan::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty() && self.torn.is_empty()
+    }
+
+    /// Arms the plan: wraps it in the attempt-counting [`FaultInjector`].
+    pub fn arm(self) -> FaultInjector {
+        FaultInjector {
+            plan: self,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// An armed [`FaultPlan`] with per-cell attempt counters. Shared across
+/// worker threads behind an `Arc`; the counters are keyed on
+/// `(rule index, cell index)`, never on completion order, so verdicts
+/// are identical at any host thread count.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    attempts: Mutex<HashMap<(usize, usize), u32>>,
+}
+
+impl FaultInjector {
+    /// Consults the plan for one attempt of the cell at `index` with key
+    /// `key`, counting the attempt against the first matching rule.
+    /// Returns the fault to inject, or `None` when the attempt should
+    /// run normally (no rule matches, or the matching rule's `times`
+    /// budget is spent).
+    pub fn cell_fault(&self, index: usize, key: &str) -> Option<FaultKind> {
+        let rule_hit = self
+            .plan
+            .cells
+            .iter()
+            .enumerate()
+            .find(|(_, r)| match &r.target {
+                CellTarget::Index(i) => *i == index,
+                CellTarget::Key(k) => k == key,
+            });
+        let (ri, rule) = rule_hit?;
+        let mut attempts = self
+            .attempts
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let n = attempts.entry((ri, index)).or_insert(0);
+        *n += 1;
+        (*n <= rule.times).then_some(rule.kind)
+    }
+
+    /// Returns `Some(keep_bytes)` when the checkpoint record at
+    /// `record_index` should be written torn, `None` otherwise.
+    pub fn torn_write(&self, record_index: usize) -> Option<usize> {
+        self.plan
+            .torn
+            .iter()
+            .find(|t| t.record == record_index)
+            .map(|t| t.keep_bytes)
+    }
+
+    /// The plan this injector was armed from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan = FaultPlan::parse("panic@cell:7; sim@key:BFS/SBI*2 ;torn@record:0:5").unwrap();
+        assert_eq!(
+            plan.cells,
+            vec![
+                CellFault {
+                    target: CellTarget::Index(7),
+                    kind: FaultKind::Panic,
+                    times: u32::MAX,
+                },
+                CellFault {
+                    target: CellTarget::Key("BFS/SBI".into()),
+                    kind: FaultKind::SimError,
+                    times: 2,
+                },
+            ]
+        );
+        assert_eq!(
+            plan.torn,
+            vec![TornWrite {
+                record: 0,
+                keep_bytes: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        for bad in [
+            "panic",
+            "boom@cell:1",
+            "panic@cell:x",
+            "panic@warp:1",
+            "panic@cell:1*y",
+            "torn@record:3",
+            "torn@record:a:5",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        let plan = FaultPlan::parse(" ; ;").unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn attempt_budget_counts_per_cell() {
+        let inj = FaultPlan::parse("sim@cell:2*2").unwrap().arm();
+        assert_eq!(inj.cell_fault(2, "a/b"), Some(FaultKind::SimError));
+        assert_eq!(inj.cell_fault(2, "a/b"), Some(FaultKind::SimError));
+        assert_eq!(inj.cell_fault(2, "a/b"), None, "budget spent");
+        assert_eq!(inj.cell_fault(1, "a/b"), None, "other cells untouched");
+    }
+
+    #[test]
+    fn key_target_matches_exact_key() {
+        let inj = FaultPlan::parse("panic@key:BFS/SBI").unwrap().arm();
+        assert_eq!(inj.cell_fault(0, "BFS/SBI"), Some(FaultKind::Panic));
+        assert_eq!(inj.cell_fault(1, "BFS/SBI+SWI"), None);
+    }
+
+    #[test]
+    fn permanent_fault_never_clears() {
+        let inj = FaultPlan::parse("panic@cell:0").unwrap().arm();
+        for _ in 0..10 {
+            assert_eq!(inj.cell_fault(0, "k"), Some(FaultKind::Panic));
+        }
+    }
+}

@@ -46,6 +46,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod divergence;
 pub mod exec;
+pub mod faultinject;
 pub mod groups;
 pub mod lane;
 pub mod launch;
@@ -60,7 +61,9 @@ pub mod stats;
 pub mod sweep;
 pub mod trace;
 
-pub use checkpoint::{CellRecord, CheckpointError, SweepCheckpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    CellRecord, CheckpointError, SalvageReport, SweepCheckpoint, CHECKPOINT_VERSION,
+};
 pub use config::{
     Associativity, DivergenceModel, Frontend, GroupConfig, MemModel, ScoreboardMode, SmConfig,
 };
@@ -68,16 +71,17 @@ pub use divergence::frontier::{FrontierHeap, HeapStats};
 pub use divergence::stack::PdomStack;
 pub use divergence::Transition;
 pub use exec::{execute_warp, ThreadInfo, ThreadRegs};
+pub use faultinject::{FaultInjector, FaultKind, FaultPlan};
 pub use lane::{LaneShuffle, LaneTable};
 pub use launch::{Launch, WarpInfo};
 pub use machine::{Machine, MachineStats, MemJournal};
 pub use mask::Mask;
-pub use pipeline::{SimError, Sm};
+pub use pipeline::{SimError, Sm, WarpDiagnosis};
 pub use policy::{
     Dispatch, IssueCtx, IssuePolicy, Pick, PolicyInfo, PolicyRegistry, Ready, SchedOrder,
 };
 pub use regfile::WarpRegFile;
 pub use scoreboard::{DepMatrix, Scoreboard};
 pub use stats::Stats;
-pub use sweep::SweepRunner;
+pub use sweep::{IsolatedOutcome, JobFailure, SweepRunner};
 pub use trace::{render_timeline, IssueSlot, TraceEvent};

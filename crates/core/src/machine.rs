@@ -63,6 +63,50 @@ use crate::sweep::SweepRunner;
 /// failure the shard hit)`.
 type ShardOutcome = (usize, Result<(Stats, MemJournal), SimError>);
 
+/// Epochs of total silence — no SM progress, no new requests, no pending
+/// channel completions — before [`Machine::run_shared`] declares an epoch
+/// livelock. Epochs are at least one DRAM latency wide, so this fires
+/// well before the per-SM watchdog's 100k-cycle stall threshold and can
+/// report cross-SM state the SM-local watchdog cannot see.
+const LIVELOCK_EPOCHS: u32 = 128;
+
+/// The epoch-livelock state machine of [`Machine::run_shared`], factored
+/// out so the stall/reset logic is unit-testable without building a
+/// multi-SM deadlock. Each epoch the machine reports whether anything
+/// moved; `LIVELOCK_EPOCHS` consecutive silent epochs trip the detector.
+#[derive(Debug)]
+struct LivelockDetector {
+    threshold: u32,
+    stalled: u32,
+    last_progress_sum: Option<u64>,
+}
+
+impl LivelockDetector {
+    fn new(threshold: u32) -> LivelockDetector {
+        LivelockDetector {
+            threshold,
+            stalled: 0,
+            last_progress_sum: None,
+        }
+    }
+
+    /// Feeds one epoch's observation; true means the machine is livelocked.
+    /// `progress_sum` is the sum of every SM's last-progress cycle (any
+    /// forward progress changes it), `had_traffic` whether the epoch
+    /// arbitrated any requests, and `mem_pending` whether the channel
+    /// still holds completions the SMs have not consumed.
+    fn observe(&mut self, progress_sum: u64, had_traffic: bool, mem_pending: bool) -> bool {
+        let moved = had_traffic || mem_pending || self.last_progress_sum != Some(progress_sum);
+        self.last_progress_sum = Some(progress_sum);
+        if moved {
+            self.stalled = 0;
+            return false;
+        }
+        self.stalled += 1;
+        self.stalled >= self.threshold
+    }
+}
+
 /// Global-memory side effects of one SM over one launch, recorded so a
 /// [`Machine`] can merge shards deterministically.
 ///
@@ -348,8 +392,7 @@ impl Machine {
                     params.clone(),
                     blocks.clone(),
                 )
-                .map_err(|e| SimError::Deadlock {
-                    cycle: 0,
+                .map_err(|e| SimError::Setup {
                     detail: format!("SM {sm_id} setup: {e}"),
                 })?;
                 sm.set_sm_id(*sm_id as u32);
@@ -389,8 +432,7 @@ impl Machine {
                 self.params.clone(),
                 blocks,
             )
-            .map_err(|e| SimError::Deadlock {
-                cycle: 0,
+            .map_err(|e| SimError::Setup {
                 detail: format!("SM {sm_id} setup: {e}"),
             })?;
             sm.set_sm_id(sm_id as u32);
@@ -410,6 +452,7 @@ impl Machine {
         let num_sms = self.num_sms as u32;
         let mut epoch = 0u64;
         let mut epoch_end = epoch_len;
+        let mut livelock = LivelockDetector::new(LIVELOCK_EPOCHS);
         loop {
             // Parallel phase: every SM advances to the barrier (or to
             // completion) on its own worker thread.
@@ -423,7 +466,8 @@ impl Machine {
             for sm in &mut sms {
                 batch.extend(sm.drain_mem_requests());
             }
-            if !batch.is_empty() {
+            let had_traffic = !batch.is_empty();
+            if had_traffic {
                 for grant in channel.arbitrate_epoch(epoch, num_sms, batch) {
                     let idx = ids
                         .binary_search(&(grant.sm_id as usize))
@@ -445,6 +489,16 @@ impl Machine {
                 .map(Sm::cycle)
                 .min()
                 .unwrap_or(epoch_end);
+            // Epoch-livelock watchdog: epochs keep ticking but no SM
+            // progresses, no requests arrive and the channel holds no
+            // undelivered completion — cross-SM silence the per-SM
+            // watchdog would only report 100k cycles later, without the
+            // machine-wide view.
+            let progress_sum: u64 = sms.iter().map(Sm::last_progress_cycle).sum();
+            let mem_pending = channel.next_completion_at_or_after(min_active).is_some();
+            if livelock.observe(progress_sum, had_traffic, mem_pending) {
+                return Err(Self::livelock_error(&sms, epoch, &channel));
+            }
             epoch_end = (epoch_end + epoch_len).max(min_active.saturating_add(1));
         }
 
@@ -458,6 +512,39 @@ impl Machine {
             })
             .collect();
         Ok(self.merge_shards(outcomes, channel.stats()))
+    }
+
+    /// The [`SimError::Deadlock`] reported when the epoch-livelock
+    /// watchdog fires: machine-wide summary plus every stuck SM's
+    /// per-warp diagnosis.
+    fn livelock_error(sms: &[Sm], epoch: u64, channel: &SharedDramChannel) -> SimError {
+        let stuck: Vec<&Sm> = sms.iter().filter(|sm| !sm.is_done()).collect();
+        let mut detail = format!(
+            "shared-channel epoch livelock: {LIVELOCK_EPOCHS} consecutive silent epochs \
+             (through epoch {epoch}, {} outstanding channel transfer(s)); stuck SMs:",
+            channel.outstanding_transfers()
+        );
+        for sm in &stuck {
+            detail.push_str(&format!(
+                " sm{} at cycle {} (last progress {})",
+                sm.sm_id(),
+                sm.cycle(),
+                sm.last_progress_cycle()
+            ));
+        }
+        SimError::Deadlock {
+            cycle: sms.iter().map(Sm::cycle).max().unwrap_or(0),
+            last_progress: stuck
+                .iter()
+                .map(|sm| sm.last_progress_cycle())
+                .max()
+                .unwrap_or(0),
+            kernel: stuck
+                .first()
+                .map_or_else(String::new, |sm| sm.program_name().to_string()),
+            detail,
+            warps: stuck.iter().flat_map(|sm| sm.warp_diagnosis()).collect(),
+        }
     }
 }
 
@@ -511,6 +598,33 @@ mod tests {
         }
         assert!(m.stats().ipc() > 0.0);
         assert_eq!(m.stats().per_sm.len(), 4);
+    }
+
+    #[test]
+    fn livelock_detector_requires_sustained_silence() {
+        let mut d = LivelockDetector::new(3);
+        // First observation establishes the baseline — never a trip.
+        assert!(!d.observe(100, false, false));
+        // Progress resets the stall counter.
+        assert!(!d.observe(150, false, false));
+        // Pure silence accumulates...
+        assert!(!d.observe(150, false, false));
+        assert!(!d.observe(150, false, false));
+        // ...and trips at the threshold.
+        assert!(d.observe(150, false, false));
+    }
+
+    #[test]
+    fn livelock_detector_resets_on_traffic_or_pending_memory() {
+        let mut d = LivelockDetector::new(2);
+        assert!(!d.observe(9, false, false));
+        assert!(!d.observe(9, true, false), "traffic resets");
+        assert!(!d.observe(9, false, true), "pending completion resets");
+        assert!(!d.observe(9, false, false));
+        assert!(
+            d.observe(9, false, false),
+            "silence after resets still trips"
+        );
     }
 
     #[test]

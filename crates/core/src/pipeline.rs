@@ -41,32 +41,139 @@ use crate::scoreboard::{SbToken, Scoreboard};
 use crate::stats::Stats;
 use crate::trace::{IssueSlot, TraceEvent};
 
+/// One alive warp's stall snapshot: what it is executing, how deep its
+/// divergence state is, and what it is blocked on. The deadlock watchdog
+/// embeds one per alive warp in [`SimError::Deadlock`], so a hang is
+/// diagnosable from the error alone — no re-run under a tracer needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpDiagnosis {
+    /// SM owning the warp.
+    pub sm: u32,
+    /// Warp index within its SM.
+    pub warp: usize,
+    /// Current pc of the warp's schedulable context, when one exists.
+    pub pc: Option<u32>,
+    /// Divergence depth: reconvergence-stack depth (stack model) or live
+    /// splits (frontier model).
+    pub divergence_depth: usize,
+    /// True when the current context is parked at a block barrier.
+    pub at_barrier: bool,
+    /// Occupied scoreboard entries the warp's dependants stall on.
+    pub scoreboard_in_flight: usize,
+    /// Destination registers of those in-flight entries.
+    pub blocked_dst_regs: Vec<u8>,
+    /// Shared-channel DRAM grants the warp is still waiting on.
+    pub pending_grants: u32,
+}
+
+impl std::fmt::Display for WarpDiagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sm{} w{}: pc {}, div depth {}, at_barrier {}, sb in-flight {} (dst regs {:?}), pending grants {}",
+            self.sm,
+            self.warp,
+            self.pc
+                .map_or_else(|| "-".to_string(), |pc| pc.to_string()),
+            self.divergence_depth,
+            self.at_barrier,
+            self.scoreboard_in_flight,
+            self.blocked_dst_regs,
+            self.pending_grants
+        )
+    }
+}
+
 /// Simulation failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
+    /// Construction or configuration failed before any cycle ran.
+    Setup {
+        /// What failed to validate.
+        detail: String,
+    },
     /// No forward progress for a long time — a deadlock in the simulated
     /// machine (or a kernel bug).
     Deadlock {
         /// Cycle at which the watchdog fired.
         cycle: u64,
-        /// Diagnostic detail.
+        /// Cycle of the last forward progress (issue/writeback/block event).
+        last_progress: u64,
+        /// Name of the kernel that hung.
+        kernel: String,
+        /// Free-form diagnostic detail (divergence-state dump, or the
+        /// machine's epoch-livelock summary).
         detail: String,
+        /// Structured stall snapshot of every alive warp.
+        warps: Vec<WarpDiagnosis>,
     },
     /// `run` hit its cycle budget before the kernel finished.
     CyclesExhausted {
         /// The exhausted budget.
         budget: u64,
+        /// Cycle at which the budget ran out.
+        cycle: u64,
+        /// Cycle of the last forward progress — distinguishes "slow but
+        /// alive" (recent) from "wedged long before the budget" (stale).
+        last_progress: u64,
+        /// Name of the kernel that blew the budget.
+        kernel: String,
+        /// `(index, total)` of the launch within its workload, when the
+        /// workload runner attached it via [`SimError::with_launch`].
+        launch: Option<(usize, usize)>,
     },
+}
+
+impl SimError {
+    /// Attaches launch provenance (`index` out of `total`) to a budget
+    /// blowout; other variants pass through unchanged. Used by the
+    /// workload runners, which know which launch of a multi-kernel
+    /// workload was executing.
+    #[must_use]
+    pub fn with_launch(mut self, index: usize, total: usize) -> SimError {
+        if let SimError::CyclesExhausted { launch, .. } = &mut self {
+            *launch = Some((index, total));
+        }
+        self
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Deadlock { cycle, detail } => {
-                write!(f, "deadlock at cycle {cycle}: {detail}")
+            SimError::Setup { detail } => write!(f, "setup failed: {detail}"),
+            SimError::Deadlock {
+                cycle,
+                last_progress,
+                kernel,
+                detail,
+                warps,
+            } => {
+                write!(
+                    f,
+                    "deadlock in kernel `{kernel}` at cycle {cycle} \
+                     (last progress at cycle {last_progress}): {detail}"
+                )?;
+                for w in warps {
+                    write!(f, "\n  {w}")?;
+                }
+                Ok(())
             }
-            SimError::CyclesExhausted { budget } => {
-                write!(f, "cycle budget {budget} exhausted")
+            SimError::CyclesExhausted {
+                budget,
+                cycle,
+                last_progress,
+                kernel,
+                launch,
+            } => {
+                write!(f, "cycle budget {budget} exhausted in kernel `{kernel}`")?;
+                if let Some((i, n)) = launch {
+                    write!(f, " (launch {}/{n})", i + 1)?;
+                }
+                write!(
+                    f,
+                    " at cycle {cycle}, last progress at cycle {last_progress}"
+                )
             }
         }
     }
@@ -456,7 +563,7 @@ impl Sm {
     pub fn run(&mut self, max_cycles: u64) -> Result<&Stats, SimError> {
         while !self.is_done() {
             if self.cycle >= max_cycles {
-                return Err(SimError::CyclesExhausted { budget: max_cycles });
+                return Err(self.cycles_exhausted(max_cycles));
             }
             self.step_capped(None)?;
         }
@@ -476,7 +583,7 @@ impl Sm {
     pub fn run_until(&mut self, limit: u64, budget: u64) -> Result<bool, SimError> {
         while !self.is_done() && self.cycle < limit {
             if self.cycle >= budget {
-                return Err(SimError::CyclesExhausted { budget });
+                return Err(self.cycles_exhausted(budget));
             }
             self.step_capped(Some(limit))?;
         }
@@ -552,10 +659,25 @@ impl Sm {
         if self.cycle - self.last_progress > WATCHDOG_CYCLES {
             return Err(SimError::Deadlock {
                 cycle: self.cycle,
+                last_progress: self.last_progress,
+                kernel: self.program.name().to_string(),
                 detail: self.deadlock_detail(),
+                warps: self.warp_diagnosis(),
             });
         }
         Ok(())
+    }
+
+    /// The [`SimError::CyclesExhausted`] for this SM right now (launch
+    /// provenance is attached later by the workload runner).
+    fn cycles_exhausted(&self, budget: u64) -> SimError {
+        SimError::CyclesExhausted {
+            budget,
+            cycle: self.cycle,
+            last_progress: self.last_progress,
+            kernel: self.program.name().to_string(),
+            launch: None,
+        }
     }
 
     /// Jumps the clock to one cycle before the next event that can unfreeze
@@ -610,6 +732,61 @@ impl Sm {
         self.policy
             .as_deref()
             .expect("policy present outside issue")
+    }
+
+    /// Cycle of the most recent forward progress (issue, writeback or
+    /// block event) — the reference point of the deadlock watchdog.
+    pub fn last_progress_cycle(&self) -> u64 {
+        self.last_progress
+    }
+
+    /// This SM's id within its machine (0 for a standalone SM).
+    pub fn sm_id(&self) -> u32 {
+        self.sm_id
+    }
+
+    /// Name of the kernel this SM is executing.
+    pub fn program_name(&self) -> &str {
+        self.program.name()
+    }
+
+    /// Structured stall snapshot of every alive warp — what the deadlock
+    /// watchdog embeds in [`SimError::Deadlock`]. Exposed so the
+    /// shared-channel machine can aggregate diagnoses across SMs when it
+    /// detects an epoch livelock.
+    pub fn warp_diagnosis(&self) -> Vec<WarpDiagnosis> {
+        self.warps
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive)
+            .map(|(i, w)| {
+                let (pc, at_barrier, depth) = match &w.div {
+                    Divergence::Stack(s) => {
+                        (s.current().map(|(pc, _)| pc.0), s.at_barrier(), s.depth())
+                    }
+                    Divergence::Frontier(h) => (
+                        h.primary().map(|c| c.pc.0),
+                        h.primary().is_some_and(|c| c.at_barrier),
+                        h.live_splits(),
+                    ),
+                };
+                WarpDiagnosis {
+                    sm: self.sm_id,
+                    warp: i,
+                    pc,
+                    divergence_depth: depth,
+                    at_barrier,
+                    scoreboard_in_flight: w.scoreboard.in_flight(),
+                    blocked_dst_regs: w.scoreboard.in_flight_dsts(),
+                    pending_grants: self
+                        .pending_mem
+                        .iter()
+                        .filter(|op| op.warp == i)
+                        .map(|op| op.remaining)
+                        .sum(),
+                }
+            })
+            .collect()
     }
 
     fn deadlock_detail(&self) -> String {

@@ -137,6 +137,18 @@ impl Scoreboard {
         self.entries.iter().flatten().count()
     }
 
+    /// Destination registers of every in-flight instruction, in entry
+    /// order — the registers dependants are blocked on. Feeds the
+    /// deadlock watchdog's per-warp diagnosis.
+    pub fn in_flight_dsts(&self) -> Vec<u8> {
+        self.entries
+            .iter()
+            .flatten()
+            .flat_map(|e| e.insts.iter().flatten())
+            .filter_map(|i| i.dst)
+            .collect()
+    }
+
     /// Checks whether `cand` (about to issue into `cand_slot` with thread
     /// mask `cand_mask`) depends on any in-flight instruction. True means
     /// the candidate must stall.

@@ -7,8 +7,52 @@
 //! that returns results in job order regardless of how many worker
 //! threads execute them.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
+
+/// Why one isolated job failed (after its retry budget was spent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// The job panicked; the payload rendered to a string.
+    Panic(String),
+    /// The job returned an error, rendered via `Display`.
+    Error(String),
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobFailure::Panic(msg) => write!(f, "panic: {msg}"),
+            JobFailure::Error(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+/// Outcome of one job run under [`SweepRunner::run_isolated`]: the
+/// result (or the last failure) plus how many attempts were made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsolatedOutcome<R> {
+    /// The job's result, or the failure of its final attempt.
+    pub result: Result<R, JobFailure>,
+    /// Attempts made (1 = first try succeeded; `max_retries + 1` when
+    /// every attempt failed).
+    pub attempts: u32,
+}
+
+/// Renders a caught panic payload (the `&str` / `String` payloads
+/// `panic!` produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A parallel job runner with an optional thread cap.
 ///
@@ -94,6 +138,77 @@ impl SweepRunner {
         })
     }
 
+    /// Fault-isolated parallel map: each job attempt runs under
+    /// `catch_unwind`, panics and `Err` returns are retried up to
+    /// `max_retries` times on the same worker, and a job whose budget is
+    /// spent is quarantined as a [`JobFailure`] instead of aborting the
+    /// batch. Healthy jobs produce results bit-identical to
+    /// [`SweepRunner::run`] at any thread count, because containment
+    /// never reorders or re-seeds work — it only wraps each closure
+    /// call.
+    pub fn run_isolated<J, R, E, F>(
+        &self,
+        jobs: &[J],
+        max_retries: u32,
+        f: F,
+    ) -> Vec<IsolatedOutcome<R>>
+    where
+        J: Sync + Send,
+        R: Send,
+        E: fmt::Display,
+        F: Fn(&J) -> Result<R, E> + Sync + Send,
+    {
+        self.run_isolated_reporting(jobs, max_retries, f, |_, _| {})
+    }
+
+    /// [`SweepRunner::run_isolated`] with a completion callback:
+    /// `on_done(index, &outcome)` fires on the worker thread the moment
+    /// job `index` settles (success or quarantine), in completion order.
+    /// This is the containment-aware variant of
+    /// [`SweepRunner::run_reporting`] — the checkpointed sweep persists
+    /// only `Ok` outcomes from here.
+    pub fn run_isolated_reporting<J, R, E, F, P>(
+        &self,
+        jobs: &[J],
+        max_retries: u32,
+        f: F,
+        on_done: P,
+    ) -> Vec<IsolatedOutcome<R>>
+    where
+        J: Sync + Send,
+        R: Send,
+        E: fmt::Display,
+        F: Fn(&J) -> Result<R, E> + Sync + Send,
+        P: Fn(usize, &IsolatedOutcome<R>) + Sync + Send,
+    {
+        let indexed: Vec<(usize, &J)> = jobs.iter().enumerate().collect();
+        self.run(&indexed, |&(i, job)| {
+            let mut attempts = 0u32;
+            let mut last: Option<JobFailure>;
+            let outcome = loop {
+                attempts += 1;
+                match catch_unwind(AssertUnwindSafe(|| f(job))) {
+                    Ok(Ok(r)) => {
+                        break IsolatedOutcome {
+                            result: Ok(r),
+                            attempts,
+                        }
+                    }
+                    Ok(Err(e)) => last = Some(JobFailure::Error(e.to_string())),
+                    Err(payload) => last = Some(JobFailure::Panic(panic_message(payload.as_ref()))),
+                }
+                if attempts > max_retries {
+                    break IsolatedOutcome {
+                        result: Err(last.take().expect("at least one failed attempt")),
+                        attempts,
+                    };
+                }
+            };
+            on_done(i, &outcome);
+            outcome
+        })
+    }
+
     /// Maps `f` over `jobs` in parallel **in place**, returning results in
     /// job order. This is the epoch-step primitive of the shared-channel
     /// [`crate::Machine`]: each SM advances to the next barrier on its own
@@ -109,7 +224,11 @@ impl SweepRunner {
     {
         let cells: Vec<std::sync::Mutex<&mut J>> =
             jobs.iter_mut().map(std::sync::Mutex::new).collect();
-        self.run(&cells, |cell| f(&mut cell.lock().expect("job mutex")))
+        // Poison-tolerant: a panic elsewhere in the batch must not turn
+        // into a second, spurious mutex abort here.
+        self.run(&cells, |cell| {
+            f(&mut cell.lock().unwrap_or_else(|poisoned| poisoned.into_inner()))
+        })
     }
 }
 
@@ -172,5 +291,96 @@ mod tests {
     fn reports_thread_budget() {
         assert_eq!(SweepRunner::with_threads(3).threads(), 3);
         assert!(SweepRunner::new().threads() >= 1);
+    }
+
+    #[test]
+    fn isolated_contains_panics_and_errors() {
+        let jobs: Vec<u64> = (0..12).collect();
+        let out = SweepRunner::with_threads(4).run_isolated(&jobs, 1, |&j| match j {
+            3 => panic!("injected panic on job {j}"),
+            7 => Err(format!("bad job {j}")),
+            _ => Ok(j * 10),
+        });
+        assert_eq!(out.len(), 12);
+        for (i, o) in out.iter().enumerate() {
+            match i {
+                3 => {
+                    assert_eq!(
+                        o.result,
+                        Err(JobFailure::Panic("injected panic on job 3".into()))
+                    );
+                    assert_eq!(o.attempts, 2, "one retry before quarantine");
+                }
+                7 => {
+                    assert_eq!(o.result, Err(JobFailure::Error("bad job 7".into())));
+                    assert_eq!(o.attempts, 2);
+                }
+                _ => {
+                    assert_eq!(o.result, Ok(i as u64 * 10));
+                    assert_eq!(o.attempts, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_retry_recovers_transient_failure() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        let jobs: Vec<u64> = (0..6).collect();
+        let tries: Mutex<HashMap<u64, u32>> = Mutex::new(HashMap::new());
+        let out = SweepRunner::with_threads(2).run_isolated(&jobs, 2, |&j| {
+            let n = {
+                let mut tries = tries.lock().unwrap();
+                let n = tries.entry(j).or_insert(0);
+                *n += 1;
+                *n
+            };
+            if j == 4 && n == 1 {
+                return Err("transient".to_string());
+            }
+            Ok(j + 1)
+        });
+        assert_eq!(out[4].result, Ok(5));
+        assert_eq!(out[4].attempts, 2, "failed once, then recovered");
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, o)| o.result == Ok(i as u64 + 1)));
+    }
+
+    #[test]
+    fn isolated_healthy_results_identical_across_thread_caps() {
+        let jobs: Vec<u64> = (0..41).collect();
+        let f = |&j: &u64| -> Result<u64, String> {
+            if j == 13 {
+                panic!("poison job");
+            }
+            Ok(j.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 9)
+        };
+        let reference = SweepRunner::with_threads(1).run_isolated(&jobs, 0, f);
+        for threads in [2, 8] {
+            assert_eq!(
+                SweepRunner::with_threads(threads).run_isolated(&jobs, 0, f),
+                reference,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_reporting_fires_once_per_job() {
+        use std::sync::Mutex;
+        let jobs: Vec<u64> = (0..9).collect();
+        let seen = Mutex::new(Vec::new());
+        SweepRunner::with_threads(3).run_isolated_reporting(
+            &jobs,
+            0,
+            |&j| if j == 2 { Err("x".to_string()) } else { Ok(j) },
+            |i, o| seen.lock().unwrap().push((i, o.result.is_ok())),
+        );
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..9).map(|i| (i, i != 2)).collect::<Vec<_>>());
     }
 }

@@ -286,6 +286,15 @@ impl SharedDramChannel {
         while self.inflight.pop_ready(now.saturating_sub(1)).is_some() {}
         self.inflight.next_ready_cycle()
     }
+
+    /// Number of granted completions not yet pruned as past — a cheap
+    /// upper bound on outstanding transfers. The machine's epoch-livelock
+    /// watchdog reports it so a hang can be told apart from a long DRAM
+    /// queue (this non-zero means traffic is still in flight and the
+    /// stall counter must not advance).
+    pub fn outstanding_transfers(&self) -> usize {
+        self.inflight.len()
+    }
 }
 
 #[cfg(test)]

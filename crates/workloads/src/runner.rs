@@ -79,11 +79,10 @@ pub fn run_prepared(cfg: &SmConfig, prepared: Prepared, verify: bool) -> Result<
         sm.set_memory(mem);
         let stats = sm
             .run(MAX_CYCLES_PER_LAUNCH)
-            .map_err(RunError::Sim)?
+            .map_err(|e| RunError::Sim(e.with_launch(i, n)))?
             .clone();
         total.accumulate(&stats);
         mem = sm.into_memory();
-        let _ = (i, n);
     }
     if verify {
         (prepared.verify)(&mem).map_err(RunError::Verify)?;
@@ -109,12 +108,13 @@ pub fn run_prepared_multi_sm(
         mem.write_words(*addr, words);
     }
     let mut total = MachineStats::default();
-    for launch in prepared.launches {
+    let n = prepared.launches.len();
+    for (i, launch) in prepared.launches.into_iter().enumerate() {
         let mut machine = Machine::new(cfg.clone(), num_sms, launch).map_err(RunError::Setup)?;
         machine.set_memory(mem);
         let stats = machine
             .run(MAX_CYCLES_PER_LAUNCH)
-            .map_err(RunError::Sim)?
+            .map_err(|e| RunError::Sim(e.with_launch(i, n)))?
             .clone();
         total.accumulate(&stats);
         mem = machine.into_memory();
@@ -202,6 +202,36 @@ mod tests {
             quad.total.cycles <= serial.cycles,
             "sharding cannot lengthen the makespan"
         );
+    }
+
+    #[test]
+    fn exhausted_budget_reports_kernel_and_launch() {
+        use warpweave_core::SimError;
+        // A 2-block launch cannot finish in 3 cycles; the error must name
+        // the kernel and carry progress provenance, and the runner-style
+        // `with_launch` attachment must render in the message.
+        let launch =
+            Launch::new(store_tid_program(), 2, 256).with_params(vec![crate::util::region(0)]);
+        let mut sm = Sm::new(SmConfig::baseline(), launch).unwrap();
+        let err = sm.run(3).unwrap_err().with_launch(1, 4);
+        match &err {
+            SimError::CyclesExhausted {
+                budget,
+                cycle,
+                kernel,
+                launch,
+                ..
+            } => {
+                assert_eq!(*budget, 3);
+                assert!(*cycle >= 3);
+                assert_eq!(kernel, "store_tid");
+                assert_eq!(*launch, Some((1, 4)));
+            }
+            other => panic!("expected CyclesExhausted, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("store_tid"), "{msg}");
+        assert!(msg.contains("launch 2/4"), "{msg}");
     }
 
     #[test]
