@@ -47,6 +47,7 @@ pub mod config;
 pub mod divergence;
 pub mod exec;
 pub mod faultinject;
+pub mod fuzzing;
 pub mod groups;
 pub mod lane;
 pub mod launch;
@@ -72,6 +73,7 @@ pub use divergence::stack::PdomStack;
 pub use divergence::Transition;
 pub use exec::{execute_warp, ThreadInfo, ThreadRegs};
 pub use faultinject::{FaultInjector, FaultKind, FaultPlan};
+pub use fuzzing::{CaseOutcome, FuzzFailure, FuzzTarget};
 pub use lane::{LaneShuffle, LaneTable};
 pub use launch::{Launch, WarpInfo};
 pub use machine::{Machine, MachineStats, MemJournal};

@@ -91,15 +91,21 @@ fn decode_operand(bits: u64, imm: u32) -> Operand {
 }
 
 /// Builds a random-but-valid instruction from two entropy words. Includes
-/// a branch (taken-mask coverage) and the control no-ops.
+/// a branch (taken-mask coverage), the full control set (`Bar`, `Exit`,
+/// `Sync`, `Nop` — all architectural no-ops on both paths) and an extra
+/// memory-op band so `AtomAdd`/`Ld`/`St` are sampled well above their
+/// uniform share.
 fn decode_instruction(a: u64, b: u64) -> Instruction {
-    // Weight Bra in explicitly so taken masks are exercised; control
-    // no-ops ride along at low weight.
+    // Weight Bra in explicitly so taken masks are exercised; a dedicated
+    // memory band boosts atomics; control ops ride along at low weight.
     let sel = (a & 0xff) as usize;
     let op = match sel {
-        0..=214 => OPS[sel % OPS.len()],
-        215..=239 => Op::Bra,
-        240..=247 => Op::Nop,
+        0..=199 => OPS[sel % OPS.len()],
+        200..=223 => [Op::Ld, Op::St, Op::AtomAdd][sel % 3],
+        224..=239 => Op::Bra,
+        240..=245 => Op::Nop,
+        246..=249 => Op::Bar,
+        250..=252 => Op::Exit,
         _ => Op::Sync,
     };
     let mut i = Instruction::new(op);
@@ -145,6 +151,10 @@ fn decode_instruction(a: u64, b: u64) -> Instruction {
             | Op::Nop
     );
     if needs_dst {
+        i.dst = Some(r(((a >> 13) % GEN_REGS) as u8));
+    }
+    // AtomAdd optionally captures the old value (dst is optional on it).
+    if op == Op::AtomAdd && (a >> 26) & 1 == 1 {
         i.dst = Some(r(((a >> 13) % GEN_REGS) as u8));
     }
     if matches!(op, Op::ISetP | Op::FSetP) {
@@ -348,4 +358,52 @@ fn guarded_branch_taken_mask_exact() {
         "every third populated lane has p2 set"
     );
     assert!(acc.is_empty());
+}
+
+/// Second anchor: `Bar` and `Exit` are architectural no-ops on both paths
+/// (no writes, no accesses, empty taken mask), and an `AtomAdd` emits the
+/// same access list from both paths under a partial mask.
+#[test]
+#[allow(clippy::needless_range_loop)] // (t, reg) indexing mirrors the layout
+fn barrier_exit_inert_and_atomic_access_parity() {
+    let width = 32;
+    let mut state = 0x0b42_ee17u64;
+    let mut rf = WarpRegFile::new(width);
+    let mut regs: Vec<ThreadRegs> = (0..width).map(|_| ThreadRegs::new()).collect();
+    for t in 0..width {
+        for ri in 0..GEN_REGS as usize {
+            let v = splitmix(&mut state) as u32;
+            rf.set_reg(t, ri, v);
+            regs[t].set_reg(ri, v);
+        }
+    }
+    let info = WarpInfo::new(width);
+    let populated = Mask::from_bits(0x5555_5555);
+
+    for op in [Op::Bar, Op::Exit] {
+        let instr = Instruction::new(op);
+        let mut acc = Vec::new();
+        let taken = execute_warp(&instr, &mut rf, &info, &PARAMS, populated, &mut acc);
+        let (ref_taken, ref_acc) =
+            scalar_step(&instr, &mut regs, &info, Mask::full(width), populated);
+        assert_eq!(taken, Mask::EMPTY, "{op} must not report taken lanes");
+        assert_eq!(taken, ref_taken);
+        assert!(
+            acc.is_empty() && ref_acc.is_empty(),
+            "{op} must not access memory"
+        );
+    }
+
+    let mut atom = Instruction::new(Op::AtomAdd);
+    atom.srcs[0] = Some(Operand::Reg(r(1)));
+    atom.srcs[1] = Some(Operand::Reg(r(2)));
+    atom.dst = Some(r(3)); // old-value capture form
+    atom.offset = -8;
+    atom.validate().unwrap();
+    let mut acc = Vec::new();
+    execute_warp(&atom, &mut rf, &info, &PARAMS, populated, &mut acc);
+    let (_, ref_acc) = scalar_step(&atom, &mut regs, &info, Mask::full(width), populated);
+    assert_eq!(acc, ref_acc, "atomic access lists diverged");
+    assert_eq!(acc.len(), populated.iter().count());
+    assert_state_eq(&rf, &regs, width, "atom.add with dst");
 }

@@ -505,6 +505,360 @@ impl KernelBuilder {
     }
 }
 
+// --- text round-trip ---------------------------------------------------------
+//
+// A lossless, line-oriented text form of [`Program`] used by the fuzzer's
+// failure reproducers (`crate::fuzz::Reproducer`) and the committed corpus
+// under `tests/corpus/`. Unlike the lossy `Display` impl, every
+// [`Instruction`] field survives: guards (`@p0` / `@!p0` prefixes),
+// comparison suffixes (`isetp.lt`), the shared space (`.shared`), memory
+// offsets (`[r1+4]`), branch targets (`@7`), reconvergence annotations
+// (`reconv=@9`) and `SYNC` payloads (`pcdiv=@6`).
+//
+// One canonical-form assumption: source operands are packed from slot 0
+// (which every constructor in this crate guarantees).
+
+/// Every opcode, for mnemonic resolution.
+const ALL_OPS: [Op; 40] = [
+    Op::Mov,
+    Op::IAdd,
+    Op::ISub,
+    Op::IMul,
+    Op::IMad,
+    Op::IMin,
+    Op::IMax,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Not,
+    Op::Shl,
+    Op::Shr,
+    Op::Sra,
+    Op::FAdd,
+    Op::FSub,
+    Op::FMul,
+    Op::FFma,
+    Op::FMin,
+    Op::FMax,
+    Op::I2F,
+    Op::F2I,
+    Op::ISetP,
+    Op::FSetP,
+    Op::Sel,
+    Op::Rcp,
+    Op::Sqrt,
+    Op::Rsqrt,
+    Op::Sin,
+    Op::Cos,
+    Op::Ex2,
+    Op::Lg2,
+    Op::Ld,
+    Op::St,
+    Op::AtomAdd,
+    Op::Bra,
+    Op::Sync,
+    Op::Bar,
+    Op::Exit,
+    Op::Nop,
+];
+
+fn operand_text(o: Operand) -> String {
+    match o {
+        Operand::Reg(r) => r.to_string(),
+        Operand::Imm(v) => format!("0x{v:x}"),
+        Operand::Special(s) => s.to_string(),
+        Operand::Param(i) => format!("param[{i}]"),
+    }
+}
+
+/// Serialises one instruction to its canonical text line.
+fn instr_to_text(i: &Instruction) -> String {
+    let mut s = String::new();
+    if let Some(g) = i.guard {
+        s.push_str(&format!("{g} "));
+    }
+    s.push_str(i.op.mnemonic());
+    if let Some(c) = i.cmp {
+        s.push_str(&format!(".{c}"));
+    }
+    if i.space == MemSpace::Shared {
+        s.push_str(".shared");
+    }
+    let mut toks: Vec<String> = Vec::new();
+    if let Some(d) = i.dst {
+        toks.push(d.to_string());
+    }
+    if let Some(pd) = i.pdst {
+        toks.push(pd.to_string());
+    }
+    if let Some(sp) = i.sel_pred {
+        toks.push(sp.to_string());
+    }
+    let is_mem = i.op.is_memory();
+    for (idx, src) in i.srcs.iter().enumerate() {
+        let Some(src) = src else { continue };
+        if is_mem && idx == 0 {
+            toks.push(format!("[{}{:+}]", operand_text(*src), i.offset));
+        } else {
+            toks.push(operand_text(*src));
+        }
+    }
+    if let Some(t) = i.target {
+        toks.push(format!("@{}", t.0));
+    }
+    if let Some(rc) = i.reconv {
+        toks.push(format!("reconv=@{}", rc.0));
+    }
+    if let Some(d) = i.sync_pcdiv {
+        toks.push(format!("pcdiv=@{}", d.0));
+    }
+    if !is_mem && i.offset != 0 {
+        toks.push(format!("off={}", i.offset));
+    }
+    if !toks.is_empty() {
+        s.push(' ');
+        s.push_str(&toks.join(", "));
+    }
+    s
+}
+
+/// Serialises a [`Program`] to the lossless text form parsed back by
+/// [`program_from_text`] — the reproducer-serialisation substrate.
+pub fn program_to_text(p: &Program) -> String {
+    let mut out = String::from("; warpweave-asm v1\n");
+    out.push_str(&format!(".kernel {}\n", p.name()));
+    out.push_str(&format!(".frontier_ordered {}\n", p.is_frontier_ordered()));
+    for i in p.instructions() {
+        out.push_str(&instr_to_text(i));
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_pc(tok: &str) -> Result<Pc, String> {
+    tok.strip_prefix('@')
+        .and_then(|d| d.parse::<u32>().ok())
+        .map(Pc)
+        .ok_or_else(|| format!("bad pc token `{tok}`"))
+}
+
+fn parse_reg(tok: &str) -> Option<Reg> {
+    let idx: u8 = tok.strip_prefix('r')?.parse().ok()?;
+    ((idx as usize) < crate::reg::NUM_REGS).then(|| Reg::new(idx))
+}
+
+fn parse_pred_tok(tok: &str) -> Option<Pred> {
+    let idx: u8 = tok.strip_prefix('p')?.parse().ok()?;
+    ((idx as usize) < crate::reg::NUM_PREDS).then(|| Pred::new(idx))
+}
+
+fn parse_operand(tok: &str) -> Result<Operand, String> {
+    use crate::reg::SpecialReg::*;
+    match tok {
+        "%tid" => return Ok(Operand::Special(Tid)),
+        "%ctaid" => return Ok(Operand::Special(CtaId)),
+        "%ntid" => return Ok(Operand::Special(NTid)),
+        "%nctaid" => return Ok(Operand::Special(NCtaId)),
+        "%laneid" => return Ok(Operand::Special(LaneId)),
+        "%warpid" => return Ok(Operand::Special(WarpId)),
+        _ => {}
+    }
+    if let Some(inner) = tok.strip_prefix("param[").and_then(|t| t.strip_suffix(']')) {
+        let idx: u8 = inner
+            .parse()
+            .map_err(|e| format!("bad param index `{inner}`: {e}"))?;
+        return Ok(Operand::Param(idx));
+    }
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        let v = u32::from_str_radix(hex, 16).map_err(|e| format!("bad hex `{tok}`: {e}"))?;
+        return Ok(Operand::Imm(v));
+    }
+    if let Some(r) = parse_reg(tok) {
+        return Ok(Operand::Reg(r));
+    }
+    if let Ok(v) = tok.parse::<i64>() {
+        return Ok(Operand::Imm(v as i32 as u32));
+    }
+    Err(format!("unrecognised operand `{tok}`"))
+}
+
+/// Parses a `[<operand><+/-offset>]` memory address token.
+fn parse_bracket(tok: &str) -> Result<(Operand, i32), String> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("malformed address `{tok}`"))?;
+    let at = inner
+        .rfind(['+', '-'])
+        .ok_or_else(|| format!("address `{tok}` lacks an offset"))?;
+    let (base, off) = inner.split_at(at);
+    let operand = parse_operand(base)?;
+    let offset: i32 = off
+        .parse()
+        .map_err(|e| format!("bad offset `{off}` in `{tok}`: {e}"))?;
+    Ok((operand, offset))
+}
+
+fn parse_guard(tok: &str) -> Result<Guard, String> {
+    if let Some(rest) = tok.strip_prefix("@!") {
+        parse_pred_tok(rest)
+            .map(Guard::if_false)
+            .ok_or_else(|| format!("bad guard `{tok}`"))
+    } else if let Some(rest) = tok.strip_prefix('@') {
+        parse_pred_tok(rest)
+            .map(Guard::if_true)
+            .ok_or_else(|| format!("bad guard `{tok}`"))
+    } else {
+        Err(format!("bad guard `{tok}`"))
+    }
+}
+
+fn parse_cmp(part: &str) -> Option<CmpOp> {
+    Some(match part {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+/// Resolves a (possibly suffixed) mnemonic token: longest opcode match,
+/// then `.cmp` / `.shared` suffix parts.
+fn resolve_mnemonic(tok: &str) -> Result<(Op, Option<CmpOp>, bool), String> {
+    let mut best: Option<(&'static str, Op)> = None;
+    for op in ALL_OPS {
+        let m = op.mnemonic();
+        let matches = tok == m
+            || (tok.len() > m.len() && tok.starts_with(m) && tok.as_bytes()[m.len()] == b'.');
+        if matches && best.is_none_or(|(bm, _)| m.len() > bm.len()) {
+            best = Some((m, op));
+        }
+    }
+    let (m, op) = best.ok_or_else(|| format!("unknown mnemonic `{tok}`"))?;
+    let mut cmp = None;
+    let mut shared = false;
+    if tok.len() > m.len() {
+        for part in tok[m.len() + 1..].split('.') {
+            if part == "shared" {
+                shared = true;
+            } else if let Some(c) = parse_cmp(part) {
+                cmp = Some(c);
+            } else {
+                return Err(format!("unknown suffix `.{part}` on `{tok}`"));
+            }
+        }
+    }
+    Ok((op, cmp, shared))
+}
+
+fn parse_instr_line(line: &str) -> Result<Instruction, String> {
+    let mut rest = line;
+    let mut guard = None;
+    if rest.starts_with("@!") || (rest.starts_with('@') && rest[1..].starts_with('p')) {
+        let (g, after) = rest
+            .split_once(char::is_whitespace)
+            .ok_or("guard without an opcode")?;
+        guard = Some(parse_guard(g)?);
+        rest = after.trim_start();
+    }
+    let (mn, args) = match rest.split_once(char::is_whitespace) {
+        Some((a, b)) => (a, b.trim()),
+        None => (rest, ""),
+    };
+    let (op, cmp, shared) = resolve_mnemonic(mn)?;
+    let mut i = Instruction::new(op);
+    i.guard = guard;
+    i.cmp = cmp;
+    if shared {
+        i.space = MemSpace::Shared;
+    }
+    // Destination-first opcodes (AtomAdd's destination is optional: a reg
+    // token before the address bracket).
+    let dst_first = !matches!(
+        op,
+        Op::ISetP | Op::FSetP | Op::St | Op::Bra | Op::Sync | Op::Bar | Op::Exit | Op::Nop
+    );
+    let mut next_src = 0usize;
+    if !args.is_empty() {
+        for tok in args.split(',') {
+            let tok = tok.trim();
+            if let Some(v) = tok.strip_prefix("reconv=") {
+                i.reconv = Some(parse_pc(v)?);
+            } else if let Some(v) = tok.strip_prefix("pcdiv=") {
+                i.sync_pcdiv = Some(parse_pc(v)?);
+            } else if let Some(v) = tok.strip_prefix("off=") {
+                i.offset = v.parse().map_err(|e| format!("bad off `{v}`: {e}"))?;
+            } else if tok.starts_with('[') {
+                let (base, off) = parse_bracket(tok)?;
+                i.srcs[0] = Some(base);
+                i.offset = off;
+                next_src = next_src.max(1);
+            } else if tok.starts_with('@') {
+                i.target = Some(parse_pc(tok)?);
+            } else if let Some(pd) = parse_pred_tok(tok) {
+                match op {
+                    Op::ISetP | Op::FSetP if i.pdst.is_none() => i.pdst = Some(pd),
+                    Op::Sel if i.sel_pred.is_none() => i.sel_pred = Some(pd),
+                    _ => return Err(format!("unexpected predicate `{tok}` for {op}")),
+                }
+            } else {
+                let operand = parse_operand(tok)?;
+                let take_dst = dst_first
+                    && i.dst.is_none()
+                    && matches!(operand, Operand::Reg(_))
+                    && (op != Op::AtomAdd || i.srcs[0].is_none());
+                if take_dst {
+                    i.dst = operand.reg();
+                } else {
+                    if next_src >= 3 {
+                        return Err(format!("too many sources on `{line}`"));
+                    }
+                    i.srcs[next_src] = Some(operand);
+                    next_src += 1;
+                }
+            }
+        }
+    }
+    Ok(i)
+}
+
+/// Parses the text form produced by [`program_to_text`] back into a
+/// validated [`Program`].
+///
+/// # Errors
+/// Reports the first malformed line (1-based), a missing `.kernel`
+/// directive, and any [`Program::from_instructions`] validation failure.
+pub fn program_from_text(text: &str) -> Result<Program, String> {
+    let mut name: Option<String> = None;
+    let mut frontier = true;
+    let mut instrs = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') || line.starts_with("//") {
+            continue;
+        }
+        if let Some(v) = line.strip_prefix(".kernel") {
+            name = Some(v.trim().to_string());
+            continue;
+        }
+        if let Some(v) = line.strip_prefix(".frontier_ordered") {
+            frontier = v
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad .frontier_ordered: {e}", ln + 1))?;
+            continue;
+        }
+        if line.starts_with('.') {
+            return Err(format!("line {}: unknown directive `{line}`", ln + 1));
+        }
+        instrs.push(parse_instr_line(line).map_err(|e| format!("line {}: {e}", ln + 1))?);
+    }
+    Program::from_instructions(name.ok_or("missing .kernel directive")?, instrs, frontier)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +951,103 @@ mod tests {
             .find(|i| i.op == Op::Bra)
             .unwrap();
         assert_eq!(prog[bra.target.unwrap()].op, Op::IAdd);
+    }
+
+    fn assert_roundtrip(prog: &Program) {
+        let text = program_to_text(prog);
+        let back =
+            program_from_text(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        assert_eq!(back.name(), prog.name(), "{text}");
+        assert_eq!(
+            back.is_frontier_ordered(),
+            prog.is_frontier_ordered(),
+            "{text}"
+        );
+        assert_eq!(back.instructions(), prog.instructions(), "{text}");
+    }
+
+    #[test]
+    fn text_roundtrip_structured_kernel() {
+        let mut k = KernelBuilder::new("roundtrip");
+        k.mov(r(0), SpecialReg::Tid);
+        k.isetp(p(0), CmpOp::Lt, r(0), 16i32);
+        k.bra_ifn(p(0), "else");
+        k.guard_t(p(1)).iadd(r(1), r(0), 1i32);
+        k.bra("join");
+        k.label("else");
+        k.sel(r(1), p(2), r(0), Operand::Param(1));
+        k.label("join");
+        k.ld(r(2), r(1), -8);
+        k.ld_shared(r(3), r(1), 4);
+        k.st(r(1), 12, r(2));
+        k.st_shared(r(1), 0, 7i32);
+        k.atom_add(r(1), 4, r(3));
+        k.atom_add_shared(r(1), 0, 1i32);
+        k.bar();
+        k.fsetp(p(3), CmpOp::Ge, r(2), 1.5f32);
+        k.rcp(r(4), r(2));
+        k.exit();
+        assert_roundtrip(&k.build().unwrap());
+    }
+
+    #[test]
+    fn text_roundtrip_loop_with_syncs() {
+        let mut k = KernelBuilder::new("loop rt");
+        k.mov(r(0), 8i32);
+        k.label("head");
+        k.isetp(p(0), CmpOp::Lt, SpecialReg::LaneId, 7i32);
+        k.bra_if(p(0), "skip");
+        k.iadd(r(1), r(1), 1i32);
+        k.label("skip");
+        k.iadd(r(0), r(0), -1i32);
+        k.isetp(p(0), CmpOp::Gt, r(0), 0i32);
+        k.bra_if(p(0), "head");
+        k.exit();
+        let prog = k.build().unwrap();
+        // The CFG pass annotated reconv/pcdiv fields; they must survive.
+        assert!(prog.instructions().iter().any(|i| i.reconv.is_some()));
+        assert_roundtrip(&prog);
+    }
+
+    #[test]
+    fn text_roundtrip_exotic_but_valid_instructions() {
+        // Forms the builder never emits but Instruction permits: an
+        // atomic with a destination (old-value capture), an
+        // immediate-addressed load, and a guarded shared store.
+        let mut atom = Instruction::new(Op::AtomAdd);
+        atom.dst = Some(r(9));
+        atom.srcs = [Some(r(1).into()), Some(Operand::Imm(3)), None];
+        atom.offset = -4;
+        let mut ld = Instruction::new(Op::Ld);
+        ld.dst = Some(r(2));
+        ld.srcs[0] = Some(Operand::Imm(0x80));
+        ld.offset = 16;
+        let mut st = Instruction::new(Op::St);
+        st.guard = Some(Guard::if_false(p(5)));
+        st.space = MemSpace::Shared;
+        st.srcs = [
+            Some(Operand::Special(SpecialReg::LaneId)),
+            Some(Operand::Param(3)),
+            None,
+        ];
+        let prog = Program::from_instructions(
+            "exotic",
+            vec![atom, ld, st, Instruction::new(Op::Exit)],
+            false,
+        )
+        .unwrap();
+        assert_roundtrip(&prog);
+    }
+
+    #[test]
+    fn text_parse_rejects_garbage() {
+        assert!(program_from_text(".kernel x\nbogus r1, r2\n").is_err());
+        assert!(
+            program_from_text("mov r1, 0x1\n").is_err(),
+            "missing .kernel"
+        );
+        assert!(program_from_text(".kernel x\nmov r99, 0x1\n").is_err());
+        assert!(program_from_text(".kernel x\n.mystery\n").is_err());
     }
 
     #[test]

@@ -39,13 +39,15 @@
 
 pub mod asm;
 pub mod cfg;
+pub mod fuzz;
 pub mod instr;
 pub mod op;
 pub mod program;
 pub mod reg;
 
-pub use asm::KernelBuilder;
+pub use asm::{program_from_text, program_to_text, KernelBuilder};
 pub use cfg::{build_cfg, dominators, postdominators, Cfg, LayoutReport};
+pub use fuzz::{FuzzProfile, KernelPlan, Reproducer};
 pub use instr::{Guard, Instruction, Operand};
 pub use op::{CmpOp, MemSpace, Op, UnitClass};
 pub use program::{Pc, Program};
