@@ -13,6 +13,7 @@
 
 use warpweave_core::checkpoint::{fnv1a, CHECKPOINT_VERSION};
 use warpweave_core::{Associativity, LaneShuffle, SmConfig};
+use warpweave_mem::CacheConfig;
 use warpweave_workloads::{all_workloads, by_name, Scale, Workload};
 
 /// The fig. 7 front-end set — the columns of the sweep and of the golden
@@ -116,30 +117,78 @@ pub struct MachineProbe {
 
 impl MachineProbe {
     /// The probe's checkpoint/golden cell key, e.g.
-    /// `machine/Mandelbrot/4sm/shared`.
+    /// `machine/Mandelbrot/4sm/shared`. Non-default memory-hierarchy
+    /// knobs are appended as suffixes (`+2ch`, `+mshr32`, `+l2`) so every
+    /// probe of the grid keys a distinct golden cell; default-knob probes
+    /// keep their historical keys.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "machine/{}/{}sm/{}",
             self.workload,
             self.num_sms,
             self.cfg.mem_model.name()
-        )
+        );
+        if self.cfg.dram.num_channels > 1 {
+            key.push_str(&format!("+{}ch", self.cfg.dram.num_channels));
+        }
+        if self.cfg.mshr_entries > 0 {
+            key.push_str(&format!("+mshr{}", self.cfg.mshr_entries));
+        }
+        if self.cfg.l2.is_some() {
+            key.push_str("+l2");
+        }
+        key
+    }
+}
+
+/// The canonical shared-L2 geometry of the probe grid: 256 K, 8-way,
+/// 128 B lines, 20-cycle hit.
+pub fn probe_l2() -> CacheConfig {
+    CacheConfig {
+        capacity_bytes: 256 * 1024,
+        ways: 8,
+        line_bytes: 128,
+        hit_latency: 20,
     }
 }
 
 /// The machine probes of the sweep (and of the golden baseline): one
-/// irregular workload at 1 and 4 SMs under **both** bandwidth models, so
-/// the baseline pins private-channel and shared-channel behaviour alike.
+/// irregular workload at 1 and 4 SMs under **both** bandwidth models —
+/// pinning private-channel and shared-channel behaviour alike — plus the
+/// scaled memory hierarchy (a second interleaved channel, per-SM MSHRs,
+/// and the shared L2 stacked together). The hierarchy probes run a
+/// load-heavy workload with cross-SM reuse (MatrixMul) so the golden rows
+/// actually exercise channel interleaving and L2 interception; Mandelbrot
+/// is write-only off-chip and would pin all-zero load counters.
 pub fn machine_probes() -> Vec<MachineProbe> {
     [
-        (1usize, SmConfig::sbi_swi()),
-        (4, SmConfig::sbi_swi()),
-        (1, SmConfig::sbi_swi().with_shared_dram()),
-        (4, SmConfig::sbi_swi().with_shared_dram()),
+        ("Mandelbrot", 1usize, SmConfig::sbi_swi()),
+        ("Mandelbrot", 4, SmConfig::sbi_swi()),
+        ("Mandelbrot", 1, SmConfig::sbi_swi().with_shared_dram()),
+        ("Mandelbrot", 4, SmConfig::sbi_swi().with_shared_dram()),
+        (
+            "MatrixMul",
+            4,
+            SmConfig::sbi_swi().with_shared_dram().with_dram_channels(2),
+        ),
+        (
+            "MatrixMul",
+            4,
+            SmConfig::sbi_swi().with_shared_dram().with_mshrs(32),
+        ),
+        (
+            "MatrixMul",
+            4,
+            SmConfig::sbi_swi()
+                .with_shared_dram()
+                .with_dram_channels(2)
+                .with_mshrs(32)
+                .with_l2(probe_l2()),
+        ),
     ]
     .into_iter()
-    .map(|(num_sms, cfg)| MachineProbe {
-        workload: "Mandelbrot",
+    .map(|(workload, num_sms, cfg)| MachineProbe {
+        workload,
         num_sms,
         cfg,
     })
@@ -187,6 +236,21 @@ mod tests {
             p.cfg.validate().unwrap();
             assert!(by_name(p.workload).is_some(), "{} unregistered", p.workload);
         }
+    }
+
+    #[test]
+    fn probe_keys_are_distinct_and_suffix_the_hierarchy_knobs() {
+        let keys: Vec<String> = machine_probes().iter().map(MachineProbe::key).collect();
+        let mut deduped = keys.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), keys.len(), "duplicate probe keys: {keys:?}");
+        // Historical default-knob keys must not move (golden continuity).
+        assert!(keys.contains(&"machine/Mandelbrot/4sm/shared".to_string()));
+        // The scaled-hierarchy probes encode their knobs.
+        assert!(keys.contains(&"machine/MatrixMul/4sm/shared+2ch".to_string()));
+        assert!(keys.contains(&"machine/MatrixMul/4sm/shared+mshr32".to_string()));
+        assert!(keys.contains(&"machine/MatrixMul/4sm/shared+2ch+mshr32+l2".to_string()));
     }
 
     #[test]

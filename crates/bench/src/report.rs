@@ -54,10 +54,13 @@ impl ProbeResult {
         self.total.ipc()
     }
 
-    /// Shared-channel bandwidth saturation over the makespan.
+    /// Shared-channel bandwidth saturation over the makespan, against the
+    /// machine's **aggregate** byte budget (`num_channels` interleaved
+    /// channels each carry a full `bytes_per_cycle`).
     pub fn channel_utilization(&self) -> f64 {
-        self.channel
-            .utilization(self.total.cycles, self.probe.cfg.dram.bytes_per_cycle)
+        let budget = self.probe.cfg.dram.bytes_per_cycle
+            * f64::from(self.probe.cfg.dram.num_channels.max(1));
+        self.channel.utilization(self.total.cycles, budget)
     }
 }
 
@@ -134,8 +137,9 @@ pub fn render_sweep_json(scale: &str, m: &MatrixResult, probes: &[ProbeResult]) 
         .iter()
         .map(|p| {
             format!(
-                "    {{\"num_sms\": {}, \"mem_model\": \"{}\", \"makespan_cycles\": {}, \
-                 \"ipc\": {:.4}, \"channel_utilization\": {:.4}}}",
+                "    {{\"key\": \"{}\", \"num_sms\": {}, \"mem_model\": \"{}\", \
+                 \"makespan_cycles\": {}, \"ipc\": {:.4}, \"channel_utilization\": {:.4}}}",
+                json_escape(&p.probe.key()),
                 p.probe.num_sms,
                 p.probe.cfg.mem_model.name(),
                 p.total.cycles,
@@ -147,10 +151,12 @@ pub fn render_sweep_json(scale: &str, m: &MatrixResult, probes: &[ProbeResult]) 
     json.push_str(&probe_lines.join(",\n"));
     json.push_str("\n  ],\n");
 
-    // Contention profile of the widest shared-bandwidth probe.
+    // Contention profile of the widest plain shared-bandwidth probe
+    // (default hierarchy knobs — the suffixed probes have their own
+    // machine_probe lines and golden cells).
     if let Some(shared) = probes
         .iter()
-        .filter(|p| p.probe.cfg.mem_model.name() == "shared")
+        .filter(|p| p.probe.key().ends_with("/shared"))
         .max_by_key(|p| p.probe.num_sms)
     {
         let ch = &shared.channel;

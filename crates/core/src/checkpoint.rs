@@ -18,12 +18,12 @@
 //!   line, quarantines the damaged tail as a `.quarantine` sidecar, and
 //!   lets the sweep resume from the intact prefix.
 //!
-//! # File format (`CHECKPOINT_VERSION` 1)
+//! # File format (`CHECKPOINT_VERSION` 2)
 //!
 //! Line-oriented UTF-8. The first line is the header:
 //!
 //! ```text
-//! warpweave-sweep-checkpoint v1 grid=<16 hex digits>
+//! warpweave-sweep-checkpoint v2 grid=<16 hex digits>
 //! ```
 //!
 //! Every subsequent line is one completed cell:
@@ -56,7 +56,7 @@ use crate::stats::Stats;
 
 /// Current checkpoint file-format version (see the module docs for the
 /// rules that force a bump).
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// The header magic of a checkpoint file.
 const MAGIC: &str = "warpweave-sweep-checkpoint";
@@ -622,6 +622,9 @@ mod tests {
                 queued_requests: 1,
                 queue_delay_cycles: 13,
                 max_queue_delay: 13,
+                l2_hits: 5,
+                l2_misses: 6,
+                l2_cross_sm_evictions: 2,
             },
         );
         let line = encode_cell("MatrixMul/SBI+SWI", &record);

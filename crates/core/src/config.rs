@@ -210,6 +210,14 @@ pub struct SmConfig {
     pub groups: Vec<GroupConfig>,
     /// L1 data cache geometry/timing.
     pub l1: CacheConfig,
+    /// Per-SM miss-status holding registers: same-line misses merge onto
+    /// one in-flight transaction instead of multiplying DRAM traffic.
+    /// 0 (the default) disables merging — the historical model.
+    pub mshr_entries: u32,
+    /// Optional machine-shared L2 between the L1s and the DRAM channels
+    /// (shared-channel machines only). `None` (the default) goes straight
+    /// to DRAM.
+    pub l2: Option<CacheConfig>,
     /// Off-chip memory model.
     pub dram: DramConfig,
     /// Whether [`SmConfig::dram`] bandwidth is private per SM or one
@@ -256,6 +264,8 @@ impl SmConfig {
                 },
             ],
             l1: CacheConfig::paper_l1(),
+            mshr_entries: 0,
+            l2: None,
             dram: DramConfig::paper(),
             mem_model: MemModel::PrivatePerSm,
             seed: 0xb1e55ed,
@@ -438,6 +448,27 @@ impl SmConfig {
         self.with_mem_model(MemModel::SharedChannel)
     }
 
+    /// Sets the number of address-interleaved DRAM channels a shared-DRAM
+    /// machine arbitrates (builder style); each adds a full
+    /// `bytes_per_cycle` of bandwidth.
+    pub fn with_dram_channels(mut self, n: u32) -> SmConfig {
+        self.dram.num_channels = n;
+        self
+    }
+
+    /// Sets the per-SM MSHR file size (builder style); 0 disables merging.
+    pub fn with_mshrs(mut self, entries: u32) -> SmConfig {
+        self.mshr_entries = entries;
+        self
+    }
+
+    /// Adds a machine-shared L2 between the L1s and the DRAM channels
+    /// (builder style; shared-channel machines only).
+    pub fn with_l2(mut self, l2: CacheConfig) -> SmConfig {
+        self.l2 = Some(l2);
+        self
+    }
+
     /// The epoch length (in core cycles) a [`crate::Machine`] uses to
     /// barrier SMs for shared-channel arbitration. Capped at the DRAM
     /// latency so a transaction issued in epoch *k* can never complete
@@ -519,6 +550,20 @@ impl SmConfig {
         if self.groups.is_empty() {
             return Err("at least one execution group required".into());
         }
+        self.l1
+            .validate()
+            .map_err(|e| format!("l1 geometry: {e}"))?;
+        self.dram
+            .validate()
+            .map_err(|e| format!("dram config: {e}"))?;
+        if let Some(l2) = &self.l2 {
+            l2.validate().map_err(|e| format!("l2 geometry: {e}"))?;
+            if self.mem_model != MemModel::SharedChannel {
+                return Err("a shared L2 requires the shared-channel memory model \
+                     (it sits between the L1s and the machine's channels)"
+                    .into());
+            }
+        }
         Ok(())
     }
 }
@@ -526,6 +571,39 @@ impl SmConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_rejects_bad_memory_geometry() {
+        let mut c = SmConfig::baseline();
+        c.l1.capacity_bytes = 100; // not a multiple of 6 × 128
+        assert!(c.validate().unwrap_err().contains("l1 geometry"));
+        let mut c = SmConfig::baseline();
+        c.l1.ways = 0;
+        assert!(c.validate().unwrap_err().contains("l1 geometry"));
+        let mut c = SmConfig::baseline();
+        c.dram.num_channels = 0;
+        assert!(c.validate().unwrap_err().contains("dram config"));
+        let mut c = SmConfig::baseline();
+        c.dram.interleave_bytes = 64; // below the 128 B transfer
+        assert!(c.validate().unwrap_err().contains("dram config"));
+        let mut c = SmConfig::baseline()
+            .with_shared_dram()
+            .with_l2(CacheConfig {
+                capacity_bytes: 384, // 3 sets: not a power of two
+                ways: 1,
+                line_bytes: 128,
+                hit_latency: 10,
+            });
+        assert!(c.validate().unwrap_err().contains("l2 geometry"));
+        c = SmConfig::baseline().with_l2(CacheConfig::paper_l1());
+        assert!(c.validate().unwrap_err().contains("shared-channel"));
+        c = SmConfig::baseline()
+            .with_shared_dram()
+            .with_l2(CacheConfig::paper_l1())
+            .with_dram_channels(4)
+            .with_mshrs(8);
+        c.validate().unwrap();
+    }
 
     #[test]
     fn table2_baseline() {

@@ -9,59 +9,111 @@
 //! DRAM channel. The warp then blocks on its scoreboard entry until every
 //! outstanding transaction's grant arrives.
 
-use warpweave_mem::{AccessKind, Cache, Transaction};
+use warpweave_mem::{AccessKind, Cache, MshrFile, MshrLookup, Transaction};
 
 /// The LSU's plan for one global-memory instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GlobalPlan {
     /// Cycles the LSU's single 128-byte port is occupied (replay count).
     pub port_cycles: u64,
-    /// Completion cycle of the inline part (L1 hits; the port-release
-    /// cycle for stores). For a hit-only load this is the writeback time;
-    /// otherwise it floors the eventual completion.
+    /// Completion cycle of the inline part (L1 hits, MSHR merges whose
+    /// data is already scheduled to land; the port-release cycle for
+    /// stores). For a load with no outstanding requests this is the
+    /// writeback time; otherwise it floors the eventual completion.
     pub inline_ready: u64,
-    /// DRAM transactions to enqueue: `(issue_cycle, is_write)`, one per
-    /// L1 miss (loads) or per transaction (write-through stores/atomics),
-    /// in port order.
-    pub dram_requests: Vec<(u64, bool)>,
+    /// DRAM transactions to enqueue: `(issue_cycle, block_addr, is_write)`,
+    /// one per unmerged L1 miss (loads) or per transaction (write-through
+    /// stores/atomics), in port order.
+    pub dram_requests: Vec<(u64, u32, bool)>,
+    /// Sequence numbers of *other* warps' in-flight transactions this
+    /// instruction merged onto (MSHR hits on pending misses): the warp
+    /// additionally blocks until those grants arrive.
+    pub merged_waits: Vec<u64>,
+    /// Misses merged onto an in-flight transaction (no new DRAM traffic).
+    pub mshr_merges: u64,
+    /// Misses that found the MSHR file full and issued unmerged.
+    pub mshr_bypasses: u64,
 }
 
 impl GlobalPlan {
     /// True when the instruction completes without waiting on a DRAM grant
     /// (hit-only load, store, or atomic — write traffic never blocks).
     pub fn resolves_inline(&self, is_store: bool) -> bool {
-        is_store || self.dram_requests.is_empty()
+        is_store || (self.dram_requests.is_empty() && self.merged_waits.is_empty())
+    }
+
+    /// Grants this instruction must wait on: its own requests plus merges.
+    pub fn wait_count(&self) -> usize {
+        self.dram_requests.len() + self.merged_waits.len()
     }
 }
 
 /// Plans a list of global-memory transactions starting at `start`: one
 /// transaction per cycle through the L1 port; hits complete after the L1
-/// latency, misses are handed back as DRAM requests. Stores are
-/// write-through (every transaction becomes a write request; completion is
-/// the port-release cycle — the pipeline does not wait).
-pub fn plan_global(l1: &mut Cache, start: u64, txs: &[Transaction], is_store: bool) -> GlobalPlan {
-    let mut inline_ready = start;
-    let mut dram_requests = Vec::new();
+/// latency, misses consult the MSHR file and either merge onto an in-flight
+/// fill or are handed back as DRAM requests. `seq_base` is the sequence
+/// number the *first* enqueued request will receive (the pipeline's
+/// transaction counter), so allocated MSHR entries know their owner.
+/// Stores are write-through (every transaction becomes a write request;
+/// completion is the port-release cycle — the pipeline does not wait, and
+/// the MSHR file is never consulted).
+pub fn plan_global(
+    l1: &mut Cache,
+    mshr: &mut MshrFile,
+    start: u64,
+    txs: &[Transaction],
+    is_store: bool,
+    seq_base: u64,
+) -> GlobalPlan {
+    let mut plan = GlobalPlan {
+        port_cycles: txs.len().max(1) as u64,
+        inline_ready: start,
+        dram_requests: Vec::new(),
+        merged_waits: Vec::new(),
+        mshr_merges: 0,
+        mshr_bypasses: 0,
+    };
     for (i, tx) in txs.iter().enumerate() {
         let t_issue = start + i as u64;
         if is_store {
             l1.access_store(tx.block_addr);
-            dram_requests.push((t_issue, true));
-            inline_ready = inline_ready.max(t_issue);
-        } else {
-            match l1.access_load(tx.block_addr) {
-                AccessKind::Hit => {
-                    inline_ready = inline_ready.max(t_issue + l1.config().hit_latency as u64);
+            plan.dram_requests.push((t_issue, tx.block_addr, true));
+            plan.inline_ready = plan.inline_ready.max(t_issue);
+            continue;
+        }
+        match l1.access_load(tx.block_addr) {
+            AccessKind::Hit => {
+                plan.inline_ready = plan
+                    .inline_ready
+                    .max(t_issue + l1.config().hit_latency as u64);
+            }
+            AccessKind::Miss => {
+                let seq = seq_base + plan.dram_requests.len() as u64;
+                match mshr.lookup(tx.block_addr, t_issue, seq) {
+                    MshrLookup::Allocated => {
+                        plan.dram_requests.push((t_issue, tx.block_addr, false));
+                    }
+                    MshrLookup::Bypassed => {
+                        if mshr.is_enabled() {
+                            plan.mshr_bypasses += 1;
+                        }
+                        plan.dram_requests.push((t_issue, tx.block_addr, false));
+                    }
+                    MshrLookup::MergedPending { owner_seq } => {
+                        plan.mshr_merges += 1;
+                        if !plan.merged_waits.contains(&owner_seq) {
+                            plan.merged_waits.push(owner_seq);
+                        }
+                    }
+                    MshrLookup::MergedReady { ready_cycle } => {
+                        plan.mshr_merges += 1;
+                        plan.inline_ready = plan.inline_ready.max(ready_cycle);
+                    }
                 }
-                AccessKind::Miss => dram_requests.push((t_issue, false)),
             }
         }
     }
-    GlobalPlan {
-        port_cycles: txs.len().max(1) as u64,
-        inline_ready,
-        dram_requests,
-    }
+    plan
 }
 
 /// Shared-memory access cost in passes: per 32-lane wave, lanes hitting
@@ -139,16 +191,22 @@ mod tests {
         }
     }
 
+    /// Plans with MSHRs disabled — the historical single-miss model.
+    fn plan(l1: &mut Cache, start: u64, txs: &[Transaction], is_store: bool) -> GlobalPlan {
+        plan_global(l1, &mut MshrFile::disabled(), start, txs, is_store, 0)
+    }
+
     /// Drives a plan's requests through a channel the way the pipeline's
     /// private-mode immediate-grant path does, returning the data-ready
     /// cycle.
     fn resolve(plan: &GlobalPlan, channel: &mut SharedDramChannel) -> u64 {
         let mut ready = plan.inline_ready;
-        for (seq, &(issue_cycle, is_write)) in plan.dram_requests.iter().enumerate() {
+        for (seq, &(issue_cycle, addr, is_write)) in plan.dram_requests.iter().enumerate() {
             let grant = channel.grant(&MemRequest {
                 issue_cycle,
                 sm_id: 0,
                 seq: seq as u64,
+                addr,
                 is_write,
             });
             if !is_write {
@@ -162,7 +220,7 @@ mod tests {
     fn single_hit_latency() {
         let (mut l1, _) = setup();
         l1.access_load(0); // warm
-        let plan = plan_global(&mut l1, 100, &[tx(0)], false);
+        let plan = plan(&mut l1, 100, &[tx(0)], false);
         assert_eq!(plan.port_cycles, 1);
         assert_eq!(plan.inline_ready, 103);
         assert!(plan.resolves_inline(false));
@@ -171,8 +229,8 @@ mod tests {
     #[test]
     fn miss_goes_to_dram() {
         let (mut l1, mut ch) = setup();
-        let plan = plan_global(&mut l1, 0, &[tx(0)], false);
-        assert_eq!(plan.dram_requests, vec![(0, false)]);
+        let plan = plan(&mut l1, 0, &[tx(0)], false);
+        assert_eq!(plan.dram_requests, vec![(0, 0, false)]);
         assert!(!plan.resolves_inline(false));
         assert_eq!(resolve(&plan, &mut ch), 330);
         assert_eq!(ch.stats().read_transfers, 1);
@@ -185,7 +243,7 @@ mod tests {
             l1.access_load(b * 128);
         }
         let txs: Vec<Transaction> = (0..4).map(|b| tx(b * 128)).collect();
-        let plan = plan_global(&mut l1, 10, &txs, false);
+        let plan = plan(&mut l1, 10, &txs, false);
         assert_eq!(plan.port_cycles, 4);
         // Last hit issues at 13, ready at 16.
         assert_eq!(plan.inline_ready, 16);
@@ -195,8 +253,8 @@ mod tests {
     fn mixed_hit_miss_takes_the_slower_path() {
         let (mut l1, mut ch) = setup();
         l1.access_load(0); // warm block 0 only
-        let plan = plan_global(&mut l1, 0, &[tx(0), tx(128)], false);
-        assert_eq!(plan.dram_requests, vec![(1, false)]);
+        let plan = plan(&mut l1, 0, &[tx(0), tx(128)], false);
+        assert_eq!(plan.dram_requests, vec![(1, 128, false)]);
         assert_eq!(plan.inline_ready, 3, "hit part");
         assert_eq!(resolve(&plan, &mut ch), 331, "miss dominates");
     }
@@ -204,11 +262,58 @@ mod tests {
     #[test]
     fn store_does_not_block() {
         let (mut l1, mut ch) = setup();
-        let plan = plan_global(&mut l1, 5, &[tx(0)], true);
+        let plan = plan(&mut l1, 5, &[tx(0)], true);
         assert_eq!(plan.inline_ready, 5);
         assert!(plan.resolves_inline(true));
         resolve(&plan, &mut ch);
         assert_eq!(ch.stats().write_transfers, 1);
+    }
+
+    #[test]
+    fn mshr_merges_evicted_inflight_line() {
+        // A line misses, is evicted by set pressure, then re-misses while
+        // its fill is still in flight: with an MSHR file the re-miss
+        // merges onto the owner's seq instead of issuing a second fill.
+        let mut l1 = Cache::new(CacheConfig {
+            capacity_bytes: 256, // 1 set × 2 ways
+            ways: 2,
+            line_bytes: 128,
+            hit_latency: 3,
+        });
+        let mut mshr = MshrFile::new(8);
+        // Three distinct blocks thrash the single 2-way set.
+        let p1 = plan_global(&mut l1, &mut mshr, 0, &[tx(0), tx(256), tx(512)], false, 0);
+        assert_eq!(p1.dram_requests.len(), 3);
+        assert_eq!(p1.mshr_merges, 0);
+        // Block 0 was evicted by block 512 → L1 re-miss, but seq 0's fill
+        // is still outstanding: merged, no new request.
+        let p2 = plan_global(&mut l1, &mut mshr, 10, &[tx(0)], false, 3);
+        assert!(p2.dram_requests.is_empty());
+        assert_eq!(p2.merged_waits, vec![0]);
+        assert_eq!(p2.mshr_merges, 1);
+        assert!(!p2.resolves_inline(false));
+        assert_eq!(p2.wait_count(), 1);
+        // Once the owner's grant lands, later re-misses resolve inline at
+        // the fill's ready cycle. (The p2 re-miss re-allocated block 0's
+        // L1 tag, so evict it again first — straight through the cache,
+        // which leaves the MSHR file untouched.)
+        mshr.on_grant(0, 330);
+        l1.access_load(256);
+        l1.access_load(512);
+        let p3 = plan_global(&mut l1, &mut mshr, 20, &[tx(0)], false, 3);
+        assert!(p3.dram_requests.is_empty() && p3.merged_waits.is_empty());
+        assert_eq!(p3.inline_ready, 330);
+        assert!(p3.resolves_inline(false));
+    }
+
+    #[test]
+    fn mshr_full_file_bypasses_and_counts() {
+        let mut l1 = Cache::new(CacheConfig::paper_l1());
+        let mut mshr = MshrFile::new(1);
+        let p = plan_global(&mut l1, &mut mshr, 0, &[tx(0), tx(128)], false, 0);
+        assert_eq!(p.dram_requests.len(), 2, "bypass still issues");
+        assert_eq!(p.mshr_bypasses, 1);
+        assert_eq!(p.mshr_merges, 0);
     }
 
     #[test]

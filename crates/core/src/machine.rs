@@ -37,21 +37,31 @@
 //!
 //! Under [`MemModel::PrivatePerSm`] (default) each SM owns a channel of
 //! [`SmConfig::dram`] bandwidth and runs to completion independently.
-//! Under [`MemModel::SharedChannel`] all SMs share **one**
-//! [`SharedDramChannel`]: the machine advances SMs in parallel to epoch
-//! barriers (one DRAM latency wide), collects each epoch's
-//! [`warpweave_mem::MemRequest`]s in SM-id order, arbitrates them in the
-//! deterministic total order `(issue_cycle, rotating SM priority, seq)`
-//! and hands the grants back before the next epoch. Because the epoch is
-//! never longer than the DRAM latency, a transaction issued inside epoch
-//! *k* cannot complete before the barrier that grants it — the
-//! co-simulation is exact, and bit-identical across host thread counts.
+//! Under [`MemModel::SharedChannel`] all SMs share a pool of
+//! [`DramConfig::num_channels`](warpweave_mem::DramConfig) address-
+//! interleaved [`SharedDramChannel`]s (and, when [`SmConfig::l2`] is set,
+//! one [`SharedL2`] in front of them): the machine advances SMs in
+//! parallel to epoch barriers (one DRAM latency wide), collects each
+//! epoch's [`warpweave_mem::MemRequest`]s, sorts the whole batch into the
+//! deterministic total order `(issue_cycle, rotating SM priority, seq)`,
+//! probes the L2 in that order (hits are granted locally at the L2 hit
+//! latency), partitions the remainder by
+//! [`DramConfig::channel_of`](warpweave_mem::DramConfig::channel_of) and
+//! arbitrates each channel independently — the per-channel rotation is
+//! de-phased by the channel index. Grants return before the next epoch.
+//! Because the epoch is never longer than the DRAM latency, a transaction
+//! issued inside epoch *k* cannot complete before the barrier that grants
+//! it — the co-simulation is exact, and bit-identical across host thread
+//! counts.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use warpweave_isa::Program;
-use warpweave_mem::{ChannelStats, Memory, SharedDramChannel};
+use warpweave_mem::{
+    sort_epoch_order, AccessKind, ChannelStats, MemGrant, MemRequest, Memory, SharedDramChannel,
+    SharedL2,
+};
 
 use crate::config::{MemModel, SmConfig};
 use crate::launch::Launch;
@@ -447,7 +457,11 @@ impl Machine {
             Some(n) => SweepRunner::with_threads(n),
             None => SweepRunner::new(),
         };
-        let mut channel = SharedDramChannel::new(self.cfg.dram);
+        let num_channels = self.cfg.dram.num_channels.max(1) as usize;
+        let mut channels: Vec<SharedDramChannel> = (0..num_channels)
+            .map(|_| SharedDramChannel::new(self.cfg.dram))
+            .collect();
+        let mut l2 = self.cfg.l2.map(SharedL2::new);
         let epoch_len = self.cfg.mem_epoch_cycles();
         let num_sms = self.num_sms as u32;
         let mut epoch = 0u64;
@@ -468,7 +482,43 @@ impl Machine {
             }
             let had_traffic = !batch.is_empty();
             if had_traffic {
-                for grant in channel.arbitrate_epoch(epoch, num_sms, batch) {
+                // One machine-wide deterministic order first: the L2 sees
+                // probes in the exact sequence a single channel would grant
+                // them, so its replacement state — and every hit/miss — is
+                // a pure function of the request set.
+                sort_epoch_order(epoch, num_sms, &mut batch);
+                let mut grants: Vec<MemGrant> = Vec::with_capacity(batch.len());
+                let mut per_channel: Vec<Vec<MemRequest>> = vec![Vec::new(); num_channels];
+                for req in batch {
+                    if let Some(l2) = &mut l2 {
+                        if req.is_write {
+                            // Write-through/no-allocate: refresh recency,
+                            // still pay the off-chip transfer.
+                            l2.access_store(req.addr);
+                        } else if l2.access_load(req.addr, req.sm_id) == AccessKind::Hit {
+                            grants.push(MemGrant {
+                                sm_id: req.sm_id,
+                                seq: req.seq,
+                                ready_cycle: req.issue_cycle + l2.config().hit_latency as u64,
+                                queue_delay: 0,
+                                is_write: false,
+                            });
+                            continue;
+                        }
+                    }
+                    per_channel[self.cfg.dram.channel_of(req.addr) as usize].push(req);
+                }
+                for (ch_idx, reqs) in per_channel.into_iter().enumerate() {
+                    // Offsetting the epoch by the channel index de-phases
+                    // the priority rotations so no SM holds top priority
+                    // on every channel of the same epoch.
+                    grants.extend(channels[ch_idx].arbitrate_epoch(
+                        epoch + ch_idx as u64,
+                        num_sms,
+                        reqs,
+                    ));
+                }
+                for grant in grants {
                     let idx = ids
                         .binary_search(&(grant.sm_id as usize))
                         .expect("grant routed to a known SM");
@@ -495,9 +545,14 @@ impl Machine {
             // watchdog would only report 100k cycles later, without the
             // machine-wide view.
             let progress_sum: u64 = sms.iter().map(Sm::last_progress_cycle).sum();
-            let mem_pending = channel.next_completion_at_or_after(min_active).is_some();
+            for channel in &mut channels {
+                channel.retire_completions_before(min_active);
+            }
+            let mem_pending = channels
+                .iter()
+                .any(|ch| ch.next_completion_at_or_after(min_active).is_some());
             if livelock.observe(progress_sum, had_traffic, mem_pending) {
-                return Err(Self::livelock_error(&sms, epoch, &channel));
+                return Err(Self::livelock_error(&sms, epoch, &channels));
             }
             epoch_end = (epoch_end + epoch_len).max(min_active.saturating_add(1));
         }
@@ -511,18 +566,33 @@ impl Machine {
                 (sm_id, stats, journal)
             })
             .collect();
-        Ok(self.merge_shards(outcomes, channel.stats()))
+        let mut channel_total = ChannelStats::default();
+        for channel in &channels {
+            channel_total.accumulate(&channel.stats());
+        }
+        if let Some(l2) = &l2 {
+            let s = l2.stats();
+            channel_total.l2_hits += s.hits;
+            channel_total.l2_misses += s.misses;
+            channel_total.l2_cross_sm_evictions += s.cross_sm_evictions;
+        }
+        Ok(self.merge_shards(outcomes, channel_total))
     }
 
     /// The [`SimError::Deadlock`] reported when the epoch-livelock
     /// watchdog fires: machine-wide summary plus every stuck SM's
     /// per-warp diagnosis.
-    fn livelock_error(sms: &[Sm], epoch: u64, channel: &SharedDramChannel) -> SimError {
+    fn livelock_error(sms: &[Sm], epoch: u64, channels: &[SharedDramChannel]) -> SimError {
         let stuck: Vec<&Sm> = sms.iter().filter(|sm| !sm.is_done()).collect();
+        let outstanding: usize = channels
+            .iter()
+            .map(SharedDramChannel::outstanding_transfers)
+            .sum();
         let mut detail = format!(
             "shared-channel epoch livelock: {LIVELOCK_EPOCHS} consecutive silent epochs \
-             (through epoch {epoch}, {} outstanding channel transfer(s)); stuck SMs:",
-            channel.outstanding_transfers()
+             (through epoch {epoch}, {outstanding} outstanding channel transfer(s) \
+             across {} channel(s)); stuck SMs:",
+            channels.len()
         );
         for sm in &stuck {
             detail.push_str(&format!(

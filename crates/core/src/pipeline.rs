@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use warpweave_isa::{Instruction, Op, Pc, Program, UnitClass};
 use warpweave_mem::{
     atomic_transactions_into, coalesce_into, Cache, MemEventQueue, MemGrant, MemRequest, Memory,
-    SharedDramChannel, TxScratch,
+    MshrFile, SharedDramChannel, TxScratch,
 };
 
 use crate::config::{ScoreboardMode, SmConfig};
@@ -232,14 +232,19 @@ struct WbSlot {
 }
 
 /// A scoreboard entry blocked on outstanding DRAM transactions: the warp's
-/// dependants stay stalled until every grant in `first_seq..=last_seq`
-/// arrives, at which point the entry becomes a timed writeback at
+/// dependants stay stalled until every grant in `first_seq..=last_seq` —
+/// plus every MSHR-merged owner grant in `merged` — arrives, at which
+/// point the entry becomes a timed writeback at
 /// `max(floor, latest grant) + delivery`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct PendingMemOp {
+    /// Own transaction range; empty (`first_seq > last_seq`) when the
+    /// instruction's every miss merged onto other warps' transactions.
     first_seq: u64,
     last_seq: u64,
-    /// Grants still outstanding.
+    /// Other warps' transaction seqs this entry merged onto (MSHR waits).
+    merged: Vec<u64>,
+    /// Grants still outstanding (own range + merged).
     remaining: u32,
     /// Completion floor from the instruction's L1-hit transactions.
     floor: u64,
@@ -250,15 +255,17 @@ struct PendingMemOp {
 }
 
 /// When a pick's scoreboard entry retires.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum WbTiming {
     /// At a cycle known at issue (includes delivery latency).
     At(u64),
-    /// When DRAM transactions `first_seq..first_seq+count` are granted
-    /// (`floor` = the inline L1-hit completion, before delivery latency).
+    /// When DRAM transactions `first_seq..first_seq+count` and the merged
+    /// owner transactions are granted (`floor` = the inline L1-hit
+    /// completion, before delivery latency).
     Mem {
         first_seq: u64,
         count: u32,
+        merged: Vec<u64>,
         floor: u64,
     },
 }
@@ -274,6 +281,9 @@ pub struct Sm {
     mem: Memory,
     shared: Vec<Memory>,
     l1: Cache,
+    /// Per-SM miss-status holding registers: merges same-line misses into
+    /// one in-flight transaction. Disabled (capacity 0) by default.
+    mshr: MshrFile,
     /// The SM's private DRAM channel. Grants transactions immediately at
     /// issue unless a machine-shared channel is attached
     /// ([`Sm::attach_shared_channel`]), in which case it is bypassed.
@@ -413,6 +423,7 @@ impl Sm {
             })
             .collect();
         let l1 = Cache::new(cfg.l1);
+        let mshr = MshrFile::new(cfg.mshr_entries as usize);
         let dram = SharedDramChannel::new(cfg.dram);
         let seed = cfg.seed;
         let policy = PolicyRegistry::resolve_global(&cfg.policy)
@@ -425,6 +436,7 @@ impl Sm {
             mem: Memory::new(),
             shared: vec![Memory::new(); num_slots],
             l1,
+            mshr,
             dram,
             sm_id: 0,
             mem_seq: 0,
@@ -882,11 +894,11 @@ impl Sm {
     }
 
     /// Enqueues the DRAM transactions of one instruction (`(issue_cycle,
-    /// is_write)` pairs, in port order) and returns the sequence number of
-    /// the first.
-    fn enqueue_dram(&mut self, requests: &[(u64, bool)]) -> u64 {
+    /// block_addr, is_write)` triples, in port order) and returns the
+    /// sequence number of the first.
+    fn enqueue_dram(&mut self, requests: &[(u64, u32, bool)]) -> u64 {
         let first = self.mem_seq;
-        for &(issue_cycle, is_write) in requests {
+        for &(issue_cycle, addr, is_write) in requests {
             let seq = self.mem_seq;
             self.mem_seq += 1;
             if is_write {
@@ -898,6 +910,7 @@ impl Sm {
                 issue_cycle,
                 sm_id: self.sm_id,
                 seq,
+                addr,
                 is_write,
             });
         }
@@ -915,34 +928,45 @@ impl Sm {
         }
     }
 
-    /// Applies one arbitration grant: finds the pending scoreboard entry
-    /// waiting on the transaction, folds in the completion time and — once
-    /// the last outstanding transaction lands — converts the entry into a
+    /// Applies one arbitration grant: finds every pending scoreboard entry
+    /// waiting on the transaction — its issuer plus any warps the MSHR
+    /// file merged onto it — folds in the completion time and — once an
+    /// entry's last outstanding transaction lands — converts it into a
     /// timed writeback. Write grants only account bandwidth; they never
     /// block a warp.
     fn apply_grant(&mut self, grant: &MemGrant) {
         if grant.is_write {
             return;
         }
-        let Some(i) = self
-            .pending_mem
-            .iter()
-            .position(|op| op.first_seq <= grant.seq && grant.seq <= op.last_seq)
-        else {
-            return;
-        };
-        let op = &mut self.pending_mem[i];
-        op.remaining -= 1;
-        op.max_done = op.max_done.max(grant.ready_cycle);
-        self.stats.dram_queue_delay += grant.queue_delay;
-        if grant.queue_delay > 0 {
-            self.stats.dram_queued_loads += 1;
+        self.mshr.on_grant(grant.seq, grant.ready_cycle);
+        let mut matched = false;
+        let mut i = 0;
+        while i < self.pending_mem.len() {
+            let op = &mut self.pending_mem[i];
+            let own = op.first_seq <= grant.seq && grant.seq <= op.last_seq;
+            if !own && !op.merged.contains(&grant.seq) {
+                i += 1;
+                continue;
+            }
+            matched = true;
+            op.remaining -= 1;
+            op.max_done = op.max_done.max(grant.ready_cycle);
+            if op.remaining == 0 {
+                let op = self.pending_mem.swap_remove(i);
+                let wb = op.floor.max(op.max_done) + self.cfg.delivery_latency as u64;
+                self.push_wb(wb, op.warp, op.token);
+                // swap_remove moved a fresh op into slot i: revisit it.
+            } else {
+                i += 1;
+            }
         }
-        self.stats.dram_max_queue_delay = self.stats.dram_max_queue_delay.max(grant.queue_delay);
-        if op.remaining == 0 {
-            let op = self.pending_mem.swap_remove(i);
-            let wb = op.floor.max(op.max_done) + self.cfg.delivery_latency as u64;
-            self.push_wb(wb, op.warp, op.token);
+        if matched {
+            self.stats.dram_queue_delay += grant.queue_delay;
+            if grant.queue_delay > 0 {
+                self.stats.dram_queued_loads += 1;
+            }
+            self.stats.dram_max_queue_delay =
+                self.stats.dram_max_queue_delay.max(grant.queue_delay);
         }
     }
 
@@ -1235,9 +1259,9 @@ impl Sm {
                 .allocate((first.1, first.2), i2)
                 .expect("ready_check guaranteed a free entry");
             new_entry = Some(tokens.0);
-            self.schedule_retire(w, tokens.0, wb_times[0].1);
-            if let (Some(t2), Some(&(_, wb2))) = (tokens.1, wb_times.get(1)) {
-                self.schedule_retire(w, t2, wb2);
+            self.schedule_retire(w, tokens.0, wb_times[0].1.clone());
+            if let (Some(t2), Some((_, wb2))) = (tokens.1, wb_times.get(1)) {
+                self.schedule_retire(w, t2, wb2.clone());
             }
         }
         if self.cfg.scoreboard_mode == ScoreboardMode::Matrix {
@@ -1262,16 +1286,28 @@ impl Sm {
             WbTiming::Mem {
                 first_seq,
                 count,
+                merged,
                 floor,
-            } => self.pending_mem.push(PendingMemOp {
-                first_seq,
-                last_seq: first_seq + count as u64 - 1,
-                remaining: count,
-                floor,
-                max_done: 0,
-                warp: w,
-                token,
-            }),
+            } => {
+                // A fully-merged instruction (count 0) has no transactions
+                // of its own: give it an explicitly empty seq range so the
+                // membership test `first ≤ seq ≤ last` can never fire.
+                let (first, last) = if count > 0 {
+                    (first_seq, first_seq + count as u64 - 1)
+                } else {
+                    (1, 0)
+                };
+                self.pending_mem.push(PendingMemOp {
+                    first_seq: first,
+                    last_seq: last,
+                    remaining: count + merged.len() as u32,
+                    merged,
+                    floor,
+                    max_done: 0,
+                    warp: w,
+                    token,
+                });
+            }
         }
     }
 
@@ -1415,7 +1451,14 @@ impl Sm {
                                 self.stats.lsu_replays += 1;
                             }
                             // Atomics are fire-and-forget write traffic.
-                            let plan = plan_global(&mut self.l1, now, txs.txs(), true);
+                            let plan = plan_global(
+                                &mut self.l1,
+                                &mut self.mshr,
+                                now,
+                                txs.txs(),
+                                true,
+                                self.mem_seq,
+                            );
                             self.enqueue_dram(&plan.dram_requests);
                             (plan.port_cycles, WbTiming::At(now + 1 + delivery))
                         }
@@ -1426,7 +1469,16 @@ impl Sm {
                                 self.stats.lsu_replays += 1;
                             }
                             let is_store = op == Op::St;
-                            let plan = plan_global(&mut self.l1, now, txs.txs(), is_store);
+                            let plan = plan_global(
+                                &mut self.l1,
+                                &mut self.mshr,
+                                now,
+                                txs.txs(),
+                                is_store,
+                                self.mem_seq,
+                            );
+                            self.stats.mshr_merges += plan.mshr_merges;
+                            self.stats.mshr_bypasses += plan.mshr_bypasses;
                             let first_seq = self.enqueue_dram(&plan.dram_requests);
                             if plan.resolves_inline(is_store) {
                                 // Stores are write-through (the pipeline
@@ -1435,14 +1487,16 @@ impl Sm {
                                 (plan.port_cycles, WbTiming::At(plan.inline_ready + delivery))
                             } else {
                                 // The warp blocks on a pending-transaction
-                                // scoreboard entry until every miss is
-                                // granted by the (private or machine-
-                                // shared) channel.
+                                // scoreboard entry until every miss — its
+                                // own and any it merged onto — is granted
+                                // by the (private or machine-shared)
+                                // channel.
                                 (
                                     plan.port_cycles,
                                     WbTiming::Mem {
                                         first_seq,
                                         count: plan.dram_requests.len() as u32,
+                                        merged: plan.merged_waits,
                                         floor: plan.inline_ready,
                                     },
                                 )

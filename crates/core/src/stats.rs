@@ -62,6 +62,12 @@ pub struct Stats {
     pub dram_queue_delay: u64,
     /// Worst single-load queue delay observed.
     pub dram_max_queue_delay: u64,
+    /// Same-line misses merged into an already in-flight MSHR transaction
+    /// (each merge is a DRAM request the MSHR file absorbed).
+    pub mshr_merges: u64,
+    /// Misses that found the MSHR file full and fell through to their own
+    /// DRAM request (0 when MSHRs are disabled).
+    pub mshr_bypasses: u64,
 }
 
 impl Stats {
@@ -164,6 +170,8 @@ impl Stats {
             dram_queued_loads,
             dram_queue_delay,
             dram_max_queue_delay,
+            mshr_merges,
+            mshr_bypasses,
         } = self.clone();
         vec![
             ("cycles", cycles),
@@ -196,6 +204,8 @@ impl Stats {
             ("dram_queued_loads", dram_queued_loads),
             ("dram_queue_delay", dram_queue_delay),
             ("dram_max_queue_delay", dram_max_queue_delay),
+            ("mshr_merges", mshr_merges),
+            ("mshr_bypasses", mshr_bypasses),
         ]
     }
 
@@ -263,6 +273,8 @@ impl Stats {
             "dram_queued_loads" => self.dram_queued_loads = value,
             "dram_queue_delay" => self.dram_queue_delay = value,
             "dram_max_queue_delay" => self.dram_max_queue_delay = value,
+            "mshr_merges" => self.mshr_merges = value,
+            "mshr_bypasses" => self.mshr_bypasses = value,
             other => return Err(format!("unknown stats field `{other}`")),
         }
         Ok(())
@@ -302,6 +314,8 @@ impl Stats {
         self.dram_queued_loads += other.dram_queued_loads;
         self.dram_queue_delay += other.dram_queue_delay;
         self.dram_max_queue_delay = self.dram_max_queue_delay.max(other.dram_max_queue_delay);
+        self.mshr_merges += other.mshr_merges;
+        self.mshr_bypasses += other.mshr_bypasses;
     }
 
     /// Folds the statistics of an SM that ran *concurrently* with this one

@@ -5,7 +5,7 @@
 
 use warpweave_core::lsu::plan_global;
 use warpweave_mem::{
-    coalesce, Cache, CacheConfig, DramConfig, MemRequest, SharedDramChannel, Transaction,
+    coalesce, Cache, CacheConfig, DramConfig, MemRequest, MshrFile, SharedDramChannel, Transaction,
     BLOCK_BYTES,
 };
 
@@ -13,15 +13,27 @@ fn l1() -> Cache {
     Cache::new(CacheConfig::paper_l1())
 }
 
+/// `plan_global` with MSHRs disabled — the configuration every test here
+/// exercises (MSHR merge behaviour has its own coverage in `lsu`).
+fn plan(
+    l1: &mut Cache,
+    start: u64,
+    txs: &[Transaction],
+    is_store: bool,
+) -> warpweave_core::lsu::GlobalPlan {
+    plan_global(l1, &mut MshrFile::disabled(), start, txs, is_store, 0)
+}
+
 /// Replays a plan's DRAM requests through a channel the way the
 /// private-mode pipeline does, returning the final data-ready cycle.
 fn resolve(plan: &warpweave_core::lsu::GlobalPlan, channel: &mut SharedDramChannel) -> u64 {
     let mut ready = plan.inline_ready;
-    for (seq, &(issue_cycle, is_write)) in plan.dram_requests.iter().enumerate() {
+    for (seq, &(issue_cycle, addr, is_write)) in plan.dram_requests.iter().enumerate() {
         let grant = channel.grant(&MemRequest {
             issue_cycle,
             sm_id: 0,
             seq: seq as u64,
+            addr,
             is_write,
         });
         if !is_write {
@@ -36,13 +48,13 @@ fn fully_masked_off_warp_occupies_the_port_one_cycle() {
     // A load whose active mask is empty contributes no transactions but
     // still occupies the LSU port for its issue slot.
     let mut l1 = l1();
-    let plan = plan_global(&mut l1, 42, &[], false);
+    let plan = plan(&mut l1, 42, &[], false);
     assert_eq!(plan.port_cycles, 1, "empty plan still holds the port");
     assert_eq!(plan.inline_ready, 42, "nothing to wait for");
     assert!(plan.dram_requests.is_empty());
     assert!(plan.resolves_inline(false), "no grant to block on");
     // Same for a fully-masked store.
-    let plan = plan_global(&mut l1, 42, &[], true);
+    let plan = self::plan(&mut l1, 42, &[], true);
     assert_eq!((plan.port_cycles, plan.inline_ready), (1, 42));
     assert!(plan.resolves_inline(true));
 }
@@ -61,9 +73,12 @@ fn unaligned_accesses_coalesce_by_containing_block() {
 
     // Cold cache: both blocks miss, one replay slot each, in port order.
     let mut l1 = l1();
-    let plan = plan_global(&mut l1, 10, &txs, false);
+    let plan = plan(&mut l1, 10, &txs, false);
     assert_eq!(plan.port_cycles, 2);
-    assert_eq!(plan.dram_requests, vec![(10, false), (11, false)]);
+    assert_eq!(
+        plan.dram_requests,
+        vec![(10, 0, false), (11, BLOCK_BYTES, false)]
+    );
     assert!(!plan.resolves_inline(false));
 }
 
@@ -84,7 +99,7 @@ fn cross_line_straddle_replays_once_per_line() {
     let mut l1 = l1();
     l1.access_load(0);
     l1.access_load(BLOCK_BYTES);
-    let plan = plan_global(&mut l1, 50, &txs, false);
+    let plan = plan(&mut l1, 50, &txs, false);
     assert_eq!(plan.port_cycles, 2, "replayed once for the second line");
     assert!(plan.dram_requests.is_empty());
     // Second transaction issues at 51 and completes after the hit latency.
@@ -101,8 +116,7 @@ fn replay_train_under_a_zero_capacity_epoch_serialises_cleanly() {
     // drop or reorder.
     let starved = DramConfig {
         bytes_per_cycle: 0.125,
-        latency: 330,
-        transfer_bytes: 128,
+        ..DramConfig::paper()
     };
     let mut l1 = l1();
     let txs: Vec<Transaction> = (0..4)
@@ -111,7 +125,7 @@ fn replay_train_under_a_zero_capacity_epoch_serialises_cleanly() {
             lanes: vec![b as usize],
         })
         .collect();
-    let plan = plan_global(&mut l1, 0, &txs, false);
+    let plan = plan(&mut l1, 0, &txs, false);
     assert_eq!(plan.port_cycles, 4);
     assert_eq!(plan.dram_requests.len(), 4, "cold cache: all four miss");
 
@@ -138,10 +152,11 @@ fn replay_train_under_a_zero_capacity_epoch_serialises_cleanly() {
         .dram_requests
         .iter()
         .enumerate()
-        .map(|(seq, &(issue_cycle, is_write))| MemRequest {
+        .map(|(seq, &(issue_cycle, addr, is_write))| MemRequest {
             issue_cycle,
             sm_id: 0,
             seq: seq as u64,
+            addr,
             is_write,
         })
         .collect();

@@ -13,7 +13,7 @@
 
 use warpweave_core::{Launch, Machine, MachineStats, SmConfig};
 use warpweave_isa::{p, r, CmpOp, KernelBuilder, Operand, Program, SpecialReg};
-use warpweave_mem::DramConfig;
+use warpweave_mem::{CacheConfig, DramConfig};
 
 const IN: u32 = 0x10_0000;
 const OUT: u32 = 0x80_0000;
@@ -142,8 +142,7 @@ fn one_sm_shared_matches_private_on_latency_only_config() {
     let mut cfg = SmConfig::baseline();
     cfg.dram = DramConfig {
         bytes_per_cycle: 1e12,
-        latency: 330,
-        transfer_bytes: 128,
+        ..DramConfig::paper()
     };
     let (private, mem_p) = run_machine(&cfg, 1, 2, streaming_launch());
     let (shared, mem_s) = run_machine(&cfg.clone().with_shared_dram(), 1, 2, streaming_launch());
@@ -215,6 +214,160 @@ fn contention_on_one_channel_lowers_aggregate_ipc() {
         shared.channel.write_transfers,
         shared.total.dram.write_transfers
     );
+}
+
+/// A replay-train kernel that thrashes one L1 set: **every warp** reads
+/// the same 32 lane-indexed lines, all mapping to one 6-way set (64-set
+/// L1 → 8 KiB stride). The first warp's train evicts most of its own
+/// fills' tags; when the next warp re-misses those lines their fills are
+/// still in flight — exactly the window an MSHR file merges.
+fn set_conflict_program(iters: u32) -> Program {
+    let mut k = KernelBuilder::new("conflict");
+    k.mov(r(0), SpecialReg::Tid);
+    k.and_(r(0), r(0), 31i32); // lane id: every warp reads the same lines
+    k.shl(r(1), r(0), 13i32); // lane * 8 KiB: one line per lane, one L1 set
+    k.iadd(r(1), Operand::Param(0), r(1));
+    k.mov(r(3), 0i32);
+    for _ in 0..iters {
+        k.ld(r(2), r(1), 0);
+        k.iadd(r(3), r(3), r(2));
+    }
+    k.mov(r(0), SpecialReg::CtaId);
+    k.imad(r(0), r(0), SpecialReg::NTid, SpecialReg::Tid);
+    k.shl(r(4), r(0), 2i32);
+    k.iadd(r(4), Operand::Param(1), r(4));
+    k.st(r(4), 0, r(3));
+    k.exit();
+    k.build().expect("conflict kernel assembles")
+}
+
+/// Every block reads the *same* 128 lines — cross-SM reuse a shared L2
+/// can intercept (each SM's private L1 still misses once per line).
+fn shared_lines_program() -> Program {
+    let mut k = KernelBuilder::new("shared_lines");
+    k.mov(r(0), SpecialReg::Tid);
+    k.shl(r(1), r(0), 7i32);
+    k.iadd(r(1), Operand::Param(0), r(1));
+    k.ld(r(2), r(1), 0);
+    k.mov(r(0), SpecialReg::CtaId);
+    k.imad(r(0), r(0), SpecialReg::NTid, SpecialReg::Tid);
+    k.shl(r(4), r(0), 2i32);
+    k.iadd(r(4), Operand::Param(1), r(4));
+    k.st(r(4), 0, r(2));
+    k.exit();
+    k.build().expect("shared-lines kernel assembles")
+}
+
+#[test]
+fn second_channel_raises_aggregate_ipc_on_bandwidth_bound_work() {
+    // The streaming kernel alternates lanes between interleaved channels
+    // (consecutive 128 B lines), so a second channel genuinely doubles
+    // the byte budget: same work, strictly shorter makespan.
+    let one = SmConfig::baseline().with_shared_dram();
+    let two = one.clone().with_dram_channels(2);
+    let (ch1, mem1) = run_machine(&one, 4, 2, streaming_launch());
+    let (ch2, mem2) = run_machine(&two, 4, 2, streaming_launch());
+    assert_eq!(mem2, mem1, "channel count must not change results");
+    assert_eq!(ch2.total.thread_instructions, ch1.total.thread_instructions);
+    assert!(
+        ch2.total.cycles < ch1.total.cycles,
+        "2-channel makespan {} vs 1-channel {}",
+        ch2.total.cycles,
+        ch1.total.cycles
+    );
+    assert!(
+        ch2.ipc() > ch1.ipc(),
+        "2-channel IPC {:.3} must beat 1-channel {:.3}",
+        ch2.ipc(),
+        ch1.ipc()
+    );
+    // Both configurations move the same traffic; the second channel only
+    // spreads it (queue delay drops).
+    assert_eq!(ch2.channel.read_transfers, ch1.channel.read_transfers);
+    assert_eq!(ch2.channel.write_transfers, ch1.channel.write_transfers);
+    assert!(ch2.channel.queue_delay_cycles < ch1.channel.queue_delay_cycles);
+    // Multi-channel runs stay bit-identical across host threads.
+    for threads in [1, 8] {
+        let (again, mem) = run_machine(&two, 4, threads, streaming_launch());
+        assert_eq!(again, ch2, "2-channel stats diverged at {threads} threads");
+        assert_eq!(mem, mem2);
+    }
+}
+
+#[test]
+fn mshr_merges_are_nonzero_and_thread_invariant() {
+    // The set-conflict replay train re-misses evicted lines whose fills
+    // are still outstanding: with MSHRs those re-misses merge instead of
+    // issuing duplicate transfers.
+    let launch = Launch::new(set_conflict_program(3), GRID, BLOCK).with_params(vec![IN, OUT]);
+    let cfg = SmConfig::baseline().with_shared_dram().with_mshrs(64);
+    let (reference, ref_mem) = run_machine(&cfg, 4, 1, launch.clone());
+    assert!(
+        reference.total.mshr_merges > 0,
+        "replay train must produce MSHR merges"
+    );
+    // Merged loads never become requests: the channel sees exactly the
+    // per-SM enqueue counts, merges are pure traffic saved.
+    assert_eq!(
+        reference.channel.read_transfers, reference.total.dram.read_transfers,
+        "merged loads must never reach the channel"
+    );
+    for threads in [2, 8] {
+        let (stats, mem) = run_machine(&cfg, 4, threads, launch.clone());
+        assert_eq!(
+            stats.total.mshr_merges, reference.total.mshr_merges,
+            "merge count diverged at {threads} threads"
+        );
+        assert_eq!(stats, reference, "stats diverged at {threads} threads");
+        assert_eq!(mem, ref_mem);
+    }
+    // The same workload without MSHRs merges nothing and pays for the
+    // duplicate fills on the channel.
+    let (bare, _) = run_machine(&cfg.clone().with_mshrs(0), 4, 2, launch);
+    assert_eq!(bare.total.mshr_merges, 0);
+    assert!(bare.channel.read_transfers > reference.channel.read_transfers);
+}
+
+#[test]
+fn shared_l2_intercepts_cross_sm_reuse_deterministically() {
+    let launch = Launch::new(shared_lines_program(), GRID, BLOCK).with_params(vec![IN, OUT]);
+    let l2_geom = CacheConfig {
+        capacity_bytes: 256 * 1024,
+        ways: 8,
+        line_bytes: 128,
+        hit_latency: 20,
+    };
+    let without = SmConfig::baseline().with_shared_dram();
+    let with_l2 = without.clone().with_l2(l2_geom);
+    let (bare, mem_bare) = run_machine(&without, 4, 2, launch.clone());
+    let (l2, mem_l2) = run_machine(&with_l2, 4, 2, launch.clone());
+    assert_eq!(mem_l2, mem_bare, "the L2 must not change results");
+    assert!(l2.channel.l2_hits > 0, "cross-SM reuse must hit the L2");
+    // Accounting: every post-L1 load either hit the L2 or reached a
+    // channel; stores are write-through on both sides.
+    assert_eq!(
+        l2.channel.read_transfers + l2.channel.l2_hits,
+        l2.total.dram.read_transfers
+    );
+    assert_eq!(
+        l2.channel.l2_hits + l2.channel.l2_misses,
+        l2.total.dram.read_transfers
+    );
+    assert_eq!(l2.channel.write_transfers, l2.total.dram.write_transfers);
+    // Intercepted fills shrink off-chip traffic and the makespan.
+    assert!(l2.channel.read_transfers < bare.channel.read_transfers);
+    assert!(
+        l2.total.cycles < bare.total.cycles,
+        "L2 makespan {} vs bare {}",
+        l2.total.cycles,
+        bare.total.cycles
+    );
+    // Bit-identical across host threads, like every shared-channel mode.
+    for threads in [1, 8] {
+        let (again, mem) = run_machine(&with_l2, 4, threads, launch.clone());
+        assert_eq!(again, l2, "L2 stats diverged at {threads} threads");
+        assert_eq!(mem, mem_l2);
+    }
 }
 
 #[test]

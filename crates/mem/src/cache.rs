@@ -36,6 +36,41 @@ impl CacheConfig {
     pub fn num_sets(&self) -> u32 {
         self.capacity_bytes / (self.ways * self.line_bytes)
     }
+
+    /// Checks the geometry is realisable: non-zero dimensions, capacity an
+    /// exact multiple of `ways × line_bytes` (integer division would
+    /// otherwise silently truncate capacity — or round it to **zero** sets,
+    /// making set indexing divide by zero), and a power-of-two set count.
+    ///
+    /// # Errors
+    /// A description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0 || self.line_bytes == 0 || self.capacity_bytes == 0 {
+            return Err(format!(
+                "cache geometry has a zero dimension: {} B, {} ways, {} B lines",
+                self.capacity_bytes, self.ways, self.line_bytes
+            ));
+        }
+        let way_bytes = self
+            .ways
+            .checked_mul(self.line_bytes)
+            .ok_or_else(|| format!("cache ways × line_bytes overflows: {self:?}"))?;
+        if !self.capacity_bytes.is_multiple_of(way_bytes) {
+            return Err(format!(
+                "cache capacity {} B is not a multiple of ways × line_bytes = {} B",
+                self.capacity_bytes, way_bytes
+            ));
+        }
+        let sets = self.capacity_bytes / way_bytes;
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(format!(
+                "cache set count {sets} (capacity {} / {} B per way-slice) \
+                 must be a non-zero power of two",
+                self.capacity_bytes, way_bytes
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -202,6 +237,50 @@ mod tests {
         let c = CacheConfig::paper_l1();
         assert_eq!(c.num_sets(), 64);
         assert_eq!(c.hit_latency, 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_geometry() {
+        let ok = CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 128,
+            hit_latency: 3,
+        };
+        assert!(ok.validate().is_ok());
+        // Zero sets: capacity smaller than one way-slice.
+        let tiny = CacheConfig {
+            capacity_bytes: 128,
+            ..ok
+        };
+        assert!(tiny.validate().unwrap_err().contains("multiple"));
+        // Truncating division: 640 / 256 = 2 sets but 128 B silently lost.
+        let trunc = CacheConfig {
+            capacity_bytes: 640,
+            ..ok
+        };
+        assert!(trunc.validate().unwrap_err().contains("multiple"));
+        // Non-power-of-two set count (3 sets).
+        let npot = CacheConfig {
+            capacity_bytes: 768,
+            ..ok
+        };
+        assert!(npot.validate().unwrap_err().contains("power of two"));
+        // Zero dimensions.
+        for bad in [
+            CacheConfig { ways: 0, ..ok },
+            CacheConfig {
+                line_bytes: 0,
+                ..ok
+            },
+            CacheConfig {
+                capacity_bytes: 0,
+                ..ok
+            },
+        ] {
+            assert!(bad.validate().unwrap_err().contains("zero dimension"));
+        }
     }
 
     #[test]

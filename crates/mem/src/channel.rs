@@ -40,6 +40,9 @@ pub struct MemRequest {
     pub sm_id: u32,
     /// Per-SM monotonic transaction number (total-order tie-break).
     pub seq: u64,
+    /// Block-aligned byte address of the transfer — routes the request to
+    /// an interleaved channel and indexes the shared L2.
+    pub addr: u32,
     /// Write-through store / atomic (true) or load fill (false).
     pub is_write: bool,
 }
@@ -78,6 +81,13 @@ pub struct ChannelStats {
     pub queue_delay_cycles: u64,
     /// Worst single-request queue delay.
     pub max_queue_delay: u64,
+    /// Load fills intercepted by the shared L2 (never reached a channel).
+    pub l2_hits: u64,
+    /// Load fills that missed the shared L2 and went off-chip.
+    pub l2_misses: u64,
+    /// CIAO-style interference counter: L2 evictions where the victim
+    /// line was last filled by a *different* SM than the evictor.
+    pub l2_cross_sm_evictions: u64,
 }
 
 impl ChannelStats {
@@ -118,6 +128,9 @@ impl ChannelStats {
             queued_requests,
             queue_delay_cycles,
             max_queue_delay,
+            l2_hits,
+            l2_misses,
+            l2_cross_sm_evictions,
         } = *self;
         vec![
             ("read_transfers", read_transfers),
@@ -126,6 +139,9 @@ impl ChannelStats {
             ("queued_requests", queued_requests),
             ("queue_delay_cycles", queue_delay_cycles),
             ("max_queue_delay", max_queue_delay),
+            ("l2_hits", l2_hits),
+            ("l2_misses", l2_misses),
+            ("l2_cross_sm_evictions", l2_cross_sm_evictions),
         ]
     }
 
@@ -156,6 +172,9 @@ impl ChannelStats {
                 "queued_requests" => stats.queued_requests = value,
                 "queue_delay_cycles" => stats.queue_delay_cycles = value,
                 "max_queue_delay" => stats.max_queue_delay = value,
+                "l2_hits" => stats.l2_hits = value,
+                "l2_misses" => stats.l2_misses = value,
+                "l2_cross_sm_evictions" => stats.l2_cross_sm_evictions = value,
                 other => return Err(format!("unknown channel field `{other}`")),
             }
         }
@@ -171,7 +190,42 @@ impl ChannelStats {
         self.queued_requests += other.queued_requests;
         self.queue_delay_cycles += other.queue_delay_cycles;
         self.max_queue_delay = self.max_queue_delay.max(other.max_queue_delay);
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.l2_cross_sm_evictions += other.l2_cross_sm_evictions;
     }
+}
+
+/// Sorts `requests` into the deterministic epoch grant order
+/// `(issue_cycle, rotated SM priority, sm_id, seq)`.
+///
+/// Priority ranks SMs by **position in the sorted participating-SM set**,
+/// anchored at the epoch's priority holder `epoch % num_sms` (the first
+/// participant whose id is ≥ the holder, wrapping). Ranking by position
+/// rather than by `sm_id % num_sms` keeps the rotation fair when the
+/// participant set is non-contiguous — e.g. when channels shard requests
+/// by address — instead of collapsing several SMs onto one rank; for
+/// contiguous ids `0..num_sms` the order is identical to the historical
+/// id-based rotation. The order depends only on the *set* of requests
+/// (plus `epoch` and `num_sms`), which is what makes every consumer —
+/// channel arbitration, the shared-L2 probe pass — deterministic under
+/// any polling order.
+pub fn sort_epoch_order(epoch: u64, num_sms: u32, requests: &mut [MemRequest]) {
+    let n = num_sms.max(1);
+    let holder = (epoch % n as u64) as u32;
+    let mut sms: Vec<u32> = requests.iter().map(|r| r.sm_id).collect();
+    sms.sort_unstable();
+    sms.dedup();
+    if sms.is_empty() {
+        return;
+    }
+    let m = sms.len() as u32;
+    let holder_pos = sms.partition_point(|&id| id < holder) as u32 % m;
+    let rank = |sm: u32| {
+        let pos = sms.partition_point(|&id| id < sm) as u32;
+        (pos + m - holder_pos) % m
+    };
+    requests.sort_unstable_by_key(|r| (r.issue_cycle, rank(r.sm_id), r.sm_id, r.seq));
 }
 
 /// A single DRAM channel shared by every SM of a machine.
@@ -182,8 +236,8 @@ impl ChannelStats {
 ///
 /// let mut ch = SharedDramChannel::new(DramConfig::paper());
 /// let reqs = vec![
-///     MemRequest { issue_cycle: 0, sm_id: 1, seq: 0, is_write: false },
-///     MemRequest { issue_cycle: 0, sm_id: 0, seq: 0, is_write: false },
+///     MemRequest { issue_cycle: 0, sm_id: 1, seq: 0, addr: 0x80, is_write: false },
+///     MemRequest { issue_cycle: 0, sm_id: 0, seq: 0, addr: 0x00, is_write: false },
 /// ];
 /// let grants = ch.arbitrate_epoch(0, 2, reqs);
 /// // Epoch 0 gives SM 0 priority: it goes first, SM 1 queues behind it.
@@ -271,20 +325,26 @@ impl SharedDramChannel {
         num_sms: u32,
         mut requests: Vec<MemRequest>,
     ) -> Vec<MemGrant> {
-        let n = num_sms.max(1);
-        let holder = (epoch % n as u64) as u32;
-        let rank = |sm: u32| (sm % n).wrapping_sub(holder).wrapping_add(n) % n;
-        requests.sort_unstable_by_key(|r| (r.issue_cycle, rank(r.sm_id), r.sm_id, r.seq));
+        sort_epoch_order(epoch, num_sms, &mut requests);
         requests.iter().map(|r| self.grant(r)).collect()
     }
 
-    /// The earliest granted completion still at or after `now` — lets a
-    /// driver fast-forward idle stretches to the next memory event.
-    /// Completions in the past are discarded as a side effect (they are
-    /// also pruned lazily on every [`SharedDramChannel::grant`]).
-    pub fn next_completion_at_or_after(&mut self, now: u64) -> Option<u64> {
+    /// The earliest granted completion at or after `now` — lets a driver
+    /// fast-forward idle stretches to the next memory event. A pure peek:
+    /// repeated calls return the same answer and never change subsequent
+    /// grant results (past completions are pruned lazily on every
+    /// [`SharedDramChannel::grant`], or explicitly via
+    /// [`SharedDramChannel::retire_completions_before`]).
+    pub fn next_completion_at_or_after(&self, now: u64) -> Option<u64> {
+        self.inflight.next_ready_at_or_after(now)
+    }
+
+    /// Discards granted completions strictly before `now` so
+    /// [`SharedDramChannel::outstanding_transfers`] stays a tight bound on
+    /// work still in flight. Callers with a monotonic clock (the machine's
+    /// epoch loop) invoke this deliberately; the peek above never does.
+    pub fn retire_completions_before(&mut self, now: u64) {
         while self.inflight.pop_ready(now.saturating_sub(1)).is_some() {}
-        self.inflight.next_ready_cycle()
     }
 
     /// Number of granted completions not yet pruned as past — a cheap
@@ -310,6 +370,9 @@ mod tests {
             queued_requests: 4,
             queue_delay_cycles: 5,
             max_queue_delay: 6,
+            l2_hits: 7,
+            l2_misses: 8,
+            l2_cross_sm_evictions: 9,
         };
         assert_eq!(
             ChannelStats::from_fields(&stats.to_fields()).unwrap(),
@@ -326,6 +389,7 @@ mod tests {
             issue_cycle,
             sm_id,
             seq,
+            addr: 0,
             is_write: false,
         }
     }
@@ -382,5 +446,35 @@ mod tests {
         assert_eq!(ch.next_completion_at_or_after(0), Some(330));
         assert_eq!(ch.next_completion_at_or_after(331), Some(342));
         assert_eq!(ch.next_completion_at_or_after(400), None);
+    }
+
+    #[test]
+    fn peek_is_non_destructive() {
+        let mut ch = SharedDramChannel::new(DramConfig::paper());
+        ch.grant(&read(0, 0, 0));
+        ch.grant(&read(0, 0, 1));
+        assert_eq!(ch.outstanding_transfers(), 2);
+        // Peeking past the first completion must not discard it.
+        assert_eq!(ch.next_completion_at_or_after(331), Some(342));
+        assert_eq!(ch.outstanding_transfers(), 2);
+        assert_eq!(ch.next_completion_at_or_after(0), Some(330));
+        // Retiring is the explicit, separate operation.
+        ch.retire_completions_before(331);
+        assert_eq!(ch.outstanding_transfers(), 1);
+        assert_eq!(ch.next_completion_at_or_after(0), Some(342));
+    }
+
+    #[test]
+    fn rotation_ranks_by_position_for_non_contiguous_ids() {
+        // Participants {1, 5}: the historical `sm % n` rank with n = 2
+        // mapped both to odd ranks (1 % 2 == 5 % 2), collapsing the
+        // rotation. Position ranking keeps them distinct and rotates.
+        let cfg = DramConfig::paper();
+        let mut ch = SharedDramChannel::new(cfg);
+        let g0 = ch.arbitrate_epoch(0, 8, vec![read(0, 5, 0), read(0, 1, 0)]);
+        assert_eq!((g0[0].sm_id, g0[1].sm_id), (1, 5), "holder 0 → SM 1 first");
+        let mut ch = SharedDramChannel::new(cfg);
+        let g1 = ch.arbitrate_epoch(3, 8, vec![read(0, 5, 0), read(0, 1, 0)]);
+        assert_eq!((g1[0].sm_id, g1[1].sm_id), (5, 1), "holder 3 → SM 5 first");
     }
 }

@@ -9,22 +9,71 @@
 /// DRAM bandwidth/latency parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
-    /// Sustained bandwidth in bytes per core cycle (10 GB/s @ 1 GHz = 10).
+    /// Sustained bandwidth in bytes per core cycle (10 GB/s @ 1 GHz = 10),
+    /// **per channel**.
     pub bytes_per_cycle: f64,
     /// Fixed access latency in cycles (330 ns @ 1 GHz = 330).
     pub latency: u64,
     /// Transfer granularity in bytes (one L1 block).
     pub transfer_bytes: u32,
+    /// Independent address-interleaved channels in shared-DRAM mode; each
+    /// contributes `bytes_per_cycle` of bandwidth. The private per-SM model
+    /// ignores this (each SM already owns a full channel).
+    pub num_channels: u32,
+    /// Interleave granularity in bytes: a block at address `a` is served by
+    /// channel `(a / interleave_bytes) % num_channels`. Must be a power of
+    /// two no smaller than `transfer_bytes` so one transfer never straddles
+    /// channels.
+    pub interleave_bytes: u32,
 }
 
 impl DramConfig {
-    /// The paper's memory system: 10 GB/s (1 SM), 330 ns (table 2).
+    /// The paper's memory system: 10 GB/s (1 SM), 330 ns (table 2), one
+    /// channel interleaved at the transfer granularity.
     pub fn paper() -> Self {
         DramConfig {
             bytes_per_cycle: 10.0,
             latency: 330,
             transfer_bytes: 128,
+            num_channels: 1,
+            interleave_bytes: 128,
         }
+    }
+
+    /// Same timing, `n` address-interleaved channels.
+    pub fn with_channels(mut self, n: u32) -> Self {
+        self.num_channels = n;
+        self
+    }
+
+    /// The channel a block-aligned address maps to.
+    pub fn channel_of(&self, addr: u32) -> u32 {
+        let n = self.num_channels.max(1);
+        (addr / self.interleave_bytes.max(1)) % n
+    }
+
+    /// Checks the multi-channel knobs are coherent.
+    ///
+    /// # Errors
+    /// A description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_channels == 0 {
+            return Err("dram num_channels must be ≥ 1".into());
+        }
+        if !self.interleave_bytes.is_power_of_two() {
+            return Err(format!(
+                "dram interleave_bytes {} must be a power of two",
+                self.interleave_bytes
+            ));
+        }
+        if self.interleave_bytes < self.transfer_bytes {
+            return Err(format!(
+                "dram interleave_bytes {} is below the {} B transfer \
+                 granularity: one transfer would straddle channels",
+                self.interleave_bytes, self.transfer_bytes
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -47,14 +47,18 @@ pub mod channel;
 pub mod coalesce;
 pub mod dram;
 pub mod event;
+pub mod l2;
+pub mod mshr;
 pub mod space;
 
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
-pub use channel::{ChannelStats, MemGrant, MemRequest, SharedDramChannel};
+pub use channel::{sort_epoch_order, ChannelStats, MemGrant, MemRequest, SharedDramChannel};
 pub use coalesce::{
     atomic_transactions, atomic_transactions_into, coalesce, coalesce_into, Transaction, TxScratch,
     BLOCK_BYTES,
 };
 pub use dram::{Dram, DramConfig, DramStats};
 pub use event::{MemEvent, MemEventQueue};
+pub use l2::{L2Stats, SharedL2};
+pub use mshr::{MshrFile, MshrLookup};
 pub use space::Memory;

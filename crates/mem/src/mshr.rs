@@ -1,0 +1,195 @@
+//! Per-SM miss-status holding registers (MSHRs).
+//!
+//! An [`MshrFile`] tracks the L1 misses an SM currently has in flight, keyed
+//! by 128-byte block address. A second miss to a block already being fetched
+//! **merges**: no new DRAM transaction is issued, the merging warp instead
+//! blocks on the owner transaction's sequence number and wakes on the same
+//! grant. Without merging, replay trains (set-conflict thrashing that
+//! re-misses a line whose fill is still outstanding) multiply off-chip
+//! traffic by the replay count; with merging each block in flight costs
+//! exactly one transfer.
+//!
+//! The file is bounded: when every register is occupied a new miss
+//! **bypasses** (issues its own transaction as if the file were absent), so
+//! a small file degrades gracefully to the unmerged model. A capacity of 0
+//! disables the file entirely — the configuration default, which keeps
+//! every historical schedule bit-identical.
+//!
+//! Determinism: the file is private to one SM and consulted in LSU
+//! transaction order, which the single LSU port already serialises — no
+//! cross-SM state, no host-threading sensitivity.
+
+/// Outcome of consulting the MSHR file for one L1 load miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrLookup {
+    /// New register allocated: the caller must issue the DRAM transaction
+    /// (it becomes the register's owner).
+    Allocated,
+    /// Merged into an in-flight miss: wait on `owner_seq`'s grant instead
+    /// of issuing a transaction.
+    MergedPending {
+        /// Sequence number of the owning transaction.
+        owner_seq: u64,
+    },
+    /// Merged into a miss whose grant already arrived but whose data lands
+    /// in the future: stall until `ready_cycle`, no transaction, no wait.
+    MergedReady {
+        /// Cycle the owning transaction's data is available.
+        ready_cycle: u64,
+    },
+    /// File full (or disabled): issue the transaction unmerged.
+    Bypassed,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MshrEntry {
+    block_addr: u32,
+    owner_seq: u64,
+    /// Completion cycle once the owner's grant has been delivered.
+    ready: Option<u64>,
+}
+
+/// A bounded, per-SM miss-status holding register file.
+///
+/// # Examples
+/// ```
+/// use warpweave_mem::{MshrFile, MshrLookup};
+///
+/// let mut mshr = MshrFile::new(4);
+/// assert_eq!(mshr.lookup(0x80, 0, 7), MshrLookup::Allocated);
+/// // Same block, fill still outstanding: merge onto seq 7.
+/// assert_eq!(mshr.lookup(0x80, 5, 8), MshrLookup::MergedPending { owner_seq: 7 });
+/// mshr.on_grant(7, 330);
+/// assert_eq!(mshr.lookup(0x80, 10, 9), MshrLookup::MergedReady { ready_cycle: 330 });
+/// // After the data lands the register is recycled: a re-miss re-allocates.
+/// assert_eq!(mshr.lookup(0x80, 400, 10), MshrLookup::Allocated);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<MshrEntry>,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// A disabled file: every lookup bypasses.
+    pub fn disabled() -> Self {
+        MshrFile::new(0)
+    }
+
+    /// Number of registers (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when the file participates in miss handling.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Registers currently occupied.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Consults the file for a load miss to `block_addr` at cycle `now`;
+    /// `seq` is the sequence number the transaction will carry if it is
+    /// issued. Registers whose data has landed (ready ≤ `now`) are
+    /// recycled first.
+    pub fn lookup(&mut self, block_addr: u32, now: u64, seq: u64) -> MshrLookup {
+        if self.capacity == 0 {
+            return MshrLookup::Bypassed;
+        }
+        self.entries.retain(|e| e.ready.is_none_or(|rc| rc > now));
+        if let Some(e) = self.entries.iter().find(|e| e.block_addr == block_addr) {
+            return match e.ready {
+                None => MshrLookup::MergedPending {
+                    owner_seq: e.owner_seq,
+                },
+                Some(rc) => MshrLookup::MergedReady { ready_cycle: rc },
+            };
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(MshrEntry {
+                block_addr,
+                owner_seq: seq,
+                ready: None,
+            });
+            MshrLookup::Allocated
+        } else {
+            MshrLookup::Bypassed
+        }
+    }
+
+    /// Records the grant for owning transaction `seq`: the register stays
+    /// live (serving `MergedReady` merges) until `ready_cycle` passes.
+    pub fn on_grant(&mut self, seq: u64, ready_cycle: u64) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.owner_seq == seq && e.ready.is_none())
+        {
+            e.ready = Some(ready_cycle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_file_always_bypasses() {
+        let mut mshr = MshrFile::disabled();
+        assert!(!mshr.is_enabled());
+        assert_eq!(mshr.lookup(0, 0, 0), MshrLookup::Bypassed);
+        assert_eq!(mshr.occupancy(), 0);
+    }
+
+    #[test]
+    fn merges_same_block_until_data_lands() {
+        let mut mshr = MshrFile::new(2);
+        assert_eq!(mshr.lookup(0x100, 0, 1), MshrLookup::Allocated);
+        assert_eq!(
+            mshr.lookup(0x100, 2, 2),
+            MshrLookup::MergedPending { owner_seq: 1 }
+        );
+        // A different block allocates its own register.
+        assert_eq!(mshr.lookup(0x200, 2, 2), MshrLookup::Allocated);
+        mshr.on_grant(1, 330);
+        assert_eq!(
+            mshr.lookup(0x100, 100, 3),
+            MshrLookup::MergedReady { ready_cycle: 330 }
+        );
+        // Past the completion the register recycles.
+        assert_eq!(mshr.lookup(0x100, 331, 4), MshrLookup::Allocated);
+    }
+
+    #[test]
+    fn full_file_bypasses_and_recycles() {
+        let mut mshr = MshrFile::new(1);
+        assert_eq!(mshr.lookup(0x000, 0, 1), MshrLookup::Allocated);
+        assert_eq!(mshr.lookup(0x080, 0, 2), MshrLookup::Bypassed);
+        mshr.on_grant(1, 50);
+        // Register frees once its completion is in the past.
+        assert_eq!(mshr.lookup(0x080, 51, 3), MshrLookup::Allocated);
+    }
+
+    #[test]
+    fn grant_for_unknown_seq_is_ignored() {
+        let mut mshr = MshrFile::new(1);
+        mshr.lookup(0x000, 0, 1);
+        mshr.on_grant(99, 10);
+        assert_eq!(
+            mshr.lookup(0x000, 20, 2),
+            MshrLookup::MergedPending { owner_seq: 1 }
+        );
+    }
+}

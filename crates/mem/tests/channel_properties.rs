@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use warpweave_mem::{Dram, DramConfig, MemGrant, MemRequest, SharedDramChannel};
+use warpweave_mem::{ChannelStats, Dram, DramConfig, MemGrant, MemRequest, SharedDramChannel};
 
 const NUM_SMS: u32 = 6;
 
@@ -24,6 +24,7 @@ fn batch(raw: &[(u64, u32, bool)]) -> Vec<MemRequest> {
                 issue_cycle,
                 sm_id,
                 seq,
+                addr: (seq as u32) * 128,
                 is_write,
             }
         })
@@ -106,5 +107,97 @@ proptest! {
         let grants = arbitrate(3, sorted);
         let got: Vec<u64> = grants.iter().map(|g| g.ready_cycle).collect();
         prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn peeking_never_changes_grant_results(
+        raw_a in proptest::collection::vec((0u64..256, 0u32..NUM_SMS, any::<bool>()), 1..24),
+        raw_b in proptest::collection::vec((300u64..600, 0u32..NUM_SMS, any::<bool>()), 1..24),
+        peeks in proptest::collection::vec(0u64..2048, 1..16),
+    ) {
+        // Two channels fed identical epochs; one is peeked (repeatedly, at
+        // arbitrary cycles, even out of order) between the epochs. The
+        // peek must be a pure read: later grants stay bit-identical and
+        // repeated peeks agree with themselves.
+        let all = batch(&raw_a.iter().chain(&raw_b).copied().collect::<Vec<_>>());
+        let (a, b) = all.split_at(raw_a.len());
+        let mut peeked = SharedDramChannel::new(DramConfig::paper());
+        let mut silent = SharedDramChannel::new(DramConfig::paper());
+        let first_p = peeked.arbitrate_epoch(0, NUM_SMS, a.to_vec());
+        let first_s = silent.arbitrate_epoch(0, NUM_SMS, a.to_vec());
+        prop_assert_eq!(&first_p, &first_s);
+        for &now in &peeks {
+            let once = peeked.next_completion_at_or_after(now);
+            prop_assert_eq!(once, peeked.next_completion_at_or_after(now));
+            prop_assert_eq!(peeked.outstanding_transfers(), silent.outstanding_transfers());
+        }
+        let second_p = peeked.arbitrate_epoch(1, NUM_SMS, b.to_vec());
+        let second_s = silent.arbitrate_epoch(1, NUM_SMS, b.to_vec());
+        prop_assert_eq!(second_p, second_s);
+        prop_assert_eq!(peeked.stats(), silent.stats());
+    }
+
+    #[test]
+    fn every_participant_eventually_holds_top_priority(
+        raw_ids in proptest::collection::vec(0u32..24, 1..8),
+        num_sms in 24u32..32,
+    ) {
+        // Over one full rotation of epochs, every SM of an arbitrary —
+        // possibly non-contiguous — participant set must be granted first
+        // at least once (the starvation-freedom the position-based rank
+        // restores; `sm % n` collapsed distinct ids onto one rank).
+        let ids: Vec<u32> = raw_ids.into_iter()
+            .collect::<std::collections::BTreeSet<u32>>().into_iter().collect();
+        let mut been_first: std::collections::BTreeSet<u32> = Default::default();
+        for epoch in 0..num_sms as u64 {
+            let reqs: Vec<MemRequest> = ids.iter().map(|&sm_id| MemRequest {
+                issue_cycle: 0, sm_id, seq: 0, addr: 0, is_write: false,
+            }).collect();
+            let grants = SharedDramChannel::new(DramConfig::paper())
+                .arbitrate_epoch(epoch, num_sms, reqs);
+            been_first.insert(grants[0].sm_id);
+        }
+        prop_assert_eq!(been_first.len(), ids.len(),
+            "some SM never held top priority: {:?}", been_first);
+    }
+
+    #[test]
+    fn utilization_stays_in_unit_interval(
+        raw in proptest::collection::vec((0u64..512, 0u32..NUM_SMS, any::<bool>()), 1..48),
+        epoch in 0u64..16,
+        slack in 0u64..10_000,
+    ) {
+        let cfg = DramConfig::paper();
+        let mut ch = SharedDramChannel::new(cfg);
+        let grants = ch.arbitrate_epoch(epoch, NUM_SMS, batch(&raw));
+        // The channel is busy until the last transfer drains: its start
+        // (ready − latency) plus the transfer occupancy, rounded up.
+        let occupancy = (cfg.transfer_bytes as f64 / cfg.bytes_per_cycle).ceil() as u64 + 1;
+        let makespan = grants.iter().map(|g| g.ready_cycle).max().unwrap()
+            - cfg.latency + occupancy;
+        let util = ch.stats().utilization(makespan + slack, cfg.bytes_per_cycle);
+        prop_assert!((0.0..=1.0).contains(&util), "utilization {util} at horizon");
+        // Degenerate horizons clamp to 0 rather than dividing by zero.
+        prop_assert_eq!(ch.stats().utilization(0, cfg.bytes_per_cycle), 0.0);
+        prop_assert_eq!(ch.stats().utilization(makespan, 0.0), 0.0);
+    }
+
+    #[test]
+    fn channel_stats_accumulate_is_associative_and_commutative(
+        raw in proptest::collection::vec(0u64..1_000_000, 27..28),
+    ) {
+        // 27 draws = 3 ChannelStats × 9 canonical fields.
+        let width = ChannelStats::default().to_fields().len();
+        let stats: Vec<ChannelStats> = raw.chunks(width).take(3).map(|f| {
+            let named: Vec<(&str, u64)> = ChannelStats::default()
+                .to_fields().iter().zip(f).map(|(&(n, _), &v)| (n, v)).collect();
+            ChannelStats::from_fields(&named).unwrap()
+        }).collect();
+        let (a, b, c) = (stats[0], stats[1], stats[2]);
+        let fold = |x: ChannelStats, y: &ChannelStats| { let mut x = x; x.accumulate(y); x };
+        // Commutative: a+b == b+a.
+        prop_assert_eq!(fold(a, &b), fold(b, &a));
+        // Associative: (a+b)+c == a+(b+c).
+        prop_assert_eq!(fold(fold(a, &b), &c), fold(a, &fold(b, &c)));
     }
 }
