@@ -10,7 +10,7 @@
 //! baseline. Simulated counters in it remain bit-deterministic; only the
 //! `wall_seconds` / `*_per_second` fields vary by host.
 //!
-//! Usage: `bench_hotpath [--small] [--reps N] [--out PATH]
+//! Usage: `bench_hotpath [--small] [--reps N] [--out PATH] [--no-superblocks]
 //!                       [--baseline PATH] [--label NAME] [--golden PATH]`
 //!
 //! * `--small` — test-scale inputs and fewer reps (the CI preset).
@@ -50,8 +50,22 @@ struct RunResult {
     reps: u32,
     thread_instructions: u64,
     warp_instructions: u64,
+    /// Issue grants that went through the superblock fused path.
+    superblock_covered: u64,
     best_wall_seconds: f64,
     thread_instructions_per_second: f64,
+}
+
+impl RunResult {
+    /// Fraction of warp instructions executed through the superblock
+    /// engine (0 when superblocks are disabled or nothing fused).
+    fn superblock_coverage(&self) -> f64 {
+        if self.warp_instructions == 0 {
+            0.0
+        } else {
+            self.superblock_covered as f64 / self.warp_instructions as f64
+        }
+    }
 }
 
 /// Times `reps` runs of one workload under `cfg`, keeping the best
@@ -67,6 +81,7 @@ fn measure(
     let mut best = f64::INFINITY;
     let mut thread_instructions = 0u64;
     let mut warp_instructions = 0u64;
+    let mut superblock_covered = 0u64;
     for _ in 0..reps {
         let prepared = w.prepare(scale);
         let t = Instant::now();
@@ -78,6 +93,7 @@ fn measure(
         }
         thread_instructions = stats.thread_instructions;
         warp_instructions = stats.warp_instructions;
+        superblock_covered = stats.superblock_covered;
     }
     RunResult {
         workload,
@@ -86,6 +102,7 @@ fn measure(
         reps,
         thread_instructions,
         warp_instructions,
+        superblock_covered,
         best_wall_seconds: best,
         thread_instructions_per_second: thread_instructions as f64 / best.max(1e-12),
     }
@@ -98,6 +115,7 @@ fn render_runs(runs: &[RunResult], indent: &str) -> String {
             format!(
                 "{indent}{{\"workload\": \"{}\", \"kind\": \"{}\", \"config\": \"{}\", \
                  \"reps\": {}, \"thread_instructions\": {}, \"warp_instructions\": {}, \
+                 \"superblock_coverage\": {:.4}, \
                  \"wall_seconds\": {:.6}, \"thread_instructions_per_second\": {:.1}}}",
                 json_escape(r.workload),
                 r.kind,
@@ -105,6 +123,7 @@ fn render_runs(runs: &[RunResult], indent: &str) -> String {
                 r.reps,
                 r.thread_instructions,
                 r.warp_instructions,
+                r.superblock_coverage(),
                 r.best_wall_seconds,
                 r.thread_instructions_per_second
             )
@@ -200,17 +219,21 @@ fn main() {
     let golden_path = arg_value(&args, "--golden").unwrap_or_else(|| "BENCH_golden.json".into());
     let swi_check = check_swi_golden(&golden_path);
 
-    let cfg = SmConfig::baseline();
+    // `--no-superblocks` measures the per-instruction interpreter on the
+    // same host — the attribution control for the fused-path speedup.
+    let superblocks = !args.iter().any(|a| a == "--no-superblocks");
+    let cfg = SmConfig::baseline().with_superblocks(superblocks);
     let mut runs = Vec::new();
     for (workload, kind) in WORKLOADS {
         let r = measure(&cfg, workload, kind, scale, reps);
         eprintln!(
-            "{:<16} {:<14} {:>12} thread-insns in {:>8.3} s  ({:>12.0} insns/s)",
+            "{:<16} {:<14} {:>12} thread-insns in {:>8.3} s  ({:>12.0} insns/s, {:.1}% superblock)",
             r.workload,
             r.kind,
             r.thread_instructions,
             r.best_wall_seconds,
-            r.thread_instructions_per_second
+            r.thread_instructions_per_second,
+            100.0 * r.superblock_coverage()
         );
         runs.push(r);
     }

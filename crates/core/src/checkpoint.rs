@@ -18,7 +18,7 @@
 //!   line, quarantines the damaged tail as a `.quarantine` sidecar, and
 //!   lets the sweep resume from the intact prefix.
 //!
-//! # File format (`CHECKPOINT_VERSION` 2)
+//! # File format (`CHECKPOINT_VERSION` 3)
 //!
 //! Line-oriented UTF-8. The first line is the header:
 //!
@@ -56,7 +56,7 @@ use crate::stats::Stats;
 
 /// Current checkpoint file-format version (see the module docs for the
 /// rules that force a bump).
-pub const CHECKPOINT_VERSION: u32 = 2;
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// The header magic of a checkpoint file.
 const MAGIC: &str = "warpweave-sweep-checkpoint";

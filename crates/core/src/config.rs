@@ -223,6 +223,12 @@ pub struct SmConfig {
     /// Whether [`SmConfig::dram`] bandwidth is private per SM or one
     /// machine-shared pool (see [`MemModel`]).
     pub mem_model: MemModel,
+    /// Execute straight-line regions through the superblock trace engine
+    /// (pre-resolved operands, in-place register rows). Functionally and
+    /// timing bit-identical to the per-instruction interpreter — this knob
+    /// exists for differential testing and perf attribution, not as a
+    /// fidelity trade-off.
+    pub superblocks: bool,
     /// Seed for the secondary scheduler's pseudo-random tie-breaking.
     pub seed: u64,
 }
@@ -268,6 +274,7 @@ impl SmConfig {
             l2: None,
             dram: DramConfig::paper(),
             mem_model: MemModel::PrivatePerSm,
+            superblocks: true,
             seed: 0xb1e55ed,
         }
     }
@@ -459,6 +466,12 @@ impl SmConfig {
     /// Sets the per-SM MSHR file size (builder style); 0 disables merging.
     pub fn with_mshrs(mut self, entries: u32) -> SmConfig {
         self.mshr_entries = entries;
+        self
+    }
+
+    /// Enables/disables the superblock trace engine (builder style).
+    pub fn with_superblocks(mut self, on: bool) -> SmConfig {
+        self.superblocks = on;
         self
     }
 

@@ -345,25 +345,27 @@ fn apply3(
 }
 
 /// Merges a freshly computed predicate bitmask into predicate `p`:
-/// executing lanes take `res`, all others keep their old bit.
+/// executing lanes take `res`, all others keep their old bit. Shared with
+/// the superblock fused path so the merge rule cannot drift.
 #[inline]
-fn commit_pred(rf: &mut WarpRegFile, p: usize, exec: Mask, res: u64) {
+pub(crate) fn commit_pred(rf: &mut WarpRegFile, p: usize, exec: Mask, res: u64) {
     debug_assert_eq!(res & !exec.bits(), 0);
     let bits = (rf.pred_bits(p) & !exec.bits()) | res;
     rf.set_pred_bits(p, bits);
 }
 
-/// Bit-casting adapters for the f32 op families.
+/// Bit-casting adapters for the f32 op families (shared with the
+/// superblock fused path).
 #[inline]
-fn f1(f: impl Fn(f32) -> f32) -> impl Fn(u32) -> u32 {
+pub(crate) fn f1(f: impl Fn(f32) -> f32) -> impl Fn(u32) -> u32 {
     move |x| f(f32::from_bits(x)).to_bits()
 }
 #[inline]
-fn f2(f: impl Fn(f32, f32) -> f32) -> impl Fn(u32, u32) -> u32 {
+pub(crate) fn f2(f: impl Fn(f32, f32) -> f32) -> impl Fn(u32, u32) -> u32 {
     move |x, y| f(f32::from_bits(x), f32::from_bits(y)).to_bits()
 }
 #[inline]
-fn f3(f: impl Fn(f32, f32, f32) -> f32) -> impl Fn(u32, u32, u32) -> u32 {
+pub(crate) fn f3(f: impl Fn(f32, f32, f32) -> f32) -> impl Fn(u32, u32, u32) -> u32 {
     move |x, y, z| f(f32::from_bits(x), f32::from_bits(y), f32::from_bits(z)).to_bits()
 }
 

@@ -43,6 +43,15 @@ impl ExecGroups {
             .position(|g| g.cfg.class == class && g.port_free_at <= now)
     }
 
+    /// Classes with at least one free port at `now`, as a bitmask over
+    /// `UnitClass as u8`.
+    pub fn free_class_mask(&self, now: u64) -> u8 {
+        self.groups
+            .iter()
+            .filter(|g| g.port_free_at <= now)
+            .fold(0u8, |m, g| m | (1 << g.cfg.class as u8))
+    }
+
     /// True if `idx` serves `class` and is free at `now`.
     pub fn is_free(&self, idx: usize, now: u64) -> bool {
         self.groups[idx].port_free_at <= now

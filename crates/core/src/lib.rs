@@ -59,6 +59,7 @@ pub mod policy;
 pub mod regfile;
 pub mod scoreboard;
 pub mod stats;
+pub mod superblock;
 pub mod sweep;
 pub mod trace;
 
@@ -85,5 +86,6 @@ pub use policy::{
 pub use regfile::WarpRegFile;
 pub use scoreboard::{DepMatrix, Scoreboard};
 pub use stats::Stats;
+pub use superblock::execute_fused;
 pub use sweep::{IsolatedOutcome, JobFailure, SweepRunner};
 pub use trace::{render_timeline, IssueSlot, TraceEvent};

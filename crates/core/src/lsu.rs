@@ -12,7 +12,7 @@
 use warpweave_mem::{AccessKind, Cache, MshrFile, MshrLookup, Transaction};
 
 /// The LSU's plan for one global-memory instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GlobalPlan {
     /// Cycles the LSU's single 128-byte port is occupied (replay count).
     pub port_cycles: u64,
@@ -65,14 +65,29 @@ pub fn plan_global(
     is_store: bool,
     seq_base: u64,
 ) -> GlobalPlan {
-    let mut plan = GlobalPlan {
-        port_cycles: txs.len().max(1) as u64,
-        inline_ready: start,
-        dram_requests: Vec::new(),
-        merged_waits: Vec::new(),
-        mshr_merges: 0,
-        mshr_bypasses: 0,
-    };
+    let mut plan = GlobalPlan::default();
+    plan_global_into(&mut plan, l1, mshr, start, txs, is_store, seq_base);
+    plan
+}
+
+/// [`plan_global`] into a caller-held plan, reusing its request/merge
+/// vectors — the pipeline keeps one scratch plan per SM so the per-
+/// instruction planning allocates nothing in steady state.
+pub fn plan_global_into(
+    plan: &mut GlobalPlan,
+    l1: &mut Cache,
+    mshr: &mut MshrFile,
+    start: u64,
+    txs: &[Transaction],
+    is_store: bool,
+    seq_base: u64,
+) {
+    plan.port_cycles = txs.len().max(1) as u64;
+    plan.inline_ready = start;
+    plan.dram_requests.clear();
+    plan.merged_waits.clear();
+    plan.mshr_merges = 0;
+    plan.mshr_bypasses = 0;
     for (i, tx) in txs.iter().enumerate() {
         let t_issue = start + i as u64;
         if is_store {
@@ -113,7 +128,6 @@ pub fn plan_global(
             }
         }
     }
-    plan
 }
 
 /// Shared-memory access cost in passes: per 32-lane wave, lanes hitting

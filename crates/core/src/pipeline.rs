@@ -13,15 +13,17 @@
 //! [`crate::policy::IssueCtx`] view; the pipeline itself carries no
 //! policy-specific issue logic.
 
+use std::cell::Cell;
+
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use warpweave_isa::{Instruction, Op, Pc, Program, UnitClass};
+use warpweave_isa::{Instruction, Op, Pc, Program, SuperblockSet, UnitClass};
 use warpweave_mem::{
     atomic_transactions_into, coalesce_into, Cache, MemEventQueue, MemGrant, MemRequest, Memory,
-    MshrFile, SharedDramChannel, TxScratch,
+    MshrFile, SharedDramChannel, SharedMem, TxScratch,
 };
 
 use crate::config::{ScoreboardMode, SmConfig};
@@ -32,13 +34,14 @@ use crate::exec::execute_warp;
 use crate::groups::ExecGroups;
 use crate::lane::LaneTable;
 use crate::launch::{Launch, WarpInfo};
-use crate::lsu::{plan_global, shared_passes};
+use crate::lsu::{plan_global_into, shared_passes, GlobalPlan};
 use crate::machine::MemJournal;
 use crate::mask::Mask;
 use crate::policy::{Dispatch, IssueCtx, IssuePolicy, Pick, PolicyRegistry, Ready};
 use crate::regfile::WarpRegFile;
 use crate::scoreboard::{SbToken, Scoreboard};
 use crate::stats::Stats;
+use crate::superblock::execute_fused;
 use crate::trace::{IssueSlot, TraceEvent};
 
 /// One alive warp's stall snapshot: what it is executing, how deep its
@@ -181,6 +184,27 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// One slot's cached [`Sm::ready_check_nogroup`] outcome (see
+/// [`Warp::ready_memo`]). Both non-`Stale` states are stable under pure
+/// clock advance: a ready instruction stays ready — with the identical
+/// [`Ready`] record — until an event touches the warp, and the only
+/// time-gated failure (an entry fetched this cycle) carries the cycle at
+/// which it clears.
+/// Interior-mutable min-heap of `(wake_cycle, warp)` re-arm entries (see
+/// [`Sm::park_warp`]).
+type TimedWakeHeap = std::cell::RefCell<std::collections::BinaryHeap<std::cmp::Reverse<(u64, u8)>>>;
+
+#[derive(Debug, Clone, Copy)]
+enum ReadyMemo {
+    /// An event may have changed the outcome: re-evaluate.
+    Stale,
+    /// Known not ready at every cycle strictly before this one
+    /// (`u64::MAX` = blocked until a waking event).
+    NotBefore(u64),
+    /// Known ready with this exact result.
+    Ready(Ready),
+}
+
 /// Per-warp divergence tracking (selected by the configuration).
 #[derive(Debug, Clone)]
 enum Divergence {
@@ -188,11 +212,63 @@ enum Divergence {
     Frontier(FrontierHeap),
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct IbufEntry {
     pc: Pc,
     fetched_at: u64,
     seq: u64,
+}
+
+/// Pre-decoded per-pc issue metadata: everything the per-cycle ready
+/// checks need, packed into 16 bytes so they never touch the full
+/// [`Instruction`] record (which spans two cache lines).
+#[derive(Debug, Clone, Copy)]
+struct PcMeta {
+    /// [`Instruction::reg_footprint`] — registers read or written.
+    regs: u64,
+    /// [`Instruction::pred_footprint`] — predicates read or written.
+    preds: u8,
+    /// The instruction writes a register or predicate (needs a scoreboard
+    /// entry).
+    writes: bool,
+    /// `op == Op::Sync` (SBI reconvergence-constraint park).
+    is_sync: bool,
+    /// Issue unit class.
+    unit: UnitClass,
+}
+
+impl PcMeta {
+    fn of(instr: &Instruction) -> PcMeta {
+        PcMeta {
+            regs: instr.reg_footprint(),
+            preds: instr.pred_footprint(),
+            writes: instr.dst.is_some() || instr.pdst.is_some(),
+            is_sync: instr.op == Op::Sync,
+            unit: instr.op.unit(),
+        }
+    }
+}
+
+/// One issue slot's superblock run: the context is replaying a fused
+/// region and the next covered grant is expected at `next` with `mask`.
+/// Inactive when `next >= end` (the all-zero default).
+///
+/// A run is pure bookkeeping — covered instructions still execute one per
+/// issue grant — so aborting it (context moved, mask changed under a
+/// merge, block reassigned) costs nothing beyond falling back to the
+/// interpreter for that grant.
+#[derive(Debug, Clone, Copy, Default)]
+struct SbRun {
+    /// Superblock index in the program's [`SuperblockSet`].
+    index: u32,
+    /// First pc of the superblock (op index = `next - start`).
+    start: u32,
+    /// Next covered pc.
+    next: u32,
+    /// One past the superblock's last pc.
+    end: u32,
+    /// The mask the run entered with; a deviating grant aborts.
+    mask: Mask,
 }
 
 #[derive(Debug)]
@@ -211,6 +287,9 @@ struct Warp {
     /// Thread-space mask of threads that exist in this warp (partial last
     /// warp of a block).
     populated: Mask,
+    /// Per-slot superblock replay state (slot 0 = primary context, slot 1
+    /// = the SBI secondary).
+    sb_run: [SbRun; 2],
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -279,7 +358,7 @@ pub struct Sm {
     program: Arc<Program>,
     params: Vec<u32>,
     mem: Memory,
-    shared: Vec<Memory>,
+    shared: Vec<SharedMem>,
     l1: Cache,
     /// Per-SM miss-status holding registers: merges same-line misses into
     /// one in-flight transaction. Disabled (capacity 0) by default.
@@ -306,6 +385,42 @@ pub struct Sm {
     finalized: bool,
     cycle: u64,
     warps: Vec<Warp>,
+    /// Per-`(warp, slot)` cached [`Sm::ready_check_nogroup`] outcome,
+    /// kept as a dense side array (not in [`Warp`]) so the schedulers'
+    /// every-warp-every-cycle scans stay inside a few hot cache lines
+    /// and never touch the big per-warp records. `Cell` keeps the check
+    /// `&self`. Invalidated by [`Sm::wake_warp`] at every event that can
+    /// change readiness; see [`ReadyMemo`].
+    ready_memo: Vec<[Cell<ReadyMemo>; 2]>,
+    /// Bit `w` set ⇔ `ready_check(w, slot)` *might* return `Some` — i.e.
+    /// warp `w`'s slot memo is not a cached until-wake failure. Scanning
+    /// policies walk only set bits, so a blocked warp costs nothing per
+    /// cycle. Maintained by [`Sm::wake_warp`] (set) and the memo's slow
+    /// path (cleared on an until-wake failure).
+    ready_cand: [Cell<u64>; 2],
+    /// Re-arm times for warps parked on a timed readiness failure: a
+    /// min-heap of `(cycle, warp)` per slot, drained at each cycle start
+    /// to restore the candidate bits whose `NotBefore` horizon arrived.
+    timed_wake: [TimedWakeHeap; 2],
+    /// Earliest entry in each `timed_wake` heap (`u64::MAX` when empty),
+    /// so the per-cycle drain is a single compare in the common case.
+    timed_min: [Cell<u64>; 2],
+    /// Warps whose slot-`i` readiness memo currently holds a `Ready`
+    /// value — the dense mirror oldest-first scans walk instead of
+    /// copying the memo enum per probe.
+    ready_now: [Cell<u64>; 2],
+    /// `(seq, unit)` of the memoized `Ready` per `(warp, slot)`; valid
+    /// only while the matching `ready_now` bit is set.
+    ready_info: Vec<[Cell<(u64, UnitClass)>; 2]>,
+    /// Bit `w` set ⇔ warp `w`'s divergence contexts may have moved (or
+    /// its ibuf been written) since `validate_ibufs` last ran for it.
+    /// Clean warps are fixed points of the re-association pass; the pass
+    /// walks only set bits instead of touching every `Warp`.
+    ctx_dirty: u64,
+    /// Bit `w` of `[slot]` set ⇔ warp `w` is alive with `ibuf[slot]`
+    /// empty — the fetch channels' candidate set. Maintained by
+    /// [`Sm::update_fetchable`] at every ibuf/liveness writer.
+    fetchable: [u64; 2],
     blocks: Vec<BlockSlot>,
     /// Index of the next entry of `block_ids` to assign to a free slot.
     next_block: u32,
@@ -343,6 +458,15 @@ pub struct Sm {
     /// Persistent transaction arena for the coalescer — per-transaction
     /// lane lists keep their capacity across issue events.
     tx_scratch: TxScratch,
+    /// Persistent LSU plan for [`crate::lsu::plan_global_into`] — its
+    /// request/merge vectors keep their capacity across issue events.
+    plan_scratch: GlobalPlan,
+    /// Superblock fusion plan for `program`, built once at construction
+    /// when [`SmConfig::superblocks`] is set. `None` disables the fused
+    /// issue path entirely.
+    sb: Option<SuperblockSet>,
+    /// Per-pc pre-decoded issue metadata, parallel to `program`.
+    pc_meta: Vec<PcMeta>,
 }
 
 /// Cycles without any issue or writeback before the deadlock watchdog fires.
@@ -420,6 +544,7 @@ impl Sm {
                 ibuf: [None, None],
                 exited: Mask::EMPTY,
                 populated: Mask::EMPTY,
+                sb_run: [SbRun::default(); 2],
             })
             .collect();
         let l1 = Cache::new(cfg.l1);
@@ -430,11 +555,13 @@ impl Sm {
             .ok_or_else(|| format!("unknown issue policy '{}'", cfg.policy))?
             .build(&cfg);
         let lane_table = cfg.lane_shuffle.table(cfg.warp_width, cfg.num_warps);
+        let sb = cfg.superblocks.then(|| SuperblockSet::build(&program));
+        let pc_meta = program.instructions().iter().map(PcMeta::of).collect();
         let mut sm = Sm {
             program,
             params,
             mem: Memory::new(),
-            shared: vec![Memory::new(); num_slots],
+            shared: vec![SharedMem::new(); num_slots],
             l1,
             mshr,
             dram,
@@ -446,6 +573,37 @@ impl Sm {
             external_mem: false,
             finalized: false,
             cycle: 0,
+            ready_memo: (0..cfg.num_warps)
+                .map(|_| [Cell::new(ReadyMemo::Stale), Cell::new(ReadyMemo::Stale)])
+                .collect(),
+            ready_cand: {
+                let all = if cfg.num_warps >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << cfg.num_warps) - 1
+                };
+                [Cell::new(all), Cell::new(all)]
+            },
+            timed_wake: [
+                std::cell::RefCell::new(std::collections::BinaryHeap::new()),
+                std::cell::RefCell::new(std::collections::BinaryHeap::new()),
+            ],
+            timed_min: [Cell::new(u64::MAX), Cell::new(u64::MAX)],
+            ready_now: [Cell::new(0), Cell::new(0)],
+            ready_info: (0..cfg.num_warps)
+                .map(|_| {
+                    [
+                        Cell::new((0, UnitClass::Control)),
+                        Cell::new((0, UnitClass::Control)),
+                    ]
+                })
+                .collect(),
+            ctx_dirty: if cfg.num_warps >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << cfg.num_warps) - 1
+            },
+            fetchable: [0, 0],
             warps,
             blocks,
             next_block: 0,
@@ -467,6 +625,9 @@ impl Sm {
             access_scratch: Vec::new(),
             addr_scratch: Vec::new(),
             tx_scratch: TxScratch::default(),
+            plan_scratch: GlobalPlan::default(),
+            sb,
+            pc_meta,
             cfg,
         };
         sm.refill_blocks();
@@ -642,6 +803,7 @@ impl Sm {
     /// a machine-driven SM must not jump past while it waits on grants.
     fn step_capped(&mut self, cap: Option<u64>) -> Result<(), SimError> {
         self.cycle += 1;
+        self.rearm_timed_wakes();
         self.process_writebacks();
         self.validate_ibufs();
         // The policy is taken out for the call so it can borrow the SM
@@ -876,6 +1038,7 @@ impl Sm {
             self.warps[ev.payload.warp]
                 .scoreboard
                 .retire(ev.payload.token);
+            self.wake_warp(ev.payload.warp);
             progressed = true;
         }
         if progressed {
@@ -922,10 +1085,14 @@ impl Sm {
     /// issue-order service, reproducing the historical inline-latency
     /// timings bit-for-bit.
     fn drain_local_grants(&mut self) {
-        for req in std::mem::take(&mut self.mem_outbox) {
+        // Take/put-back (rather than consume) so the outbox keeps its
+        // allocation across issue events.
+        let mut outbox = std::mem::take(&mut self.mem_outbox);
+        for req in outbox.drain(..) {
             let grant = self.dram.grant(&req);
             self.apply_grant(&grant);
         }
+        self.mem_outbox = outbox;
     }
 
     /// Applies one arbitration grant: finds every pending scoreboard entry
@@ -976,33 +1143,51 @@ impl Sm {
     /// squashes entries whose split moved under them (the redundant-fetch
     /// cost of desynchronisation).
     fn validate_ibufs(&mut self) {
-        for w in 0..self.warps.len() {
+        // Contexts move only at issue, barrier release and block
+        // (re)launch, and fetch is the only other ibuf writer; all of
+        // those mark the warp in `ctx_dirty`, so a clean warp is already
+        // a fixed point of this re-association — the pass walks the set
+        // bits and never touches a clean `Warp` at all.
+        let mut dirty = self.ctx_dirty;
+        self.ctx_dirty = 0;
+        while dirty != 0 {
+            let w = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
             if self.warps[w].ibuf.iter().all(Option::is_none) {
                 continue;
             }
+            let before = self.warps[w].ibuf;
             // A policy-reserved entry (the SWI cascade's pending primary)
-            // is validated at issue instead.
+            // is validated at issue instead. Fixed two-slot pool — this
+            // runs per warp per cycle, so it must not allocate.
             let reserved = self.policy().reserved_slot(w);
-            let mut pool: Vec<IbufEntry> = Vec::with_capacity(2);
-            for slot in 0..2 {
+            let mut pool: [Option<IbufEntry>; 2] = [None, None];
+            for (slot, entry) in pool.iter_mut().enumerate() {
                 if reserved == Some(slot) {
                     continue;
                 }
-                if let Some(e) = self.warps[w].ibuf[slot].take() {
-                    pool.push(e);
-                }
+                *entry = self.warps[w].ibuf[slot].take();
             }
             for slot in 0..2 {
                 if reserved == Some(slot) {
                     continue;
                 }
                 if let Some((pc, _, _)) = self.ctx(w, slot) {
-                    if let Some(i) = pool.iter().position(|e| e.pc == pc) {
-                        self.warps[w].ibuf[slot] = Some(pool.swap_remove(i));
+                    if let Some(i) = pool.iter().position(|e| e.is_some_and(|e| e.pc == pc)) {
+                        self.warps[w].ibuf[slot] = pool[i].take();
                     }
                 }
             }
-            self.stats.fetch_squashes += pool.len() as u64;
+            self.stats.fetch_squashes += pool.iter().flatten().count() as u64;
+            if self.warps[w].ibuf != before {
+                self.wake_warp(w);
+            }
+            self.update_fetchable(w);
+            // A reserved slot was skipped above, so the warp is not yet a
+            // fixed point — keep it marked and revisit next cycle.
+            if reserved.is_some() {
+                self.ctx_dirty |= 1u64 << w;
+            }
         }
     }
 
@@ -1020,17 +1205,160 @@ impl Sm {
 
     /// [`Sm::ready_check`] without the free-group requirement (used by the
     /// SWI cascade to *hold* a pending primary while its port drains).
+    ///
+    /// Memoized per `(warp, slot)`: both outcomes of an evaluation are
+    /// stable until an event touches the warp (a failure records the
+    /// first cycle at which it could clear on its own — `fetched_at + 1`
+    /// for a just-fetched entry, `u64::MAX` otherwise), so the
+    /// schedulers' every-warp-every-cycle scans short-circuit on the
+    /// cached state. [`Sm::wake_warp`] resets the memo at each event
+    /// that can change the outcome, so this is behaviour-invariant.
     pub(crate) fn ready_check_nogroup(&self, w: usize, slot: usize) -> Option<Ready> {
+        let memo = &self.ready_memo[w][slot];
+        match memo.get() {
+            ReadyMemo::Ready(r) => return Some(r),
+            ReadyMemo::NotBefore(c) if self.cycle < c => {
+                self.park_warp(w, slot, c);
+                return None;
+            }
+            _ => {}
+        }
+        match self.ready_check_slow(w, slot) {
+            Ok(r) => {
+                memo.set(ReadyMemo::Ready(r));
+                self.ready_now[slot].set(self.ready_now[slot].get() | (1u64 << w));
+                self.ready_info[w][slot].set((r.seq, r.unit));
+                Some(r)
+            }
+            Err(until) => {
+                memo.set(ReadyMemo::NotBefore(until));
+                self.park_warp(w, slot, until);
+                None
+            }
+        }
+    }
+
+    /// Drops warp `w` from slot `slot`'s candidate set after a readiness
+    /// failure. An until-wake failure (`u64::MAX`) relies on
+    /// [`Sm::wake_warp`] alone to restore the bit; a timed failure also
+    /// queues a re-arm at `until` so the guarantee stays conservative.
+    fn park_warp(&self, w: usize, slot: usize, until: u64) {
+        let bit = 1u64 << w;
+        let cands = self.ready_cand[slot].get();
+        if cands & bit == 0 {
+            return;
+        }
+        self.ready_cand[slot].set(cands & !bit);
+        if until != u64::MAX {
+            self.timed_wake[slot]
+                .borrow_mut()
+                .push(std::cmp::Reverse((until, w as u8)));
+            if until < self.timed_min[slot].get() {
+                self.timed_min[slot].set(until);
+            }
+        }
+    }
+
+    /// Restores the candidate bits of parked warps whose `NotBefore`
+    /// horizon has arrived. Runs once per cycle, before issue; setting a
+    /// bit is always safe (the check itself still decides), so stale or
+    /// duplicate heap entries are harmless.
+    fn rearm_timed_wakes(&mut self) {
+        for slot in 0..2 {
+            if self.timed_min[slot].get() > self.cycle {
+                continue;
+            }
+            let heap = self.timed_wake[slot].get_mut();
+            while let Some(&std::cmp::Reverse((t, w))) = heap.peek() {
+                if t > self.cycle {
+                    break;
+                }
+                heap.pop();
+                self.ready_cand[slot].set(self.ready_cand[slot].get() | 1u64 << w);
+            }
+            self.timed_min[slot].set(heap.peek().map_or(u64::MAX, |r| r.0 .0));
+        }
+    }
+
+    /// Resets warp `w`'s readiness memo so the next scan re-evaluates it.
+    /// Must be called whenever state feeding [`Sm::ready_check_slow`]
+    /// changes: issue (divergence / ibuf / scoreboard), fetch fill,
+    /// writeback retirement, barrier release, block launch or teardown,
+    /// and ibuf re-association.
+    fn wake_warp(&self, w: usize) {
+        self.ready_memo[w][0].set(ReadyMemo::Stale);
+        self.ready_memo[w][1].set(ReadyMemo::Stale);
+        let bit = 1u64 << w;
+        self.ready_cand[0].set(self.ready_cand[0].get() | bit);
+        self.ready_cand[1].set(self.ready_cand[1].get() | bit);
+        self.ready_now[0].set(self.ready_now[0].get() & !bit);
+        self.ready_now[1].set(self.ready_now[1].get() & !bit);
+    }
+
+    /// Warps whose `ready_check(w, slot)` might return `Some` this cycle,
+    /// as a bitmask. A clear bit is a *guarantee* of not-ready (a cached
+    /// until-wake failure), so scanning policies skip it outright; a set
+    /// bit is only a candidate — the check itself still decides.
+    pub(crate) fn ready_candidates(&self, slot: usize) -> u64 {
+        self.ready_cand[slot].get()
+    }
+
+    /// Warps with a memoized `Ready` in `slot` (always a subset of
+    /// [`Sm::ready_candidates`]).
+    pub(crate) fn ready_now(&self, slot: usize) -> u64 {
+        self.ready_now[slot].get()
+    }
+
+    /// `(seq, unit)` of the memoized `Ready` — only meaningful while the
+    /// matching [`Sm::ready_now`] bit is set.
+    pub(crate) fn ready_info(&self, w: usize, slot: usize) -> (u64, UnitClass) {
+        self.ready_info[w][slot].get()
+    }
+
+    /// Unit classes with a free issue port this cycle, as a bitmask over
+    /// `UnitClass as u8` (Control, which needs no port, is always set).
+    pub(crate) fn free_unit_mask(&self) -> u8 {
+        self.groups.free_class_mask(self.cycle) | (1 << UnitClass::Control as u8)
+    }
+
+    /// Re-derives warp `w`'s fetch-candidate bits from its liveness and
+    /// ibuf occupancy. Must be called after any write to either.
+    fn update_fetchable(&mut self, w: usize) {
+        let bit = 1u64 << w;
         let warp = &self.warps[w];
-        let (pc, mask, at_barrier) = self.ctx(w, slot)?;
+        for slot in 0..2 {
+            if warp.alive && warp.ibuf[slot].is_none() {
+                self.fetchable[slot] |= bit;
+            } else {
+                self.fetchable[slot] &= !bit;
+            }
+        }
+    }
+
+    /// The uncached evaluation behind [`Sm::ready_check_nogroup`]:
+    /// `Err(c)` means not ready at any cycle before `c` unless a waking
+    /// event intervenes.
+    fn ready_check_slow(&self, w: usize, slot: usize) -> Result<Ready, u64> {
+        let warp = &self.warps[w];
+        let Some((pc, mask, at_barrier)) = self.ctx(w, slot) else {
+            return Err(u64::MAX);
+        };
         if at_barrier {
-            return None;
+            return Err(u64::MAX);
         }
-        let entry = warp.ibuf[slot]?;
-        if entry.pc != pc || entry.fetched_at >= self.cycle {
-            return None;
+        let Some(entry) = warp.ibuf[slot] else {
+            return Err(u64::MAX);
+        };
+        if entry.pc != pc {
+            return Err(u64::MAX);
         }
-        let instr = &self.program[pc];
+        if entry.fetched_at >= self.cycle {
+            // The only purely time-gated failure: ready next cycle.
+            return Err(entry.fetched_at + 1);
+        }
+        // The pre-decoded metadata covers every check below, so the hot
+        // per-cycle path never loads the full `Instruction` record.
+        let meta = self.pc_meta[pc.index()];
         // SBI reconvergence constraints (§3.3, conservative form): the
         // secondary split never executes past a SYNC marker — it parks
         // there until the primary catches up and the HCT sorter merges
@@ -1038,25 +1366,28 @@ impl Sm {
         // immediate dominator's last instruction degenerates for loop-exit
         // joins, whose immediate dominator is the loop-back block itself,
         // so loop-carried run-ahead would never suspend.)
-        if slot == 1 && self.cfg.sbi_constraints && instr.op == Op::Sync {
+        if slot == 1 && self.cfg.sbi_constraints && meta.is_sync {
             if let Some((cpc1, _, _)) = self.ctx(w, 0) {
                 if cpc1 < pc {
-                    return None;
+                    return Err(u64::MAX);
                 }
             }
         }
-        if warp.scoreboard.depends(instr, mask, slot) {
-            return None;
+        if warp
+            .scoreboard
+            .depends_masks(meta.regs, meta.preds, mask, slot)
+        {
+            return Err(u64::MAX);
         }
-        if (instr.dst.is_some() || instr.pdst.is_some()) && !warp.scoreboard.has_free() {
-            return None;
+        if meta.writes && !warp.scoreboard.has_free() {
+            return Err(u64::MAX);
         }
-        Some(Ready {
+        Ok(Ready {
             warp: w,
             slot,
             pc,
             mask,
-            unit: instr.op.unit(),
+            unit: meta.unit,
             seq: entry.seq,
         })
     }
@@ -1155,20 +1486,22 @@ impl Sm {
     /// execution, back-end timing, divergence update, scoreboard event.
     /// This is the only mutation path a policy has
     /// ([`crate::policy::IssueCtx::commit`]).
-    pub(crate) fn commit_warp_issue(&mut self, w: usize, picks: Vec<Pick>) {
+    pub(crate) fn commit_warp_issue(&mut self, w: usize, picks: &[Pick]) {
         debug_assert!(!picks.is_empty() && picks.len() <= 2);
         // One refcount bump per issue event buys borrowed access to every
         // decoded instruction below — no per-issue `Instruction` clone.
         let program = Arc::clone(&self.program);
         let before = self.slot_masks(w);
         let mut transitions: [Option<Transition>; 2] = [None, None];
-        let mut sb_alloc: Vec<(usize, &Instruction, Mask)> = Vec::new();
-        let mut wb_times: Vec<(usize, WbTiming)> = Vec::new(); // parallel to sb_alloc
+        // At most two picks per event: fixed slots, no per-issue heap churn.
+        let mut sb_alloc: [Option<(&Instruction, Mask)>; 2] = [None, None];
+        let mut wb_times: [Option<WbTiming>; 2] = [None, None]; // parallel to sb_alloc
+        let mut n_alloc = 0usize;
 
-        for pick in &picks {
+        for pick in picks {
             let r = pick.ready;
             let instr = &program[r.pc];
-            let (taken, accesses) = self.execute_functional(w, instr, r.mask);
+            let (taken, accesses) = self.execute_pick(w, r.slot, instr, r.pc, r.mask);
             let transition = self.transition_for(instr, r.pc, r.mask, taken);
             transitions[r.slot] = Some(transition);
 
@@ -1207,8 +1540,9 @@ impl Sm {
             }
 
             if instr.dst.is_some() || instr.pdst.is_some() {
-                sb_alloc.push((r.slot, instr, r.mask));
-                wb_times.push((r.slot, wb_time));
+                sb_alloc[n_alloc] = Some((instr, r.mask));
+                wb_times[n_alloc] = Some(wb_time);
+                n_alloc += 1;
             }
 
             // Consume the instruction-buffer entry.
@@ -1250,18 +1584,19 @@ impl Sm {
         // transition into every in-flight matrix.
         let after = self.slot_masks(w);
         let mut new_entry = None;
-        if !sb_alloc.is_empty() {
+        if n_alloc > 0 {
             let warp = &mut self.warps[w];
-            let (first, rest) = sb_alloc.split_first().expect("non-empty");
-            let i2 = rest.first().map(|&(_, i, m)| (i, m));
+            let first = sb_alloc[0].expect("non-empty");
+            let i2 = sb_alloc[1];
             let tokens = warp
                 .scoreboard
-                .allocate((first.1, first.2), i2)
+                .allocate(first, i2)
                 .expect("ready_check guaranteed a free entry");
             new_entry = Some(tokens.0);
-            self.schedule_retire(w, tokens.0, wb_times[0].1.clone());
-            if let (Some(t2), Some((_, wb2))) = (tokens.1, wb_times.get(1)) {
-                self.schedule_retire(w, t2, wb2.clone());
+            let wb0 = wb_times[0].take().expect("parallel to sb_alloc");
+            self.schedule_retire(w, tokens.0, wb0);
+            if let (Some(t2), Some(wb2)) = (tokens.1, wb_times[1].take()) {
+                self.schedule_retire(w, t2, wb2);
             }
         }
         if self.cfg.scoreboard_mode == ScoreboardMode::Matrix {
@@ -1276,6 +1611,11 @@ impl Sm {
         if !self.external_mem && !self.mem_outbox.is_empty() {
             self.drain_local_grants();
         }
+        // Divergence, ibuf and scoreboard state all moved: re-evaluate
+        // readiness and re-associate the warp's buffered entries.
+        self.wake_warp(w);
+        self.ctx_dirty |= 1u64 << w;
+        self.update_fetchable(w);
     }
 
     /// Registers a scoreboard entry's retirement: either a timed writeback
@@ -1311,6 +1651,102 @@ impl Sm {
         }
     }
 
+    /// Functional execution of one issue grant: through the superblock
+    /// fused path when the grant continues (or enters) the slot's active
+    /// superblock run, falling back to the interpreter otherwise.
+    ///
+    /// Covered instructions still execute exactly one per grant, so the
+    /// fused path changes *how* an instruction's semantics are computed
+    /// (pre-resolved operands, in-place rows), never *when* — timing,
+    /// transitions and memory effects are charged per original
+    /// instruction, identically to the interpreter path.
+    fn execute_pick(
+        &mut self,
+        w: usize,
+        slot: usize,
+        instr: &Instruction,
+        pc: Pc,
+        mask: Mask,
+    ) -> (Mask, Vec<(usize, u32, u32)>) {
+        if self.sb.is_some() {
+            if let Some(loc) = self.superblock_advance(w, slot, pc, mask) {
+                return self.execute_covered(w, loc, instr, mask);
+            }
+        }
+        self.execute_functional(w, instr, mask)
+    }
+
+    /// Advances slot `slot`'s superblock run for a grant at `pc` with
+    /// `mask`. Returns `Some((superblock index, op index))` when the grant
+    /// is covered — either the next instruction of the active run or the
+    /// entry of a new superblock — and `None` (interpreter fallback) when
+    /// it deviates. A deviating grant while a run is active (the context
+    /// branched away, or its mask changed under divergence or a merge)
+    /// aborts the run; since runs execute nothing ahead of the grant,
+    /// aborting is free.
+    fn superblock_advance(
+        &mut self,
+        w: usize,
+        slot: usize,
+        pc: Pc,
+        mask: Mask,
+    ) -> Option<(u32, u32)> {
+        let set = self.sb.as_ref()?;
+        let run = &mut self.warps[w].sb_run[slot];
+        if run.next < run.end {
+            if pc.index() as u32 == run.next && mask == run.mask {
+                let op = run.next - run.start;
+                run.next += 1;
+                self.stats.superblock_covered += 1;
+                return Some((run.index, op));
+            }
+            *run = SbRun::default();
+            self.stats.superblock_aborts += 1;
+        }
+        let index = set.entry_index_at(pc)?;
+        let sb = &set.superblocks()[index as usize];
+        *run = SbRun {
+            index,
+            start: pc.index() as u32,
+            next: pc.index() as u32 + 1,
+            end: sb.end.index() as u32,
+            mask,
+        };
+        self.stats.superblock_enters += 1;
+        self.stats.superblock_covered += 1;
+        Some((index, 0))
+    }
+
+    /// Executes a covered grant through [`execute_fused`] and applies its
+    /// memory effects through the same code path as the interpreter.
+    fn execute_covered(
+        &mut self,
+        w: usize,
+        loc: (u32, u32),
+        instr: &Instruction,
+        mask: Mask,
+    ) -> (Mask, Vec<(usize, u32, u32)>) {
+        let mut accesses = std::mem::take(&mut self.access_scratch);
+        let taken = {
+            let set = self.sb.as_ref().expect("covered grant has a plan");
+            let fop = &set.superblocks()[loc.0 as usize].ops[loc.1 as usize];
+            debug_assert_eq!(fop.op, instr.op, "fused op tracks the program");
+            let params = &self.params;
+            let warp = &mut self.warps[w];
+            let active = mask & warp.populated;
+            execute_fused(
+                fop,
+                &mut warp.regs,
+                &warp.info,
+                params,
+                active,
+                &mut accesses,
+            )
+        };
+        self.apply_memory_effects(w, instr, &accesses);
+        (taken, accesses)
+    }
+
     /// Functional execution of `instr` for the threads in `mask`: runs the
     /// warp-level SoA execute path ([`execute_warp`]), performs the memory
     /// reads/writes it reported, and returns the taken mask (branches)
@@ -1329,7 +1765,6 @@ impl Sm {
         let mut accesses = std::mem::take(&mut self.access_scratch);
         let params = &self.params;
         let warp = &mut self.warps[w];
-        let block_slot = warp.block_slot;
         let active = mask & warp.populated;
         let taken = execute_warp(
             instr,
@@ -1339,22 +1774,53 @@ impl Sm {
             active,
             &mut accesses,
         );
-        // Memory side effects (loads read, stores/atomics write).
+        self.apply_memory_effects(w, instr, &accesses);
+        (taken, accesses)
+    }
+
+    /// Memory side effects of one executed instruction (loads read,
+    /// stores/atomics write), applied from its access list. Shared by the
+    /// interpreter and superblock paths so their journal and memory state
+    /// are bit-identical by construction.
+    fn apply_memory_effects(
+        &mut self,
+        w: usize,
+        instr: &Instruction,
+        accesses: &[(usize, u32, u32)],
+    ) {
+        let block_slot = self.warps[w].block_slot;
         match instr.op {
             Op::Ld => {
                 let d = instr.dst.expect("load has dst").index();
-                for &(t, addr, _) in &accesses {
-                    let v = match instr.space {
-                        warpweave_isa::MemSpace::Global => self.mem.read_u32(addr & !3),
-                        warpweave_isa::MemSpace::Shared => {
-                            self.shared[block_slot].read_u32(addr & !3)
+                let row = self.warps[w].regs.row_mut(d);
+                match instr.space {
+                    warpweave_isa::MemSpace::Global => {
+                        // Warp loads are mostly uniform or unit-stride, so
+                        // cache the current page across lanes — one table
+                        // walk per page transition instead of per lane.
+                        let mem = &self.mem;
+                        let mut key = u32::MAX; // page id of `page`
+                        let mut page: Option<&[u32]> = None;
+                        for &(t, addr, _) in accesses {
+                            let a = addr & !3;
+                            if a >> 12 != key {
+                                key = a >> 12;
+                                page = mem.page(a);
+                            }
+                            row[t] = page.map_or(0, |p| p[Memory::page_word(a)]);
                         }
-                    };
-                    self.warps[w].regs.set_reg(t, d, v);
+                    }
+                    warpweave_isa::MemSpace::Shared => {
+                        let words = self.shared[block_slot].words();
+                        for &(t, addr, _) in accesses {
+                            let wi = ((addr & !3) >> 2) as usize;
+                            row[t] = words.get(wi).copied().unwrap_or(0);
+                        }
+                    }
                 }
             }
             Op::St => {
-                for &(_, addr, data) in &accesses {
+                for &(_, addr, data) in accesses {
                     match instr.space {
                         warpweave_isa::MemSpace::Global => {
                             self.mem.write_u32(addr & !3, data);
@@ -1369,7 +1835,7 @@ impl Sm {
                 }
             }
             Op::AtomAdd => {
-                for &(_, addr, data) in &accesses {
+                for &(_, addr, data) in accesses {
                     match instr.space {
                         warpweave_isa::MemSpace::Global => {
                             let old = self.mem.read_u32(addr & !3);
@@ -1387,7 +1853,6 @@ impl Sm {
             }
             _ => {}
         }
-        (taken, accesses)
     }
 
     /// Builds the control-flow transition for an executed instruction.
@@ -1442,6 +1907,7 @@ impl Sm {
                     // and handed back below — per-transaction lane lists
                     // keep their capacity across issue events.
                     let mut txs = std::mem::take(&mut self.tx_scratch);
+                    let mut plan = std::mem::take(&mut self.plan_scratch);
                     let waves = self.groups.waves(g, width);
                     let (port, timing) = match (instr.space, instr.op) {
                         (warpweave_isa::MemSpace::Global, Op::AtomAdd) => {
@@ -1451,7 +1917,8 @@ impl Sm {
                                 self.stats.lsu_replays += 1;
                             }
                             // Atomics are fire-and-forget write traffic.
-                            let plan = plan_global(
+                            plan_global_into(
+                                &mut plan,
                                 &mut self.l1,
                                 &mut self.mshr,
                                 now,
@@ -1469,7 +1936,8 @@ impl Sm {
                                 self.stats.lsu_replays += 1;
                             }
                             let is_store = op == Op::St;
-                            let plan = plan_global(
+                            plan_global_into(
+                                &mut plan,
                                 &mut self.l1,
                                 &mut self.mshr,
                                 now,
@@ -1496,7 +1964,10 @@ impl Sm {
                                     WbTiming::Mem {
                                         first_seq,
                                         count: plan.dram_requests.len() as u32,
-                                        merged: plan.merged_waits,
+                                        // Moved out only on the (rare) MSHR-
+                                        // merge path; the scratch plan keeps
+                                        // its capacity otherwise.
+                                        merged: std::mem::take(&mut plan.merged_waits),
                                         floor: plan.inline_ready,
                                     },
                                 )
@@ -1527,6 +1998,7 @@ impl Sm {
                     self.groups.occupy(g, now, port.max(waves));
                     self.addr_scratch = addr_list;
                     self.tx_scratch = txs;
+                    self.plan_scratch = plan;
                     timing
                 }
                 UnitClass::Control => WbTiming::At(now + 1),
@@ -1559,6 +2031,8 @@ impl Sm {
                         Divergence::Stack(s) => s.release_barrier(),
                         Divergence::Frontier(h) => h.release_barrier(),
                     }
+                    self.wake_warp(w);
+                    self.ctx_dirty |= 1u64 << w;
                 }
                 self.blocks[b].barrier_arrived = 0;
                 self.stats.barrier_releases += 1;
@@ -1580,6 +2054,9 @@ impl Sm {
                     for w in blk.first_warp..blk.first_warp + blk.num_warps {
                         self.warps[w].alive = false;
                         self.warps[w].ibuf = [None, None];
+                        self.wake_warp(w);
+                        self.ctx_dirty |= 1u64 << w;
+                        self.update_fetchable(w);
                     }
                     self.stats.blocks_completed += 1;
                     self.last_progress = self.cycle;
@@ -1602,7 +2079,7 @@ impl Sm {
         blk.barrier_arrived = 0;
         let first = blk.first_warp;
         let nwarps = blk.num_warps;
-        self.shared[slot] = Memory::new();
+        self.shared[slot].clear();
         let width = self.cfg.warp_width;
         for wi in 0..nwarps {
             let w = first + wi;
@@ -1631,6 +2108,13 @@ impl Sm {
             warp.scoreboard =
                 Scoreboard::new(self.cfg.scoreboard_mode, self.cfg.scoreboard_entries);
             warp.ibuf = [None, None];
+            warp.sb_run = [SbRun::default(); 2];
+            self.ctx_dirty |= 1u64 << w;
+            self.ready_cand[0].set(self.ready_cand[0].get() | 1u64 << w);
+            self.ready_cand[1].set(self.ready_cand[1].get() | 1u64 << w);
+            self.ready_now[0].set(self.ready_now[0].get() & !(1u64 << w));
+            self.ready_now[1].set(self.ready_now[1].get() & !(1u64 << w));
+            self.ready_memo[w] = [Cell::new(ReadyMemo::Stale), Cell::new(ReadyMemo::Stale)];
             warp.div = match self.cfg.divergence {
                 crate::config::DivergenceModel::Stack => {
                     Divergence::Stack(PdomStack::new(populated))
@@ -1639,6 +2123,7 @@ impl Sm {
                     Divergence::Frontier(FrontierHeap::new(populated))
                 }
             };
+            self.update_fetchable(w);
         }
     }
 
@@ -1652,22 +2137,32 @@ impl Sm {
     ///
     /// Returns whether any channel filled a buffer entry this cycle.
     fn fetch(&mut self) -> bool {
+        // Even/odd warp-id masks for parity-filtered channel domains.
+        const EVEN: u64 = 0x5555_5555_5555_5555;
         let mut any = false;
         let nw = self.cfg.num_warps;
         let channels = self.policy().fetch_channels();
         for (ch, prefs) in channels.into_iter().enumerate() {
             let mut advanced = false;
             'pref: for &(parity, slot) in prefs {
-                for k in 0..nw {
-                    let w = (self.fetch_rr[ch] + k) % nw;
-                    if let Some(p) = parity {
-                        if w % 2 != p {
-                            continue;
-                        }
-                    }
-                    if !self.warps[w].alive || self.warps[w].ibuf[slot].is_some() {
-                        continue;
-                    }
+                // Alive warps with an empty buffer entry, straight off the
+                // maintained candidate mask — the round-robin scan visits
+                // only those instead of probing all `nw` warps' ibufs.
+                let mut cands = self.fetchable[slot];
+                if let Some(p) = parity {
+                    cands &= if p == 0 { EVEN } else { !EVEN };
+                }
+                let rr = self.fetch_rr[ch];
+                while cands != 0 {
+                    // First candidate at or after the round-robin pointer,
+                    // wrapping — identical pick order to the linear scan.
+                    let ahead = cands & !((1u64 << rr) - 1);
+                    let w = if ahead != 0 {
+                        ahead.trailing_zeros() as usize
+                    } else {
+                        cands.trailing_zeros() as usize
+                    };
+                    cands &= !(1u64 << w);
                     let Some((pc, _, _)) = self.ctx(w, slot) else {
                         continue;
                     };
@@ -1677,6 +2172,9 @@ impl Sm {
                         seq: self.next_seq,
                     });
                     self.next_seq += 1;
+                    self.wake_warp(w);
+                    self.ctx_dirty |= 1u64 << w;
+                    self.update_fetchable(w);
                     self.fetch_rr[ch] = (w + 1) % nw;
                     advanced = true;
                     any = true;

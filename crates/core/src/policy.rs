@@ -211,6 +211,34 @@ impl IssueCtx<'_> {
         self.sm.ready_check_nogroup(warp, slot)
     }
 
+    /// Warp bitmask for which [`IssueCtx::ready_check`] on `slot` *might*
+    /// return `Some` this cycle. A clear bit is a guarantee of not-ready
+    /// (a memoized until-wake failure), so scan loops may skip it without
+    /// changing any pick; a set bit still needs the check itself.
+    pub fn ready_candidates(&self, slot: usize) -> u64 {
+        self.sm.ready_candidates(slot)
+    }
+
+    /// Warps with a *memoized* ready instruction in `slot` (subset of
+    /// [`IssueCtx::ready_candidates`]); pair with
+    /// [`IssueCtx::ready_info`] for scan loops that only need age and
+    /// unit class.
+    pub fn ready_now(&self, slot: usize) -> u64 {
+        self.sm.ready_now(slot)
+    }
+
+    /// `(seq, unit)` of the memoized ready instruction — only meaningful
+    /// while the matching [`IssueCtx::ready_now`] bit is set.
+    pub fn ready_info(&self, warp: usize, slot: usize) -> (u64, UnitClass) {
+        self.sm.ready_info(warp, slot)
+    }
+
+    /// Unit classes with a free issue port this cycle, as a bitmask over
+    /// `UnitClass as u8` (Control is always set).
+    pub fn free_unit_mask(&self) -> u8 {
+        self.sm.free_unit_mask()
+    }
+
     /// `(pc, mask, at_barrier)` of the divergence context feeding ibuf
     /// `slot` of `warp` (`None` when the warp is dead or the slot empty).
     pub fn split_ctx(&self, warp: usize, slot: usize) -> Option<(Pc, Mask, bool)> {
@@ -297,7 +325,7 @@ impl IssueCtx<'_> {
     /// execution, back-end timing, divergence update, scoreboard event.
     /// Commit order is architecturally meaningful (port occupancy and
     /// DRAM arbitration follow it), so commit in the order picked.
-    pub fn commit(&mut self, warp: usize, picks: Vec<Pick>) {
+    pub fn commit(&mut self, warp: usize, picks: &[Pick]) {
         self.sm.commit_warp_issue(warp, picks);
     }
 }

@@ -62,24 +62,27 @@ impl IssuePolicy for SbiPolicy {
         let Some(d1) = ctx.plan_dispatch(r1.unit) else {
             return 0;
         };
-        let mut picks: Vec<Pick> = vec![Pick {
+        let p1 = Pick {
             ready: r1,
             dispatch: d1,
             secondary: false,
-        }];
+        };
+        // Fixed two-slot pick buffer (second slot unused unless co-issued).
+        let mut picks = [p1, p1];
+        let mut n = 1;
         if let Some(r2) = ctx.ready_check(w, 1) {
             if let Some(d2) = ctx.plan_coissue(&r1, d1, &r2) {
-                picks.push(Pick {
+                picks[n] = Pick {
                     ready: r2,
                     dispatch: d2,
                     secondary: true,
-                });
+                };
+                n += 1;
             }
         }
-        let mut issued = picks.len();
-        if picks.len() == 1 {
+        let mut issued = n;
+        if n == 1 {
             // Other-warp fallback for the idle front-end.
-            let p1 = picks[0];
             let mut alt: Option<(Ready, Dispatch)> = None;
             for ow in (0..ctx.num_warps()).filter(|&ow| ow != w) {
                 let Some(r) = ctx.ready_check(ow, 0) else {
@@ -102,7 +105,7 @@ impl IssuePolicy for SbiPolicy {
                     issued += 1;
                     ctx.commit(
                         r.warp,
-                        vec![Pick {
+                        &[Pick {
                             ready: r,
                             dispatch: d,
                             secondary: true,
@@ -112,7 +115,7 @@ impl IssuePolicy for SbiPolicy {
             }
         }
         self.last = Some(w);
-        ctx.commit(w, picks);
+        ctx.commit(w, &picks[..n]);
         issued
     }
 

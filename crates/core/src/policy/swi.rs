@@ -215,31 +215,32 @@ impl IssuePolicy for SwiPolicy {
                 if let Some(r1) = still {
                     if let Some(d1) = ctx.plan_dispatch(r1.unit) {
                         let sec = self.find_secondary(ctx, &r1, d1);
-                        let mut picks_by_warp: Vec<(usize, Vec<Pick>)> = vec![(
-                            r1.warp,
-                            vec![Pick {
-                                ready: r1,
-                                dispatch: d1,
-                                secondary: false,
-                            }],
-                        )];
-                        if let Some((r2, d2)) = sec {
-                            secondary_issued = Some((r2.warp, r2.slot));
-                            let pick2 = Pick {
-                                ready: r2,
-                                dispatch: d2,
-                                secondary: true,
-                            };
-                            if r2.warp == r1.warp {
-                                picks_by_warp[0].1.push(pick2);
-                            } else {
-                                picks_by_warp.push((r2.warp, vec![pick2]));
-                            }
-                        }
+                        let pick1 = Pick {
+                            ready: r1,
+                            dispatch: d1,
+                            secondary: false,
+                        };
                         self.last = Some(r1.warp);
-                        for (w, picks) in picks_by_warp {
-                            issued += picks.len();
-                            ctx.commit(w, picks);
+                        match sec {
+                            Some((r2, d2)) => {
+                                secondary_issued = Some((r2.warp, r2.slot));
+                                let pick2 = Pick {
+                                    ready: r2,
+                                    dispatch: d2,
+                                    secondary: true,
+                                };
+                                issued += 2;
+                                if r2.warp == r1.warp {
+                                    ctx.commit(r1.warp, &[pick1, pick2]);
+                                } else {
+                                    ctx.commit(r1.warp, &[pick1]);
+                                    ctx.commit(r2.warp, &[pick2]);
+                                }
+                            }
+                            None => {
+                                issued += 1;
+                                ctx.commit(r1.warp, &[pick1]);
+                            }
                         }
                     } else {
                         // Port busy: hold the pick, stall the cascade.
@@ -258,7 +259,7 @@ impl IssuePolicy for SwiPolicy {
                         secondary_issued = Some((r.warp, r.slot));
                         ctx.commit(
                             r.warp,
-                            vec![Pick {
+                            &[Pick {
                                 ready: r,
                                 dispatch: d,
                                 secondary: true,

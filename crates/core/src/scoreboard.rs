@@ -91,7 +91,11 @@ impl DepMatrix {
 #[derive(Debug, Clone, Copy)]
 struct SbInst {
     dst: Option<u8>,
-    pdst: Option<u8>,
+    /// `dst` as a register bitmask (bit `r` set), 0 when no destination —
+    /// the write footprint candidates are matched against with one AND.
+    dst_bit: u64,
+    /// `pdst` as a predicate bitmask, 0 when none.
+    pdst_bit: u8,
     /// Thread mask at issue (Exact mode refinement).
     mask: Mask,
 }
@@ -116,6 +120,16 @@ pub struct SbToken {
 pub struct Scoreboard {
     mode: ScoreboardMode,
     entries: Vec<Option<SbEntry>>,
+    /// Union of every in-flight `dst_bit` — the WarpLevel dependence test
+    /// collapses to one AND against this. Kept current by
+    /// [`Scoreboard::allocate`]/[`Scoreboard::retire`].
+    agg_regs: u64,
+    /// Union of every in-flight `pdst_bit`.
+    agg_preds: u8,
+    /// Count of occupied entries, kept current by
+    /// [`Scoreboard::allocate`]/[`Scoreboard::retire`] so the per-cycle
+    /// [`Scoreboard::has_free`] probe is one compare, not a slot scan.
+    occupied: usize,
 }
 
 impl Scoreboard {
@@ -124,17 +138,40 @@ impl Scoreboard {
         Scoreboard {
             mode,
             entries: vec![None; entries],
+            agg_regs: 0,
+            agg_preds: 0,
+            occupied: 0,
         }
+    }
+
+    /// Recomputes the aggregate write footprints from the live entries
+    /// (≤ `entries × 2` instructions — allocate/retire rate, not
+    /// ready-check rate).
+    fn recompute_agg(&mut self) {
+        let mut regs = 0u64;
+        let mut preds = 0u8;
+        for inst in self
+            .entries
+            .iter()
+            .flatten()
+            .flat_map(|e| e.insts.iter().flatten())
+        {
+            regs |= inst.dst_bit;
+            preds |= inst.pdst_bit;
+        }
+        self.agg_regs = regs;
+        self.agg_preds = preds;
     }
 
     /// True if an entry is free for the next issue.
     pub fn has_free(&self) -> bool {
-        self.entries.iter().any(Option::is_none)
+        self.occupied < self.entries.len()
     }
 
     /// Number of occupied entries.
     pub fn in_flight(&self) -> usize {
-        self.entries.iter().flatten().count()
+        debug_assert_eq!(self.occupied, self.entries.iter().flatten().count());
+        self.occupied
     }
 
     /// Destination registers of every in-flight instruction, in entry
@@ -156,11 +193,39 @@ impl Scoreboard {
     /// A dependency is a register/predicate ID match (RAW on sources, WAW on
     /// the destination) refined per the scoreboard mode.
     pub fn depends(&self, cand: &Instruction, cand_mask: Mask, cand_slot: usize) -> bool {
+        self.depends_masks(
+            cand.reg_footprint(),
+            cand.pred_footprint(),
+            cand_mask,
+            cand_slot,
+        )
+    }
+
+    /// [`Scoreboard::depends`] against a precomputed candidate footprint
+    /// (`Instruction::reg_footprint`/`pred_footprint`) — the per-pc-cached
+    /// form the issue path's ready checks run every cycle. A register or
+    /// predicate match is one AND against each in-flight write bit.
+    pub fn depends_masks(
+        &self,
+        cand_regs: u64,
+        cand_preds: u8,
+        cand_mask: Mask,
+        cand_slot: usize,
+    ) -> bool {
         debug_assert!(cand_slot < 3);
+        // No in-flight write touches the candidate's footprint: done. In
+        // WarpLevel mode any match is a dependency, so this is the whole
+        // test.
+        if self.agg_regs & cand_regs == 0 && self.agg_preds & cand_preds == 0 {
+            return false;
+        }
+        if self.mode == ScoreboardMode::WarpLevel {
+            return true;
+        }
         for e in self.entries.iter().flatten() {
             for (slot, inst) in e.insts.iter().enumerate() {
                 let Some(inst) = inst else { continue };
-                if !self.ids_match(cand, inst) {
+                if inst.dst_bit & cand_regs == 0 && inst.pdst_bit & cand_preds == 0 {
                     continue;
                 }
                 let refined = match self.mode {
@@ -171,24 +236,6 @@ impl Scoreboard {
                 if refined {
                     return true;
                 }
-            }
-        }
-        false
-    }
-
-    fn ids_match(&self, cand: &Instruction, inst: &SbInst) -> bool {
-        if let Some(d) = inst.dst {
-            let raw = cand.src_regs().any(|r| r.index() == d as usize);
-            let waw = cand.dst.is_some_and(|r| r.index() == d as usize);
-            if raw || waw {
-                return true;
-            }
-        }
-        if let Some(pd) = inst.pdst {
-            let praw = cand.src_preds().any(|p| p.index() == pd as usize);
-            let pwaw = cand.pdst.is_some_and(|p| p.index() == pd as usize);
-            if praw || pwaw {
-                return true;
             }
         }
         false
@@ -206,7 +253,8 @@ impl Scoreboard {
         let idx = self.entries.iter().position(Option::is_none)?;
         let to_inst = |(ins, mask): (&Instruction, Mask)| SbInst {
             dst: ins.dst.map(|r| r.index() as u8),
-            pdst: ins.pdst.map(|p| p.index() as u8),
+            dst_bit: ins.dst.map_or(0, |r| 1 << r.index()),
+            pdst_bit: ins.pdst.map_or(0, |p| 1 << p.index()),
             mask,
         };
         let e = SbEntry {
@@ -218,6 +266,8 @@ impl Scoreboard {
             slot: 1,
         });
         self.entries[idx] = Some(e);
+        self.occupied += 1;
+        self.recompute_agg();
         Some((
             SbToken {
                 entry: idx,
@@ -258,7 +308,9 @@ impl Scoreboard {
         e.insts[token.slot] = None;
         if e.insts.iter().all(Option::is_none) {
             self.entries[token.entry] = None;
+            self.occupied -= 1;
         }
+        self.recompute_agg();
     }
 }
 

@@ -68,6 +68,15 @@ pub struct Stats {
     /// Misses that found the MSHR file full and fell through to their own
     /// DRAM request (0 when MSHRs are disabled).
     pub mshr_bypasses: u64,
+    /// Superblock runs entered (an issue grant landed on a fused region's
+    /// first instruction).
+    pub superblock_enters: u64,
+    /// Issue grants executed through the superblock fused path (includes
+    /// the entering grant of each run).
+    pub superblock_covered: u64,
+    /// Superblock runs abandoned because a grant deviated from the
+    /// expected pc/mask (divergence, merges, context swaps).
+    pub superblock_aborts: u64,
 }
 
 impl Stats {
@@ -172,6 +181,9 @@ impl Stats {
             dram_max_queue_delay,
             mshr_merges,
             mshr_bypasses,
+            superblock_enters,
+            superblock_covered,
+            superblock_aborts,
         } = self.clone();
         vec![
             ("cycles", cycles),
@@ -206,6 +218,9 @@ impl Stats {
             ("dram_max_queue_delay", dram_max_queue_delay),
             ("mshr_merges", mshr_merges),
             ("mshr_bypasses", mshr_bypasses),
+            ("superblock_enters", superblock_enters),
+            ("superblock_covered", superblock_covered),
+            ("superblock_aborts", superblock_aborts),
         ]
     }
 
@@ -275,6 +290,9 @@ impl Stats {
             "dram_max_queue_delay" => self.dram_max_queue_delay = value,
             "mshr_merges" => self.mshr_merges = value,
             "mshr_bypasses" => self.mshr_bypasses = value,
+            "superblock_enters" => self.superblock_enters = value,
+            "superblock_covered" => self.superblock_covered = value,
+            "superblock_aborts" => self.superblock_aborts = value,
             other => return Err(format!("unknown stats field `{other}`")),
         }
         Ok(())
@@ -316,6 +334,9 @@ impl Stats {
         self.dram_max_queue_delay = self.dram_max_queue_delay.max(other.dram_max_queue_delay);
         self.mshr_merges += other.mshr_merges;
         self.mshr_bypasses += other.mshr_bypasses;
+        self.superblock_enters += other.superblock_enters;
+        self.superblock_covered += other.superblock_covered;
+        self.superblock_aborts += other.superblock_aborts;
     }
 
     /// Folds the statistics of an SM that ran *concurrently* with this one

@@ -9,7 +9,7 @@ use warpweave_core::checkpoint::{decode_cell, encode_cell, CellRecord, SweepChec
 use warpweave_core::Stats;
 use warpweave_mem::ChannelStats;
 
-/// Builds a `Stats` whose 32 counters are the given raw values.
+/// Builds a `Stats` whose 35 counters are the given raw values.
 fn stats_from(values: &[u64]) -> Stats {
     let mut fields = Stats::default().to_fields();
     assert_eq!(fields.len(), values.len(), "update the strategy length");
@@ -44,7 +44,7 @@ proptest! {
     /// without a channel section.
     #[test]
     fn cell_round_trip_is_exact(
-        stats_vals in proptest::collection::vec(any::<u64>(), 32..33),
+        stats_vals in proptest::collection::vec(any::<u64>(), 35..36),
         channel_vals in proptest::collection::vec(any::<u64>(), 9..10),
         with_channel in any::<bool>(),
     ) {
@@ -63,7 +63,7 @@ proptest! {
     /// value is detected — the checksum leaves no silent corruption.
     #[test]
     fn any_single_byte_corruption_is_detected(
-        stats_vals in proptest::collection::vec(any::<u64>(), 32..33),
+        stats_vals in proptest::collection::vec(any::<u64>(), 35..36),
         position in any::<u64>(),
         delta in 1u8..255,
     ) {
@@ -94,7 +94,7 @@ proptest! {
     /// the complete cells before it — never a partial cell.
     #[test]
     fn truncation_never_yields_partial_cells(
-        stats_vals in proptest::collection::vec(any::<u64>(), 32..33),
+        stats_vals in proptest::collection::vec(any::<u64>(), 35..36),
         cells in 1usize..5,
         cut in any::<u64>(),
     ) {

@@ -39,7 +39,7 @@ impl IssuePolicy for RoundRobinPolicy {
             self.next = (w + 1) % nw;
             ctx.commit(
                 w,
-                vec![Pick {
+                &[Pick {
                     ready,
                     dispatch,
                     secondary: false,

@@ -34,8 +34,6 @@ pub struct Block {
 pub struct Cfg {
     /// Basic blocks in address order.
     pub blocks: Vec<Block>,
-    /// Map from instruction index to owning block id.
-    pub block_of: Vec<usize>,
 }
 
 impl Cfg {
@@ -44,9 +42,17 @@ impl Cfg {
         self.blocks.len()
     }
 
-    /// The block containing instruction `idx`.
+    /// The block containing instruction `idx`, by binary search over the
+    /// address-ordered block starts (blocks partition `[0, n)`, so the
+    /// owning block is the last one whose `start <= idx`).
     pub fn block_containing(&self, idx: usize) -> usize {
-        self.block_of[idx]
+        debug_assert!(!self.blocks.is_empty() && idx < self.blocks[self.blocks.len() - 1].end);
+        self.blocks.partition_point(|b| b.start <= idx) - 1
+    }
+
+    /// True iff instruction `idx` is the first instruction of its block.
+    pub fn is_leader(&self, idx: usize) -> bool {
+        self.blocks.binary_search_by_key(&idx, |b| b.start).is_ok()
     }
 }
 
@@ -76,7 +82,6 @@ pub fn build_cfg(instrs: &[Instruction]) -> Cfg {
         }
     }
     let mut blocks = Vec::new();
-    let mut block_of = vec![0usize; n];
     let mut start = 0;
     for i in 0..n {
         if i > 0 && leader[i] {
@@ -97,24 +102,22 @@ pub fn build_cfg(instrs: &[Instruction]) -> Cfg {
             preds: Vec::new(),
         });
     }
-    for (b, blk) in blocks.iter().enumerate() {
-        for i in blk.start..blk.end {
-            block_of[i] = b;
-        }
-    }
-    // Edges.
-    let exit = blocks.len();
+    // Edges. A leader opens every block, so a block id is recoverable from
+    // any interior index by binary search (`Cfg::block_containing`); the
+    // fallthrough successor of block `b` is simply `b + 1`.
+    let cfg = Cfg { blocks };
+    let exit = cfg.exit_node();
     let mut edges: Vec<(usize, usize)> = Vec::new();
-    for b in 0..blocks.len() {
-        let last = blocks[b].end - 1;
+    for b in 0..cfg.blocks.len() {
+        let last = cfg.blocks[b].end - 1;
         let ins = &instrs[last];
         match ins.op {
             Op::Bra => {
-                let t = block_of[ins.target.expect("branch target").index()];
+                let t = cfg.block_containing(ins.target.expect("branch target").index());
                 if ins.guard.is_some() {
                     // Divergent branch: fallthrough first, then target.
-                    if blocks[b].end < n {
-                        edges.push((b, block_of[blocks[b].end]));
+                    if cfg.blocks[b].end < n {
+                        edges.push((b, b + 1));
                     } else {
                         edges.push((b, exit));
                     }
@@ -123,15 +126,15 @@ pub fn build_cfg(instrs: &[Instruction]) -> Cfg {
             }
             Op::Exit => edges.push((b, exit)),
             _ => {
-                if blocks[b].end < n {
-                    edges.push((b, block_of[blocks[b].end]));
+                if cfg.blocks[b].end < n {
+                    edges.push((b, b + 1));
                 } else {
                     edges.push((b, exit));
                 }
             }
         }
     }
-    let mut cfg = Cfg { blocks, block_of };
+    let mut cfg = cfg;
     for (from, to) in edges {
         cfg.blocks[from].succs.push(to);
         if to != exit {
@@ -363,7 +366,7 @@ pub fn analyze_and_finalize(
     let mut out: Vec<Instruction> = Vec::with_capacity(instrs.len() + sync_at.len());
     for (i, mut ins) in instrs.into_iter().enumerate() {
         if sync_at.contains(&i) {
-            let r = cfg.block_of[i];
+            let r = cfg.block_containing(i);
             // PCdiv = last instruction of the immediate dominator of the
             // reconvergence block (paper §3.3); entry-block reconvergence
             // cannot happen (entry has no idom) but fall back to 0.
@@ -549,6 +552,55 @@ mod tests {
         ];
         let (_, rep) = analyze_and_finalize(v, true).unwrap();
         assert!(!rep.frontier_ordered);
+    }
+
+    /// Straight-line program: one block, trivially (post)dominated.
+    #[test]
+    fn single_block_dominators_and_postdominators() {
+        let c = build_cfg(&[mov(0), mov(1), exit()]);
+        assert_eq!(c.blocks.len(), 1);
+        assert_eq!(dominators(&c), vec![None]); // entry has no idom
+        assert_eq!(postdominators(&c), vec![Some(c.exit_node())]);
+        for i in 0..3 {
+            assert_eq!(c.block_containing(i), 0);
+        }
+    }
+
+    /// Loop-to-self: a block whose divergent back edge targets its own head.
+    /// 0: mov          <- preheader
+    /// 1: mov          <- head (block 1, loops to itself)
+    /// 2: @p bra 1
+    /// 3: exit
+    #[test]
+    fn self_loop_dominators_and_postdominators() {
+        let c = build_cfg(&[mov(0), mov(1), bra(1, true), exit()]);
+        assert_eq!(c.blocks.len(), 3);
+        // Block 1's successors are the fallthrough (exit block) and itself.
+        assert_eq!(c.blocks[1].succs, vec![2, 1]);
+        let d = dominators(&c);
+        assert_eq!(d, vec![None, Some(0), Some(1)]);
+        // The self-loop must not fool the postdominator fixpoint: block 1
+        // post-dominates to the exit block, not to itself.
+        let pd = postdominators(&c);
+        assert_eq!(pd, vec![Some(1), Some(2), Some(c.exit_node())]);
+    }
+
+    /// `block_containing` agrees with a linear scan on an irregular layout.
+    #[test]
+    fn block_containing_matches_linear_scan() {
+        let v = diamond();
+        let c = build_cfg(&v);
+        for i in 0..v.len() {
+            let linear = c
+                .blocks
+                .iter()
+                .position(|b| b.start <= i && i < b.end)
+                .unwrap();
+            assert_eq!(c.block_containing(i), linear, "instr {i}");
+        }
+        assert!(c.is_leader(0));
+        assert!(c.is_leader(1) && c.is_leader(3) && c.is_leader(4));
+        assert!(!c.is_leader(2) && !c.is_leader(5));
     }
 
     #[test]

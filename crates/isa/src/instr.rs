@@ -191,6 +191,34 @@ impl Instruction {
         self.op == Op::Bra && self.guard.is_some()
     }
 
+    /// Bitmask of the registers this instruction reads **or** writes
+    /// (bit `r` = register `r`) — the register-ID footprint a scoreboard
+    /// matches candidates against (RAW on sources, WAW on the
+    /// destination).
+    pub fn reg_footprint(&self) -> u64 {
+        let mut m = 0u64;
+        for r in self.src_regs() {
+            m |= 1 << r.index();
+        }
+        if let Some(d) = self.dst {
+            m |= 1 << d.index();
+        }
+        m
+    }
+
+    /// Bitmask of the predicates this instruction reads (guard, select)
+    /// **or** writes (`pdst`).
+    pub fn pred_footprint(&self) -> u8 {
+        let mut m = 0u8;
+        for p in self.src_preds() {
+            m |= 1 << p.index();
+        }
+        if let Some(pd) = self.pdst {
+            m |= 1 << pd.index();
+        }
+        m
+    }
+
     /// Checks structural invariants (operand counts per opcode).
     ///
     /// # Errors

@@ -44,6 +44,7 @@ pub mod instr;
 pub mod op;
 pub mod program;
 pub mod reg;
+pub mod superblock;
 
 pub use asm::{program_from_text, program_to_text, KernelBuilder};
 pub use cfg::{build_cfg, dominators, postdominators, Cfg, LayoutReport};
@@ -52,3 +53,4 @@ pub use instr::{Guard, Instruction, Operand};
 pub use op::{CmpOp, MemSpace, Op, UnitClass};
 pub use program::{Pc, Program};
 pub use reg::{p, r, Pred, Reg, SpecialReg, NUM_PREDS, NUM_REGS};
+pub use superblock::{FusedOp, FusedSrc, Superblock, SuperblockSet, MIN_SUPERBLOCK_LEN};

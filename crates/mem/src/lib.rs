@@ -61,4 +61,4 @@ pub use dram::{Dram, DramConfig, DramStats};
 pub use event::{MemEvent, MemEventQueue};
 pub use l2::{L2Stats, SharedL2};
 pub use mshr::{MshrFile, MshrLookup};
-pub use space::Memory;
+pub use space::{Memory, SharedMem};

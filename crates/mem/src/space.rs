@@ -1,15 +1,23 @@
 //! Flat, sparse, word-granular backing store for global and shared memory.
 
-use std::collections::HashMap;
-
 const PAGE_WORDS: usize = 1024; // 4 KiB pages
-const PAGE_SHIFT: u32 = 12;
+/// Second-level tables cover `DIR_SPAN` pages (4 MiB of address space)
+/// each; the root directory has one slot per possible table.
+const DIR_SPAN: usize = 1024;
+const DIR_SLOTS: usize = 1024;
+
+type Page = Box<[u32; PAGE_WORDS]>;
 
 /// A sparse 32-bit byte-addressed memory storing aligned 32-bit words.
 ///
 /// Unwritten locations read as zero. Addresses must be 4-byte aligned —
 /// the warpweave LSU only issues word accesses, like the 32-bit loads the
 /// benchmarked kernels use.
+///
+/// Storage is a two-level page table (root directory → 4 MiB directory →
+/// 4 KiB page), so the hot word accesses are two pointer chases and an
+/// index — no hashing on the simulator's LSU path. Unpopulated levels
+/// cost nothing until first written.
 ///
 /// # Examples
 /// ```
@@ -21,7 +29,7 @@ const PAGE_SHIFT: u32 = 12;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u32; PAGE_WORDS]>>,
+    dirs: Vec<Option<Box<[Option<Page>; DIR_SPAN]>>>,
 }
 
 impl Memory {
@@ -30,9 +38,11 @@ impl Memory {
         Memory::default()
     }
 
-    fn split(addr: u32) -> (u32, usize) {
+    /// Splits an aligned byte address into (directory, page, word) indices.
+    fn split(addr: u32) -> (usize, usize, usize) {
         assert!(addr.is_multiple_of(4), "unaligned access at 0x{addr:x}");
-        (addr >> PAGE_SHIFT, ((addr & 0xfff) >> 2) as usize)
+        let w = (addr >> 2) as usize;
+        (w >> 20, (w >> 10) & (DIR_SPAN - 1), w & (PAGE_WORDS - 1))
     }
 
     /// Reads the aligned 32-bit word at `addr`.
@@ -40,8 +50,11 @@ impl Memory {
     /// # Panics
     /// Panics if `addr` is not 4-byte aligned.
     pub fn read_u32(&self, addr: u32) -> u32 {
-        let (page, word) = Self::split(addr);
-        self.pages.get(&page).map_or(0, |p| p[word])
+        let (di, pi, wi) = Self::split(addr);
+        match self.dirs.get(di) {
+            Some(Some(dir)) => dir[pi].as_ref().map_or(0, |p| p[wi]),
+            _ => 0,
+        }
     }
 
     /// Writes the aligned 32-bit word at `addr`.
@@ -49,10 +62,29 @@ impl Memory {
     /// # Panics
     /// Panics if `addr` is not 4-byte aligned.
     pub fn write_u32(&mut self, addr: u32, value: u32) {
-        let (page, word) = Self::split(addr);
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[word] = value;
+        let (di, pi, wi) = Self::split(addr);
+        if self.dirs.is_empty() {
+            self.dirs.resize(DIR_SLOTS, None);
+        }
+        let dir = self.dirs[di].get_or_insert_with(|| Box::new([const { None }; DIR_SPAN]));
+        dir[pi].get_or_insert_with(|| Box::new([0; PAGE_WORDS]))[wi] = value;
+    }
+
+    /// Read-only view of the resident 4 KiB page containing `addr`
+    /// (`None` when unwritten — reads as zero). Hot loops pair this with
+    /// [`Memory::page_word`] to amortise the table walk across
+    /// consecutive accesses to one page.
+    pub fn page(&self, addr: u32) -> Option<&[u32]> {
+        let w = (addr >> 2) as usize;
+        match self.dirs.get(w >> 20) {
+            Some(Some(dir)) => dir[(w >> 10) & (DIR_SPAN - 1)].as_deref().map(|p| &p[..]),
+            _ => None,
+        }
+    }
+
+    /// Word index of (aligned) `addr` within its 4 KiB page.
+    pub fn page_word(addr: u32) -> usize {
+        ((addr >> 2) as usize) & (PAGE_WORDS - 1)
     }
 
     /// Reads an `f32` (bit-cast) at `addr`.
@@ -101,13 +133,107 @@ impl Memory {
 
     /// Number of resident 4 KiB pages (for capacity diagnostics).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.dirs
+            .iter()
+            .flatten()
+            .map(|d| d.iter().flatten().count())
+            .sum()
+    }
+}
+
+/// Dense word-granular backing store for one block's *shared* memory.
+///
+/// Shared spaces are architecturally tiny (tens of KB), so a flat,
+/// lazily-grown `Vec<u32>` beats the paged [`Memory`]: a load is one
+/// bounds-checked index with no table walk, and the whole space stays in
+/// a few cache lines. Unwritten locations read as zero; addresses must be
+/// 4-byte aligned, like [`Memory`].
+///
+/// # Examples
+/// ```
+/// use warpweave_mem::SharedMem;
+/// let mut m = SharedMem::new();
+/// m.write_u32(0x40, 7);
+/// assert_eq!(m.read_u32(0x40), 7);
+/// assert_eq!(m.read_u32(0x44), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedMem {
+    words: Vec<u32>,
+}
+
+impl SharedMem {
+    /// An empty (all-zero) shared space.
+    pub fn new() -> Self {
+        SharedMem::default()
+    }
+
+    /// Word index of (aligned) `addr`.
+    fn idx(addr: u32) -> usize {
+        assert!(addr.is_multiple_of(4), "unaligned access at 0x{addr:x}");
+        (addr >> 2) as usize
+    }
+
+    /// Reads the aligned 32-bit word at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        self.words.get(Self::idx(addr)).copied().unwrap_or(0)
+    }
+
+    /// Writes the aligned 32-bit word at `addr`, growing the store to
+    /// cover it.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let i = Self::idx(addr);
+        if i >= self.words.len() {
+            // Grow in 1 KiB steps so unit-stride fills don't re-resize
+            // per word.
+            self.words.resize((i + 1).next_multiple_of(256), 0);
+        }
+        self.words[i] = value;
+    }
+
+    /// The resident words as one flat slice (word `i` is byte address
+    /// `4 * i`; reads beyond the end are zero). The load fast path
+    /// indexes this directly instead of calling [`SharedMem::read_u32`]
+    /// per lane.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Zero-fills the space in place, keeping its allocation — the
+    /// block-relaunch reset.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_roundtrip_and_zero_default() {
+        let mut m = SharedMem::new();
+        assert_eq!(m.read_u32(0), 0);
+        assert_eq!(m.read_u32(0xfffc), 0);
+        m.write_u32(0x100, 42);
+        assert_eq!(m.read_u32(0x100), 42);
+        assert_eq!(m.read_u32(0x104), 0);
+        assert_eq!(m.words()[0x40], 42);
+        m.clear();
+        assert_eq!(m.read_u32(0x100), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shared_unaligned_panics() {
+        SharedMem::new().read_u32(6);
+    }
 
     #[test]
     fn zero_initialised() {
