@@ -6,7 +6,7 @@
 //! `bench_sweep [--full] [--out PATH] [--checkpoint PATH] [--no-checkpoint]
 //!              [--cell-budget N] [--threads N] [--frontend NAMES]
 //!              [--list-frontends] [--salvage] [--max-cell-retries N]
-//!              [--inject SPEC]
+//!              [--inject SPEC] [--jobs-from SPEC] [--merge SHARD...]
 //!              [--record-golden] [--check-golden] [--golden PATH]`
 //!
 //! * default — a quick test-scale sweep (2 workloads × 5 front-ends) plus
@@ -34,12 +34,29 @@
 //! * `--inject SPEC` — arm the deterministic fault injector with `SPEC`
 //!   (same grammar as the `WARPWEAVE_FAULTS` env var, which this flag
 //!   overrides); used by the CI fault drills.
+//! * `--jobs-from SPEC` — shard mode, one slice of the distributed sweep
+//!   fabric: run only the selected slice of the full job grid (matrix
+//!   cells in workload-major order, then the machine probes) into the
+//!   checkpoint file. `shard:K/N` is the K-th of N round-robin slices
+//!   (0-based); `cells:3,7,10-14` is an explicit job-index list. Shard
+//!   mode writes **no JSON** — the checkpoint is the output; merge the
+//!   shards afterwards.
+//! * `--merge A.ckpt B.ckpt ...` — union shard checkpoints (every file
+//!   must be intact and carry this grid's id; overlapping cells must be
+//!   bit-identical) and render `--out` **byte-identical** to a
+//!   single-host run of the same grid. Merging never simulates: an
+//!   incomplete union lists its missing cells and exits 3.
 //! * `--record-golden` — run the golden grid (test scale: full matrix +
 //!   machine probes under both bandwidth models) and write the baseline
 //!   (default `BENCH_golden.json`).
 //! * `--check-golden` — re-run the golden grid and diff against the
 //!   committed baseline with **zero tolerance**; any drift writes
 //!   `BENCH_golden.json.diff` and exits 1.
+//!
+//! Contradictory flag combinations (e.g. `--check-golden` with
+//! `--inject`, `--jobs-from` with `--merge`) are rejected up front with a
+//! one-line error and exit code 2 — silently preferring one of the two
+//! would run something other than what was asked for.
 //!
 //! All wall-clock timing goes to stderr; the JSON artifacts carry only
 //! deterministic simulation results.
@@ -50,13 +67,17 @@ use std::time::Instant;
 
 use warpweave_bench::grid;
 use warpweave_bench::harness::{
-    format_failures, run_matrix_at, run_matrix_contained, run_matrix_serial_at, FaultPolicy,
+    format_failures, run_matrix_at, run_matrix_contained, run_matrix_serial_at, run_matrix_shard,
+    FaultPolicy,
 };
 use warpweave_bench::report::{
-    check_golden, render_faulted_sweep_json, render_golden_json, render_sweep_json,
-    run_machine_probes,
+    check_golden, probes_from_store, render_faulted_sweep_json, render_golden_json,
+    render_sweep_json, run_machine_probes, run_machine_probes_selected,
 };
-use warpweave_bench::{arg_value, MatrixResult};
+use warpweave_bench::shard::{
+    job_counts, matrix_from_store, merge_checkpoints, split_jobs, ShardSpec,
+};
+use warpweave_bench::{arg_value, cell_key, MatrixResult};
 use warpweave_core::checkpoint::SweepCheckpoint;
 use warpweave_core::faultinject::{FaultPlan, FAULTS_ENV};
 use warpweave_core::{PolicyRegistry, SweepRunner};
@@ -69,6 +90,64 @@ fn write_artifact(path: &str, contents: &str) -> Result<(), ExitCode> {
         eprintln!("write {path}: {e}");
         ExitCode::FAILURE
     })
+}
+
+/// The flag pairs that contradict each other. Each is rejected up front
+/// with a one-line error instead of silently preferring one side:
+///
+/// * golden modes are fixed-grid, injection-free reference runs, so
+///   `--inject`, `--frontend`, `--full` and each other are meaningless;
+/// * `--merge` is a pure union/validation step — nothing may simulate,
+///   checkpoint or inject during it;
+/// * `--jobs-from` *is* a checkpointed run (the checkpoint is its only
+///   output) and is itself an input to `--merge`, never combined with it;
+/// * `--no-checkpoint` contradicts every flag whose effect lives in the
+///   checkpoint (`--checkpoint`, `--salvage`, and `--cell-budget`, whose
+///   saved progress would be silently discarded).
+const FLAG_CONFLICTS: &[(&str, &str)] = &[
+    ("--jobs-from", "--merge"),
+    ("--jobs-from", "--no-checkpoint"),
+    ("--jobs-from", "--check-golden"),
+    ("--jobs-from", "--record-golden"),
+    ("--merge", "--check-golden"),
+    ("--merge", "--record-golden"),
+    ("--merge", "--inject"),
+    ("--merge", "--cell-budget"),
+    ("--merge", "--salvage"),
+    ("--merge", "--checkpoint"),
+    ("--merge", "--no-checkpoint"),
+    ("--check-golden", "--record-golden"),
+    ("--check-golden", "--inject"),
+    ("--check-golden", "--frontend"),
+    ("--check-golden", "--full"),
+    ("--record-golden", "--inject"),
+    ("--record-golden", "--frontend"),
+    ("--record-golden", "--full"),
+    ("--no-checkpoint", "--checkpoint"),
+    ("--no-checkpoint", "--salvage"),
+    ("--no-checkpoint", "--cell-budget"),
+];
+
+/// Returns the first contradictory flag pair present in `args`, if any.
+fn flag_conflict(args: &[String]) -> Option<(&'static str, &'static str)> {
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    FLAG_CONFLICTS
+        .iter()
+        .find(|(a, b)| has(a) && has(b))
+        .copied()
+}
+
+/// The shard-checkpoint paths following `--merge` (every argument up to
+/// the next `--flag`); `None` when `--merge` is absent.
+fn merge_shard_paths(args: &[String]) -> Option<Vec<String>> {
+    let at = args.iter().position(|a| a == "--merge")?;
+    Some(
+        args[at + 1..]
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .cloned()
+            .collect(),
+    )
 }
 
 fn cells_identical(a: &MatrixResult, b: &MatrixResult) -> bool {
@@ -102,6 +181,10 @@ fn render_golden(runner: &SweepRunner) -> String {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if let Some((a, b)) = flag_conflict(&args) {
+        eprintln!("conflicting flags: {a} cannot be combined with {b}");
+        return ExitCode::from(2);
+    }
     let full = args.iter().any(|a| a == "--full");
     let record_golden = args.iter().any(|a| a == "--record-golden");
     let do_check_golden = args.iter().any(|a| a == "--check-golden");
@@ -179,8 +262,8 @@ fn main() -> ExitCode {
         };
     }
 
-    // Sweep mode.
-    let configs = match arg_value(&args, "--frontend") {
+    // Sweep, shard and merge modes all run on the same grid definition.
+    let configs: Vec<_> = match arg_value(&args, "--frontend") {
         Some(names) => names
             .split(',')
             .map(|n| grid::frontend_config(n.trim()).unwrap_or_else(|e| panic!("--frontend: {e}")))
@@ -192,6 +275,147 @@ fn main() -> ExitCode {
     let scale_label = if full { "bench" } else { "test" };
     let verify = false; // timing/baseline runs stay pure simulation
     let jobs = configs.len() * workloads.len();
+
+    // Merge mode: union shard checkpoints, validate, render — never
+    // simulate. The output is byte-identical to a single-host run of the
+    // same grid because both render from the same per-cell records.
+    if let Some(shards) = merge_shard_paths(&args) {
+        let id = grid::grid_id(&configs, &workloads, scale);
+        let union = match merge_checkpoints(&shards, id) {
+            Ok(union) => union,
+            Err(e) => {
+                eprintln!("--merge: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let incomplete = |missing: Vec<String>| {
+            eprintln!(
+                "--merge: union of {} shard(s) covers {} job(s) but misses {}: {}{}",
+                shards.len(),
+                union.len(),
+                missing.len(),
+                missing
+                    .iter()
+                    .take(5)
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if missing.len() > 5 { ", ..." } else { "" }
+            );
+            eprintln!("run the missing slice with --jobs-from and merge again");
+            ExitCode::from(3)
+        };
+        // Check matrix cells AND probes before refusing, so the missing
+        // list (and its count) covers the whole job grid.
+        let matrix = matrix_from_store(&configs, &workloads, &union);
+        let probes = probes_from_store(&union);
+        let mut missing = Vec::new();
+        if let Err(m) = &matrix {
+            missing.extend(m.iter().cloned());
+        }
+        if let Err(m) = &probes {
+            missing.extend(m.iter().cloned());
+        }
+        if !missing.is_empty() {
+            return incomplete(missing);
+        }
+        let (matrix, probes) = (matrix.unwrap(), probes.unwrap());
+        let json = render_sweep_json(scale_label, &matrix, &probes);
+        if let Err(code) = write_artifact(&out_path, &json) {
+            return code;
+        }
+        eprintln!(
+            "merged {} shard(s): {} matrix cells + {} probes -> {out_path}",
+            shards.len(),
+            jobs,
+            probes.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Shard mode: run one slice of the job grid into the checkpoint.
+    if let Some(spec) = arg_value(&args, "--jobs-from") {
+        let spec = match ShardSpec::parse(&spec) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("--jobs-from: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (matrix_cells, probe_count) = job_counts(&configs, &workloads);
+        let indices = match spec.select(matrix_cells + probe_count) {
+            Ok(indices) => indices,
+            Err(e) => {
+                eprintln!("--jobs-from: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (cell_indices, probe_indices) = split_jobs(&indices, matrix_cells);
+        let id = grid::grid_id(&configs, &workloads, scale);
+        if salvage {
+            match SweepCheckpoint::salvage(&checkpoint_path) {
+                Ok(report) => eprintln!("checkpoint {checkpoint_path}: salvage: {report}"),
+                Err(e) => {
+                    eprintln!("checkpoint {checkpoint_path}: salvage skipped: {e} (resuming as-is)")
+                }
+            }
+        }
+        let mut store = SweepCheckpoint::resume(&checkpoint_path, id)
+            .unwrap_or_else(|e| panic!("checkpoint {checkpoint_path}: {e}"));
+        if let Some(injector) = &policy.injector {
+            store.arm_faults(Arc::clone(injector));
+        }
+        let done_before = store.len();
+        eprintln!(
+            "shard {spec}: {} of {} grid jobs ({} matrix cells + {} probes) -> {checkpoint_path}",
+            indices.len(),
+            matrix_cells + probe_count,
+            cell_indices.len(),
+            probe_indices.len()
+        );
+        let t0 = Instant::now();
+        let report = run_matrix_shard(
+            &runner,
+            &configs,
+            &workloads,
+            scale,
+            verify,
+            &mut store,
+            cell_budget,
+            &policy,
+            Some(&cell_indices),
+        )
+        .unwrap_or_else(|e| panic!("sharded sweep: {e}"));
+        if !report.failures.is_empty() {
+            eprint!("{}", format_failures(&report.failures));
+            eprintln!("healthy shard cells are persisted; fix the fault and re-run this shard");
+            return ExitCode::from(4);
+        }
+        let shard_cells_done = cell_indices.iter().all(|&i| {
+            store.contains(&cell_key(
+                workloads[i / configs.len()].name(),
+                &configs[i % configs.len()].name,
+            ))
+        });
+        if !shard_cells_done {
+            eprintln!(
+                "cell budget exhausted mid-shard ({:.1} s); re-run to resume from \
+                 {checkpoint_path}",
+                t0.elapsed().as_secs_f64()
+            );
+            return ExitCode::from(3);
+        }
+        run_machine_probes_selected(scale, Some(&mut store), &probe_indices)
+            .unwrap_or_else(|e| panic!("sharded probes: {e}"));
+        eprintln!(
+            "shard {spec} complete: {} job(s) in store ({} resumed) in {:.1} s; merge with \
+             `bench_sweep --merge {checkpoint_path} ...`",
+            store.len(),
+            done_before,
+            t0.elapsed().as_secs_f64()
+        );
+        return ExitCode::SUCCESS;
+    }
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

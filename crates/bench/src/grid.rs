@@ -11,7 +11,8 @@
 //! the identity a [`SweepCheckpoint`](warpweave_core::SweepCheckpoint)
 //! binds to.
 
-use warpweave_core::checkpoint::{fnv1a, CHECKPOINT_VERSION};
+use warpweave_core::checkpoint::CHECKPOINT_VERSION;
+use warpweave_core::digest::fnv1a;
 use warpweave_core::{Associativity, LaneShuffle, SmConfig};
 use warpweave_mem::CacheConfig;
 use warpweave_workloads::{all_workloads, by_name, Scale, Workload};

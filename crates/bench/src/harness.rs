@@ -332,17 +332,58 @@ pub fn run_matrix_contained(
     cell_budget: Option<usize>,
     policy: &FaultPolicy,
 ) -> Result<SweepReport, CheckpointError> {
+    run_matrix_shard(
+        runner,
+        configs,
+        workloads,
+        scale,
+        verify,
+        store,
+        cell_budget,
+        policy,
+        None,
+    )
+}
+
+/// [`run_matrix_contained`] restricted to a slice of the grid: with
+/// `selected = Some(indices)` only the matrix cells at those
+/// workload-major grid indices are attempted (cells already in `store`
+/// are still skipped, and indices keep their meaning in the **full**
+/// grid, so fault rules and shard specs agree across hosts and resumes).
+/// `None` runs the whole grid — this *is* [`run_matrix_contained`].
+///
+/// This is the execution half of the distributed sweep fabric's shard
+/// mode (`bench_sweep --jobs-from`): each host runs its slice into an
+/// ordinary checkpoint, and `--merge` unions the files back into the
+/// single-host payload.
+///
+/// # Errors
+/// As [`run_matrix_contained`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_matrix_shard(
+    runner: &SweepRunner,
+    configs: &[SmConfig],
+    workloads: &[Box<dyn Workload>],
+    scale: Scale,
+    verify: bool,
+    store: &mut SweepCheckpoint,
+    cell_budget: Option<usize>,
+    policy: &FaultPolicy,
+    selected: Option<&[usize]>,
+) -> Result<SweepReport, CheckpointError> {
     let all: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
         .collect();
     let key_of = |&(w, c): &(usize, usize)| cell_key(workloads[w].name(), &configs[c].name);
     // Remaining jobs keep their index in the *full* grid: fault rules
-    // target that index, so `panic@cell:7` means the same cell whether
-    // the sweep is fresh or resumed.
+    // and shard specs target that index, so `panic@cell:7` (or
+    // `shard:2/8`) means the same cell whether the sweep is fresh,
+    // resumed, or sliced across hosts.
+    let in_shard = |i: usize| selected.is_none_or(|sel| sel.binary_search(&i).is_ok());
     let remaining: Vec<(usize, (usize, usize))> = all
         .iter()
         .enumerate()
-        .filter(|(_, pair)| !store.contains(&key_of(pair)))
+        .filter(|(i, pair)| in_shard(*i) && !store.contains(&key_of(pair)))
         .take(cell_budget.unwrap_or(usize::MAX))
         .map(|(i, pair)| (i, *pair))
         .collect();

@@ -7,18 +7,21 @@
 pub mod grid;
 pub mod harness;
 pub mod report;
+pub mod shard;
 
 pub use harness::{
     cell_key, format_bandwidth_summary, format_bandwidth_table, format_failures, format_ipc_table,
     gmean, run_matrix, run_matrix_at, run_matrix_checkpointed, run_matrix_contained,
-    run_matrix_figure, run_matrix_on, run_matrix_serial, run_matrix_serial_at, run_one, run_one_at,
-    try_run_one_at, CellFailure, CellResult, FaultPolicy, MatrixResult, SweepReport, BENCH_SEED,
+    run_matrix_figure, run_matrix_on, run_matrix_serial, run_matrix_serial_at, run_matrix_shard,
+    run_one, run_one_at, try_run_one_at, CellFailure, CellResult, FaultPolicy, MatrixResult,
+    SweepReport, BENCH_SEED,
 };
 pub use report::{
-    check_golden, parse_golden_cells, render_faulted_sweep_json, render_golden_json,
-    render_sweep_json, run_machine_probes, GoldenCell, ProbeResult, FAULTED_SWEEP_SCHEMA,
-    GOLDEN_SCHEMA, SWEEP_SCHEMA,
+    check_golden, parse_golden_cells, probes_from_store, render_faulted_sweep_json,
+    render_golden_json, render_sweep_json, run_machine_probes, run_machine_probes_selected,
+    run_probe, GoldenCell, ProbeResult, FAULTED_SWEEP_SCHEMA, GOLDEN_SCHEMA, SWEEP_SCHEMA,
 };
+pub use shard::{job_counts, matrix_from_store, merge_checkpoints, split_jobs, ShardSpec};
 
 /// Returns the value following `flag` in an argument list — the one
 /// CLI-parsing helper every bench binary shares (`--flag VALUE` style).

@@ -75,10 +75,32 @@ impl ProbeResult {
 /// Simulation failures — a sweep with a broken probe has no value.
 pub fn run_machine_probes(
     scale: Scale,
+    store: Option<&mut SweepCheckpoint>,
+) -> Result<Vec<ProbeResult>, CheckpointError> {
+    let all: Vec<usize> = (0..machine_probes().len()).collect();
+    run_machine_probes_selected(scale, store, &all)
+}
+
+/// [`run_machine_probes`] restricted to the probes at the given indices
+/// of the [`machine_probes`] list — the probe half of a sharded
+/// (`--jobs-from`) sweep, where each host runs only its slice of the job
+/// grid. Results come back in probe order, selected probes only.
+///
+/// # Errors
+/// Checkpoint recording failures.
+///
+/// # Panics
+/// Simulation failures, as in [`run_machine_probes`].
+pub fn run_machine_probes_selected(
+    scale: Scale,
     mut store: Option<&mut SweepCheckpoint>,
+    selected: &[usize],
 ) -> Result<Vec<ProbeResult>, CheckpointError> {
     let mut results = Vec::new();
-    for probe in machine_probes() {
+    for (idx, probe) in machine_probes().into_iter().enumerate() {
+        if !selected.contains(&idx) {
+            continue;
+        }
         let key = probe.key();
         if let Some(record) = store.as_ref().and_then(|s| s.get(&key)) {
             results.push(ProbeResult {
@@ -88,21 +110,59 @@ pub fn run_machine_probes(
             });
             continue;
         }
-        let workload = by_name(probe.workload).expect("registered workload");
-        let stats =
-            run_prepared_multi_sm(&probe.cfg, probe.num_sms, workload.prepare(scale), false)
-                .unwrap_or_else(|e| panic!("machine probe {key}: {e}"));
+        let record =
+            run_probe(&probe, scale).unwrap_or_else(|e| panic!("machine probe {key}: {e}"));
         if let Some(s) = store.as_deref_mut() {
-            s.record(
-                &key,
-                CellRecord::with_channel(stats.total.clone(), stats.channel),
-            )?;
+            s.record(&key, record.clone())?;
         }
         results.push(ProbeResult {
             probe,
-            total: stats.total.clone(),
-            channel: stats.channel,
+            total: record.stats,
+            channel: record.channel.unwrap_or_default(),
         });
+    }
+    Ok(results)
+}
+
+/// Simulates one machine probe at `scale`, returning the checkpoint
+/// record (machine-total counters plus shared-channel counters) the
+/// sweep would persist for it. This is the single-probe cell body the
+/// sweep service queues alongside matrix cells.
+///
+/// # Errors
+/// The rendered simulation failure.
+pub fn run_probe(probe: &MachineProbe, scale: Scale) -> Result<CellRecord, String> {
+    let workload = by_name(probe.workload)
+        .ok_or_else(|| format!("machine-probe workload `{}` unregistered", probe.workload))?;
+    let stats = run_prepared_multi_sm(&probe.cfg, probe.num_sms, workload.prepare(scale), false)
+        .map_err(|e| e.to_string())?;
+    Ok(CellRecord::with_channel(stats.total, stats.channel))
+}
+
+/// Assembles every machine probe purely from a (merged) store — the
+/// probe half of `bench_sweep --merge`, which must never re-simulate
+/// anything: a merge is a validation-and-union step over already-run
+/// shards.
+///
+/// # Errors
+/// The sorted list of missing probe keys, when the union does not cover
+/// the whole probe set.
+pub fn probes_from_store(store: &SweepCheckpoint) -> Result<Vec<ProbeResult>, Vec<String>> {
+    let mut results = Vec::new();
+    let mut missing = Vec::new();
+    for probe in machine_probes() {
+        let key = probe.key();
+        match store.get(&key) {
+            Some(record) => results.push(ProbeResult {
+                probe,
+                total: record.stats.clone(),
+                channel: record.channel.unwrap_or_default(),
+            }),
+            None => missing.push(key),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(missing);
     }
     Ok(results)
 }

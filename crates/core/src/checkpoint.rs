@@ -23,7 +23,7 @@
 //! Line-oriented UTF-8. The first line is the header:
 //!
 //! ```text
-//! warpweave-sweep-checkpoint v2 grid=<16 hex digits>
+//! warpweave-sweep-checkpoint v3 grid=<16 hex digits>
 //! ```
 //!
 //! Every subsequent line is one completed cell:
@@ -119,15 +119,10 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// FNV-1a 64 over a byte string — the line checksum and the grid-id hash.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+// The line checksum and the grid-id hash both come from the shared digest
+// module; re-exported here because the checkpoint format is where most
+// callers first meet it.
+pub use crate::digest::fnv1a;
 
 /// The result of one completed sweep cell: the SM (or machine-total)
 /// statistics, plus the shared-channel counters when the cell simulated a

@@ -44,6 +44,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod digest;
 pub mod divergence;
 pub mod exec;
 pub mod faultinject;

@@ -1,0 +1,125 @@
+//! The sweep service client CLI.
+//!
+//! Usage:
+//! `sweep_client --addr HOST:PORT [--full] [--frontend NAMES]
+//!               [--workloads NAMES] [--no-probes] [--out PATH]
+//!               [--json PATH] [--server-stats] [--shutdown]`
+//!
+//! * default — issue a `run` request for the quick sweep grid, print the
+//!   per-request stats line to stderr, and exit 0 (healthy), 4 (the
+//!   server quarantined cells), or 1 (refused/protocol failure).
+//! * `--full` — request the bench-scale grid instead.
+//! * `--frontend NAMES` / `--workloads NAMES` — restrict the grid
+//!   (comma-separated registry names).
+//! * `--no-probes` — matrix cells only.
+//! * `--out PATH` — write the deterministic response transcript (cell
+//!   and fail lines, checksum-verified) to `PATH`. Two clients issuing
+//!   the same request get byte-identical transcripts — `cmp` them.
+//! * `--json PATH` — render the response to the standard
+//!   `BENCH_sweep.json` payload (full default grid + probes only),
+//!   byte-identical to a local `bench_sweep` run.
+//! * `--server-stats` — query the server's cumulative cache stats and
+//!   print the raw line to stdout (no run request).
+//! * `--shutdown` — stop the server (no run request).
+
+use std::process::ExitCode;
+
+use warpweave_bench::arg_value;
+use warpweave_serve::{
+    render_response_json, request_run, request_shutdown, request_stats, RunRequest,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(addr) = arg_value(&args, "--addr") else {
+        eprintln!("sweep_client: --addr HOST:PORT is required");
+        return ExitCode::from(2);
+    };
+
+    if args.iter().any(|a| a == "--shutdown") {
+        return match request_shutdown(&addr) {
+            Ok(()) => {
+                eprintln!("server at {addr} asked to shut down");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("shutdown: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--server-stats") {
+        return match request_stats(&addr) {
+            Ok(line) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("stats: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let split = |names: String| {
+        names
+            .split(',')
+            .map(|n| n.trim().to_string())
+            .collect::<Vec<_>>()
+    };
+    let req = RunRequest {
+        full: args.iter().any(|a| a == "--full"),
+        frontends: arg_value(&args, "--frontend")
+            .map(split)
+            .unwrap_or_default(),
+        workloads: arg_value(&args, "--workloads")
+            .map(split)
+            .unwrap_or_default(),
+        probes: !args.iter().any(|a| a == "--no-probes"),
+    };
+    let response = match request_run(&addr, &req) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("run request: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "grid {:016x}: {} cell(s), {} failure(s); hits={} misses={} simulated={}",
+        response.grid_id,
+        response.cell_lines.len(),
+        response.fail_lines.len(),
+        response.stats.hits,
+        response.stats.misses,
+        response.stats.simulated
+    );
+    if let Some(path) = arg_value(&args, "--out") {
+        if let Err(e) = std::fs::write(&path, response.transcript()) {
+            eprintln!("write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote transcript: {path}");
+    }
+    if let Some(path) = arg_value(&args, "--json") {
+        match render_response_json(&req, &response) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote sweep payload: {path}");
+            }
+            Err(e) => {
+                eprintln!("--json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !response.fail_lines.is_empty() {
+        for line in &response.fail_lines {
+            eprintln!("{line}");
+        }
+        return ExitCode::from(4);
+    }
+    ExitCode::SUCCESS
+}

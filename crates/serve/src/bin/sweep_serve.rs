@@ -1,0 +1,84 @@
+//! The sweep service daemon.
+//!
+//! Usage:
+//! `sweep_serve [--addr HOST:PORT] [--threads N] [--max-cell-retries N]
+//!              [--cache-entries N] [--cache-dir PATH]`
+//!
+//! * `--addr` — bind address (default `127.0.0.1:0`; port 0 picks an
+//!   ephemeral port). The resolved address is printed to **stdout** as
+//!   `listening <host:port>` so scripts can capture it.
+//! * `--threads N` — cap the simulation worker pool (default: all cores).
+//! * `--max-cell-retries N` — retries per failing cell before it is
+//!   reported as a `fail|` line (default 1).
+//! * `--cache-entries N` — memory-tier capacity of the content-addressed
+//!   cell cache (default 1024 entries).
+//! * `--cache-dir PATH` — enable the on-disk cache tier (one
+//!   checksummed `.cell` file per entry; survives restarts).
+//!
+//! The server runs until a client sends `shutdown` (see `sweep_client
+//! --shutdown`). Wire protocol: `warpweave_serve::protocol`.
+
+use std::process::ExitCode;
+
+use warpweave_bench::arg_value;
+use warpweave_serve::{ServeConfig, Server};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let mut cfg = ServeConfig::default();
+    if let Some(n) = arg_value(&args, "--threads") {
+        match n.parse() {
+            Ok(n) => cfg.threads = Some(n),
+            Err(_) => {
+                eprintln!("--threads takes a worker count, got `{n}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = arg_value(&args, "--max-cell-retries") {
+        match n.parse() {
+            Ok(n) => cfg.max_retries = n,
+            Err(_) => {
+                eprintln!("--max-cell-retries takes a retry count, got `{n}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = arg_value(&args, "--cache-entries") {
+        match n.parse() {
+            Ok(n) => cfg.cache_entries = n,
+            Err(_) => {
+                eprintln!("--cache-entries takes an entry count, got `{n}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    cfg.cache_dir = arg_value(&args, "--cache-dir").map(Into::into);
+
+    let server = match Server::bind(&addr, cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Scripts parse this line; keep it stable and flushed.
+            println!("listening {addr}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("serve loop: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("sweep_serve: shutdown complete");
+    ExitCode::SUCCESS
+}

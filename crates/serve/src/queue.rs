@@ -1,0 +1,259 @@
+//! The server's cell queue: request → canonical job list → fault-isolated
+//! parallel execution through the content-addressed cache.
+//!
+//! A `run` request resolves to the same canonical job order the sweep
+//! harness uses — workload-major matrix cells, then machine probes — so
+//! a served grid and a locally-run grid enumerate identical cells. Each
+//! job then flows through [`run_jobs`]: a cache [`acquire`]
+//! (serve-or-claim), and for claimed cells the **same contained cell
+//! body the checkpointed sweep runs** ([`try_run_one_at`] /
+//! [`run_probe`] under [`SweepRunner::run_isolated_reporting`]'s
+//! catch-unwind + retry loop). A cell that exhausts its retries becomes
+//! a [`CellFailure`] with full provenance, never a dead server — and is
+//! never cached, so a later request re-attempts it fresh.
+//!
+//! [`acquire`]: crate::cache::CellCache::acquire
+
+use warpweave_bench::grid::{frontend_config, machine_probes, sweep_workloads, MachineProbe};
+use warpweave_bench::{cell_key, run_probe, try_run_one_at, CellFailure};
+use warpweave_core::checkpoint::{encode_cell, CellRecord};
+use warpweave_core::{SmConfig, SweepRunner};
+use warpweave_workloads::{by_name, Scale};
+
+use crate::cache::{cell_digest, Acquired, CellCache};
+use crate::protocol::RunRequest;
+
+/// One schedulable cell of a request, carrying everything needed to
+/// simulate it and to address it in the cache.
+pub struct CellJob {
+    /// The checkpoint cell key (`workload/config` or `machine/...`).
+    pub key: String,
+    /// Workload label (provenance on failure).
+    pub workload: String,
+    /// Config label (provenance on failure).
+    pub config: String,
+    /// The config's RNG seed (part of the content address).
+    pub seed: u64,
+    kind: JobKind,
+}
+
+enum JobKind {
+    // Boxed: an SmConfig is ~30x the probe variant, and jobs live in
+    // per-request vectors.
+    Matrix { cfg: Box<SmConfig> },
+    Probe { index: usize },
+}
+
+/// The grid a request resolved to: its jobs in canonical order plus the
+/// lists the grid id is computed from.
+pub struct ResolvedGrid {
+    /// Jobs in canonical order (matrix cells workload-major, probes last).
+    pub jobs: Vec<CellJob>,
+    /// The request's grid identity (binds the response to the grid).
+    pub grid_id: u64,
+    /// Problem scale of every job.
+    pub scale: Scale,
+}
+
+/// Resolves a [`RunRequest`] against the policy and workload registries.
+///
+/// # Errors
+/// Unknown front-end or workload names (one-line, for the `error|` wire
+/// line).
+pub fn resolve(req: &RunRequest) -> Result<ResolvedGrid, String> {
+    let configs: Vec<SmConfig> = if req.frontends.is_empty() {
+        warpweave_bench::grid::figure7_configs()
+    } else {
+        req.frontends
+            .iter()
+            .map(|n| frontend_config(n))
+            .collect::<Result<_, _>>()?
+    };
+    let workloads = if req.workloads.is_empty() {
+        sweep_workloads(req.full)
+    } else {
+        req.workloads
+            .iter()
+            .map(|n| by_name(n).ok_or_else(|| format!("unknown workload `{n}`")))
+            .collect::<Result<Vec<_>, String>>()?
+    };
+    let scale = if req.full { Scale::Bench } else { Scale::Test };
+    let mut jobs = Vec::new();
+    for w in &workloads {
+        for cfg in &configs {
+            jobs.push(CellJob {
+                key: cell_key(w.name(), &cfg.name),
+                workload: w.name().to_string(),
+                config: cfg.name.clone(),
+                seed: cfg.seed,
+                kind: JobKind::Matrix {
+                    cfg: Box::new(cfg.clone()),
+                },
+            });
+        }
+    }
+    if req.probes {
+        for (index, probe) in machine_probes().into_iter().enumerate() {
+            jobs.push(CellJob {
+                key: probe.key(),
+                workload: probe.workload.to_string(),
+                config: probe.cfg.name.clone(),
+                seed: probe.cfg.seed,
+                kind: JobKind::Probe { index },
+            });
+        }
+    }
+    let grid_id = warpweave_bench::grid::grid_id(&configs, &workloads, scale);
+    Ok(ResolvedGrid {
+        jobs,
+        grid_id,
+        scale,
+    })
+}
+
+/// How one job of a request settled.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Served from the cache (memory, disk, or another client's
+    /// just-finished simulation) — the encoded checkpoint line.
+    Hit(String),
+    /// Simulated by this request — the encoded checkpoint line.
+    Simulated(String),
+    /// Quarantined after its retry budget, with provenance.
+    Failed(CellFailure),
+}
+
+impl Outcome {
+    /// The wire line this outcome streams as.
+    pub fn line(&self) -> String {
+        match self {
+            Outcome::Hit(line) | Outcome::Simulated(line) => line.clone(),
+            Outcome::Failed(f) => crate::protocol::fail_line(f),
+        }
+    }
+}
+
+/// Simulates (or cache-serves) one job body — the closure
+/// `run_isolated_reporting` retries and catch-unwinds.
+fn run_cell(job: &CellJob, scale: Scale, probes: &[MachineProbe]) -> Result<CellRecord, String> {
+    match &job.kind {
+        JobKind::Matrix { cfg } => {
+            let workload = by_name(&job.workload)
+                .ok_or_else(|| format!("unknown workload `{}`", job.workload))?;
+            // Pure simulation (no verify), as in every timing sweep.
+            let result = try_run_one_at(cfg, workload.as_ref(), scale, false)?;
+            Ok(CellRecord::new(result.stats))
+        }
+        JobKind::Probe { index } => run_probe(&probes[*index], scale),
+    }
+}
+
+/// Runs `jobs` through the cache and the fault-isolated parallel runner.
+/// `on_done(index, outcome)` fires in **completion order** on worker
+/// threads; the returned vector is in job order. A worker that finds a
+/// cell `Pending` under another requester blocks (only that worker)
+/// until the cell settles — its outcome is then a [`Outcome::Hit`],
+/// since someone else paid for the simulation.
+pub fn run_jobs(
+    runner: &SweepRunner,
+    cache: &CellCache,
+    scale: Scale,
+    max_retries: u32,
+    jobs: &[CellJob],
+    on_done: impl Fn(usize, &Outcome) + Sync + Send,
+) -> Vec<Outcome> {
+    let probes = machine_probes();
+    let outcomes = runner.run_isolated_reporting(
+        jobs,
+        max_retries,
+        |job| -> Result<Outcome, String> {
+            let digest = cell_digest(scale, job.seed, &job.key, &job.config);
+            match cache.acquire(digest) {
+                Acquired::Ready(line) => Ok(Outcome::Hit(line)),
+                Acquired::Claimed(claim) => {
+                    // A failure (Err or panic) drops the claim, which
+                    // abandons the slot — failures are never cached.
+                    let record = run_cell(job, scale, &probes)?;
+                    let line = encode_cell(&job.key, &record);
+                    claim.fulfill(line.clone());
+                    Ok(Outcome::Simulated(line))
+                }
+            }
+        },
+        |i, isolated| {
+            let outcome = settle(&jobs[i], isolated);
+            on_done(i, &outcome);
+        },
+    );
+    outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, isolated)| settle(&jobs[i], isolated))
+        .collect()
+}
+
+/// Converts one isolated outcome into the wire-facing [`Outcome`],
+/// attaching the job's provenance to failures.
+fn settle(job: &CellJob, isolated: &warpweave_core::IsolatedOutcome<Outcome>) -> Outcome {
+    match &isolated.result {
+        Ok(outcome) => outcome.clone(),
+        Err(reason) => Outcome::Failed(CellFailure {
+            workload: job.workload.clone(),
+            config: job.config.clone(),
+            seed: job.seed,
+            attempts: isolated.attempts,
+            reason: reason.clone(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::RunRequest;
+
+    fn quick_pair() -> RunRequest {
+        RunRequest {
+            full: false,
+            frontends: vec!["Baseline".into(), "SWI".into()],
+            workloads: vec!["MatrixMul".into()],
+            probes: false,
+        }
+    }
+
+    #[test]
+    fn resolve_orders_jobs_canonically() {
+        let grid = resolve(&RunRequest::quick()).unwrap();
+        // 2 quick workloads × 5 fig-7 configs, then the probes.
+        let probes = machine_probes().len();
+        assert_eq!(grid.jobs.len(), 10 + probes);
+        assert_eq!(grid.jobs[0].key, "MatrixMul/Baseline");
+        assert_eq!(grid.jobs[9].key, "SortingNetworks/Warp64");
+        assert!(grid.jobs[10].key.starts_with("machine/"));
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_names() {
+        let mut bad = RunRequest::quick();
+        bad.frontends = vec!["NoSuchPolicy".into()];
+        assert!(resolve(&bad).is_err());
+        let mut bad = RunRequest::quick();
+        bad.workloads = vec!["NoSuchWorkload".into()];
+        assert!(resolve(&bad).is_err());
+    }
+
+    #[test]
+    fn repeat_requests_are_served_entirely_from_cache() {
+        let cache = CellCache::in_memory(64);
+        let runner = SweepRunner::with_threads(2);
+        let grid = resolve(&quick_pair()).unwrap();
+        let first = run_jobs(&runner, &cache, grid.scale, 0, &grid.jobs, |_, _| {});
+        assert!(first.iter().all(|o| matches!(o, Outcome::Simulated(_))));
+        let second = run_jobs(&runner, &cache, grid.scale, 0, &grid.jobs, |_, _| {});
+        assert!(second.iter().all(|o| matches!(o, Outcome::Hit(_))));
+        // Byte-identical lines either way.
+        let a: Vec<String> = first.iter().map(Outcome::line).collect();
+        let b: Vec<String> = second.iter().map(Outcome::line).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,145 @@
+//! End-to-end loopback tests of the sweep service: a real `Server` on an
+//! ephemeral TCP port, real clients, real simulations.
+
+use warpweave_bench::grid;
+use warpweave_bench::{render_sweep_json, run_machine_probes, run_matrix_serial_at};
+use warpweave_serve::{
+    render_response_json, request_run, request_shutdown, request_stats, RunRequest, ServeConfig,
+    Server,
+};
+use warpweave_workloads::Scale;
+
+/// Starts a server on an ephemeral loopback port; returns its address
+/// and the join handle of its serve loop.
+fn start_server(cfg: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral loopback port");
+    let addr = server.local_addr().expect("resolved address").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve loop"));
+    (addr, handle)
+}
+
+fn small_grid() -> RunRequest {
+    RunRequest {
+        full: false,
+        frontends: vec!["Baseline".into(), "SWI".into()],
+        workloads: vec!["MatrixMul".into(), "SortingNetworks".into()],
+        probes: false,
+    }
+}
+
+#[test]
+fn concurrent_overlapping_clients_get_byte_identical_transcripts() {
+    let (addr, server) = start_server(ServeConfig::default());
+    let req = small_grid();
+    // Two clients race the same grid: the cache's pending-claim
+    // coordination must hand both the same bytes, with every cell
+    // simulated at most once between them.
+    let a = {
+        let (addr, req) = (addr.clone(), req.clone());
+        std::thread::spawn(move || request_run(&addr, &req).expect("client a"))
+    };
+    let b = {
+        let (addr, req) = (addr.clone(), req.clone());
+        std::thread::spawn(move || request_run(&addr, &req).expect("client b"))
+    };
+    let a = a.join().unwrap();
+    let b = b.join().unwrap();
+    assert_eq!(a.transcript(), b.transcript(), "byte-identical transcripts");
+    assert_eq!(a.grid_id, b.grid_id);
+    assert_eq!(a.cell_lines.len(), 4);
+    assert!(a.fail_lines.is_empty() && b.fail_lines.is_empty());
+    assert_eq!(
+        a.stats.simulated + b.stats.simulated,
+        4,
+        "each cell simulated exactly once across both clients"
+    );
+
+    // A third, repeat request is answered entirely from the cache.
+    let c = request_run(&addr, &req).expect("client c");
+    assert_eq!(c.transcript(), a.transcript());
+    assert_eq!(c.stats.simulated, 0, "zero re-simulated cells");
+    assert_eq!(c.stats.hits, 4);
+
+    request_shutdown(&addr).expect("shutdown");
+    server.join().unwrap();
+}
+
+#[test]
+fn served_full_grid_renders_the_exact_sweep_payload() {
+    let (addr, server) = start_server(ServeConfig::default());
+    let req = RunRequest::quick();
+    let response = request_run(&addr, &req).expect("quick grid");
+
+    // The service's payload must be byte-identical to a local run's.
+    let served = render_response_json(&req, &response).expect("render from response");
+    let configs = grid::figure7_configs();
+    let workloads = grid::sweep_workloads(false);
+    let matrix = run_matrix_serial_at(&configs, &workloads, Scale::Test, false);
+    let probes = run_machine_probes(Scale::Test, None).expect("probes");
+    let local = render_sweep_json("test", &matrix, &probes);
+    assert_eq!(served, local, "served and local sweep payloads");
+
+    request_shutdown(&addr).expect("shutdown");
+    server.join().unwrap();
+}
+
+#[test]
+fn unknown_names_are_refused_not_fatal() {
+    let (addr, server) = start_server(ServeConfig::default());
+    let mut bad = small_grid();
+    bad.frontends = vec!["NoSuchPolicy".into()];
+    let err = request_run(&addr, &bad).expect_err("must be refused");
+    assert!(err.contains("server refused"), "{err}");
+    // The server survives the refusal and still answers work.
+    let ok = request_run(&addr, &small_grid()).expect("healthy request after refusal");
+    assert_eq!(ok.cell_lines.len(), 4);
+    request_shutdown(&addr).expect("shutdown");
+    server.join().unwrap();
+}
+
+#[test]
+fn server_stats_accumulate_across_requests() {
+    let (addr, server) = start_server(ServeConfig {
+        threads: Some(2),
+        ..ServeConfig::default()
+    });
+    let req = small_grid();
+    request_run(&addr, &req).expect("first");
+    request_run(&addr, &req).expect("second");
+    let line = request_stats(&addr).expect("stats line");
+    assert!(line.starts_with("stats|"), "{line}");
+    assert!(line.contains("misses=4"), "first request missed 4: {line}");
+    assert!(line.contains("hits=4"), "second request hit 4: {line}");
+    request_shutdown(&addr).expect("shutdown");
+    server.join().unwrap();
+}
+
+#[test]
+fn disk_cache_tier_survives_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!("ww-serve-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let req = small_grid();
+    let first = {
+        let (addr, server) = start_server(ServeConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let response = request_run(&addr, &req).expect("first server");
+        request_shutdown(&addr).expect("shutdown");
+        server.join().unwrap();
+        response
+    };
+    assert_eq!(first.stats.simulated, 4);
+    // A brand-new server process-equivalent (fresh memory tier, same
+    // disk dir) serves the same grid without re-simulating anything.
+    let (addr, server) = start_server(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let second = request_run(&addr, &req).expect("second server");
+    assert_eq!(second.stats.simulated, 0, "served from the disk tier");
+    assert_eq!(second.transcript(), first.transcript());
+    request_shutdown(&addr).expect("shutdown");
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

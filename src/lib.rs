@@ -13,6 +13,8 @@
 //! * [`workloads`] — the 21 benchmark kernels of the paper's evaluation.
 //! * [`hwcost`] — storage and area models (tables 3 and 4).
 //! * [`mod@bench`] — the experiment harness regenerating every figure.
+//! * [`serve`] — the distributed sweep fabric: the `sweep_serve` daemon,
+//!   its client, and the content-addressed cell cache.
 //!
 //! # Examples
 //! ```
@@ -35,6 +37,7 @@ pub use warpweave_core as core;
 pub use warpweave_hwcost as hwcost;
 pub use warpweave_isa as isa;
 pub use warpweave_mem as mem;
+pub use warpweave_serve as serve;
 pub use warpweave_workloads as workloads;
 
 // Convenience re-exports of the most common entry points.
